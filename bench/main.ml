@@ -1,0 +1,117 @@
+(* bench/main.exe — regenerates every table and figure of the paper's
+   evaluation section and times the harness itself with Bechamel.
+
+   Part 1 prints the scientific output: the Fig 9 and Fig 10 series plus
+   the E3–E7 ablations from DESIGN.md, on the quarter-A100 device (same
+   per-SM behaviour as the full device, a quarter of the simulation
+   cost; see EXPERIMENTS.md).  Set OMPSIMD_BENCH_SCALE (default 1.0) or
+   OMPSIMD_BENCH_DEVICE=a100|a100q|small to override.
+
+   Part 2 registers one Bechamel Test.make per experiment, measuring the
+   host-side cost of regenerating it at a reduced scale — the number a
+   developer watches when optimizing the simulator. *)
+
+open Bechamel
+open Toolkit
+
+let device () =
+  match Sys.getenv_opt "OMPSIMD_BENCH_DEVICE" with
+  | Some "a100" -> Gpusim.Config.a100
+  | Some "small" -> Gpusim.Config.small
+  | Some "a100q" | None -> Gpusim.Config.a100_quarter
+  | Some other ->
+      Printf.eprintf "unknown OMPSIMD_BENCH_DEVICE %S\n" other;
+      exit 2
+
+let scale () =
+  match Sys.getenv_opt "OMPSIMD_BENCH_SCALE" with
+  | Some s -> float_of_string s
+  | None -> 1.0
+
+let print_experiments () =
+  let cfg = device () in
+  let scale = scale () in
+  Printf.printf "device: %s, scale: %.2f\n\n%!" cfg.Gpusim.Config.name scale;
+  Experiments.Fig9.print (Experiments.Fig9.run ~scale ~cfg ());
+  print_newline ();
+  Experiments.Fig10.print (Experiments.Fig10.run ~scale ~cfg ());
+  print_newline ();
+  Experiments.Sharing_ablation.print
+    (Experiments.Sharing_ablation.run ~scale ~cfg ());
+  print_newline ();
+  Experiments.Dispatch_ablation.print
+    (Experiments.Dispatch_ablation.run ~scale ~cfg ());
+  print_newline ();
+  Experiments.Amd_mode.print (Experiments.Amd_mode.run ~scale:(scale /. 4.) ());
+  print_newline ();
+  Experiments.Reduction_ablation.print
+    (Experiments.Reduction_ablation.run ~scale ~cfg ());
+  print_newline ();
+  Experiments.Teams_mode_ablation.print
+    (Experiments.Teams_mode_ablation.run ~scale ~cfg ());
+  print_newline ();
+  Experiments.Spmdization_ablation.print
+    (Experiments.Spmdization_ablation.run ~scale ~cfg ());
+  print_newline ();
+  Experiments.Schedule_ablation.print
+    (Experiments.Schedule_ablation.run ~scale ~cfg ())
+
+(* --- Bechamel: host cost of regenerating each experiment -------------- *)
+
+let bench_tests () =
+  let cfg = Gpusim.Config.small in
+  let s = 0.25 in
+  [
+    Test.make ~name:"fig9 (E1)"
+      (Staged.stage (fun () -> ignore (Experiments.Fig9.run ~scale:s ~cfg ())));
+    Test.make ~name:"fig10 (E2)"
+      (Staged.stage (fun () -> ignore (Experiments.Fig10.run ~scale:s ~cfg ())));
+    Test.make ~name:"sharing ablation (E3)"
+      (Staged.stage (fun () ->
+           ignore (Experiments.Sharing_ablation.run ~scale:s ~cfg ())));
+    Test.make ~name:"dispatch ablation (E4)"
+      (Staged.stage (fun () ->
+           ignore (Experiments.Dispatch_ablation.run ~scale:s ~cfg ())));
+    Test.make ~name:"amd mode (E5)"
+      (Staged.stage (fun () -> ignore (Experiments.Amd_mode.run ~scale:0.02 ())));
+    Test.make ~name:"reduction ablation (E6)"
+      (Staged.stage (fun () ->
+           ignore (Experiments.Reduction_ablation.run ~scale:s ~cfg ())));
+    Test.make ~name:"teams-mode ablation (E7)"
+      (Staged.stage (fun () ->
+           ignore (Experiments.Teams_mode_ablation.run ~scale:s ~cfg ())));
+    Test.make ~name:"spmdization ablation (E8)"
+      (Staged.stage (fun () ->
+           ignore (Experiments.Spmdization_ablation.run ~scale:s ~cfg ())));
+    Test.make ~name:"schedule ablation (E9)"
+      (Staged.stage (fun () ->
+           ignore (Experiments.Schedule_ablation.run ~scale:0.1 ~cfg ())));
+  ]
+
+let run_bechamel () =
+  print_endline "Bechamel: host milliseconds to regenerate each experiment";
+  print_endline "(reduced scale, sim-small device)";
+  let benchmark_cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~kde:None ()
+  in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all benchmark_cfg Instance.[ monotonic_clock ] test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          Instance.monotonic_clock raw
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+              Printf.printf "  %-28s %10.1f ms/run\n%!" name (est /. 1e6)
+          | Some _ | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
+        ols)
+    (bench_tests ())
+
+let () =
+  print_experiments ();
+  print_newline ();
+  run_bechamel ()

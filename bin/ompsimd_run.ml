@@ -1,0 +1,342 @@
+(* ompsimd_run — command-line driver for the paper's experiments.
+
+   Every results figure of the paper (and each ablation described in
+   DESIGN.md) is one subcommand; `ompsimd_run all` regenerates everything
+   EXPERIMENTS.md records. *)
+
+open Cmdliner
+
+let device_of_name = function
+  | "a100" -> Ok Gpusim.Config.a100
+  | "a100q" -> Ok Gpusim.Config.a100_quarter
+  | "amd" -> Ok Gpusim.Config.amd_like
+  | "small" -> Ok Gpusim.Config.small
+  | other ->
+      Error (Printf.sprintf "unknown device %S (a100|a100q|amd|small)" other)
+
+let device_term =
+  let doc =
+    "Simulated device: a100, a100q (quarter-size, the default — relative \
+     results match the full device at a quarter the simulation cost), amd \
+     or small."
+  in
+  Arg.(value & opt string "a100q" & info [ "device"; "d" ] ~docv:"DEVICE" ~doc)
+
+let scale_term =
+  let doc = "Problem-size multiplier (use < 1.0 for quick runs)." in
+  Arg.(value & opt float 1.0 & info [ "scale"; "s" ] ~docv:"SCALE" ~doc)
+
+let with_device name f =
+  match device_of_name name with
+  | Error msg ->
+      prerr_endline msg;
+      exit 2
+  | Ok cfg -> f cfg
+
+let csv_term =
+  let doc = "Also write the series as CSV to this file." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let write_csv path contents =
+  match path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc contents);
+      Printf.printf "csv written to %s\n" path
+
+let fig9_cmd =
+  let run device scale csv =
+    with_device device (fun cfg ->
+        let r = Experiments.Fig9.run ~scale ~cfg () in
+        Experiments.Fig9.print r;
+        write_csv csv (Experiments.Fig9.to_csv r))
+  in
+  Cmd.v
+    (Cmd.info "fig9" ~doc:"E1: simd speedup over two-level baseline (Fig 9)")
+    Term.(const run $ device_term $ scale_term $ csv_term)
+
+let fig10_cmd =
+  let run device scale csv =
+    with_device device (fun cfg ->
+        let r = Experiments.Fig10.run ~scale ~cfg () in
+        Experiments.Fig10.print r;
+        write_csv csv (Experiments.Fig10.to_csv r))
+  in
+  Cmd.v
+    (Cmd.info "fig10" ~doc:"E2: execution-mode overhead (Fig 10)")
+    Term.(const run $ device_term $ scale_term $ csv_term)
+
+let sharing_cmd =
+  let run device scale =
+    with_device device (fun cfg ->
+        Experiments.Sharing_ablation.print
+          (Experiments.Sharing_ablation.run ~scale ~cfg ()))
+  in
+  Cmd.v
+    (Cmd.info "sharing" ~doc:"E3: sharing-space sizing ablation (S5.3.1)")
+    Term.(const run $ device_term $ scale_term)
+
+let dispatch_cmd =
+  let run device scale =
+    with_device device (fun cfg ->
+        Experiments.Dispatch_ablation.print
+          (Experiments.Dispatch_ablation.run ~scale ~cfg ()))
+  in
+  Cmd.v
+    (Cmd.info "dispatch" ~doc:"E4: if-cascade vs indirect dispatch (S5.5)")
+    Term.(const run $ device_term $ scale_term)
+
+let amd_cmd =
+  let run scale =
+    Experiments.Amd_mode.print (Experiments.Amd_mode.run ~scale ())
+  in
+  Cmd.v
+    (Cmd.info "amd" ~doc:"E5: AMD wavefront-barrier gap (S5.4.1)")
+    Term.(const run $ scale_term)
+
+let reduction_cmd =
+  let run device scale =
+    with_device device (fun cfg ->
+        Experiments.Reduction_ablation.print
+          (Experiments.Reduction_ablation.run ~scale ~cfg ()))
+  in
+  Cmd.v
+    (Cmd.info "reduction" ~doc:"E6: simd reduction vs atomic update (S7)")
+    Term.(const run $ device_term $ scale_term)
+
+let teams_mode_cmd =
+  let run device scale =
+    with_device device (fun cfg ->
+        Experiments.Teams_mode_ablation.print
+          (Experiments.Teams_mode_ablation.run ~scale ~cfg ()))
+  in
+  Cmd.v
+    (Cmd.info "teamsmode" ~doc:"E7: teams generic vs SPMD occupancy cost")
+    Term.(const run $ device_term $ scale_term)
+
+let spmdize_cmd =
+  let run device scale =
+    with_device device (fun cfg ->
+        Experiments.Spmdization_ablation.print
+          (Experiments.Spmdization_ablation.run ~scale ~cfg ()))
+  in
+  Cmd.v
+    (Cmd.info "spmdize"
+       ~doc:"E8: SPMDization of parallel regions via guards (S7)")
+    Term.(const run $ device_term $ scale_term)
+
+let schedule_cmd =
+  let run device scale =
+    with_device device (fun cfg ->
+        Experiments.Schedule_ablation.print
+          (Experiments.Schedule_ablation.run ~scale ~cfg ()))
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"E9: loop schedules under row imbalance")
+    Term.(const run $ device_term $ scale_term)
+
+let kernel_cmd =
+  let kernel_arg =
+    let doc =
+      "Workload: spmv, su3, ideal, laplace3d, transpose or interpol."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc)
+  in
+  let mode_term =
+    let doc = "Execution configuration: nosimd, spmd or generic." in
+    Arg.(value & opt string "generic" & info [ "mode"; "m" ] ~docv:"MODE" ~doc)
+  in
+  let simdlen_term =
+    let doc = "SIMD group size (divides 32)." in
+    Arg.(value & opt int 8 & info [ "simdlen"; "g" ] ~docv:"N" ~doc)
+  in
+  let trace_term =
+    let doc = "Write a Chrome trace-event JSON of block 0 to this file." in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let run device scale kernel mode simdlen trace_path =
+    with_device device (fun cfg ->
+        let module H = Workloads.Harness in
+        let mode3 =
+          match mode with
+          | "nosimd" -> H.spmd_simd ~group_size:1
+          | "spmd" -> H.spmd_simd ~group_size:simdlen
+          | "generic" -> H.generic_simd ~group_size:simdlen
+          | other ->
+              prerr_endline ("unknown mode " ^ other);
+              exit 2
+        in
+        let sc n = max 1 (int_of_float (float_of_int n *. scale)) in
+        let teams = 2 * cfg.Gpusim.Config.num_sms in
+        let trace = Option.map (fun _ -> Gpusim.Trace.create ()) trace_path in
+        let run_with ?trace () =
+          match kernel with
+          | "spmv" ->
+              let t =
+                Workloads.Spmv.generate
+                  { Workloads.Spmv.default_shape with
+                    Workloads.Spmv.rows = sc 8192; cols = sc 8192 }
+              in
+              let r = Workloads.Spmv.run_simd ~cfg ?trace ~num_teams:teams ~threads:128 ~mode3 t in
+              H.check_or_fail (Workloads.Spmv.verify t r.H.output);
+              r
+          | "su3" ->
+              let t = Workloads.Su3.generate { Workloads.Su3.sites = sc 8192; seed = 2 } in
+              let r = Workloads.Su3.run ~cfg ?trace ~num_teams:teams ~threads:128 ~mode3 t in
+              H.check_or_fail (Workloads.Su3.verify t r.H.output);
+              r
+          | "ideal" ->
+              let t =
+                Workloads.Ideal.generate
+                  { Workloads.Ideal.default_shape with Workloads.Ideal.rows = sc 4096 }
+              in
+              let r = Workloads.Ideal.run ~cfg ?trace ~num_teams:teams ~threads:128 ~mode3 t in
+              H.check_or_fail (Workloads.Ideal.verify t r.H.output);
+              r
+          | "laplace3d" ->
+              let t = Workloads.Laplace3d.generate { Workloads.Laplace3d.n = sc 50; seed = 4 } in
+              let r = Workloads.Laplace3d.run ~cfg ?trace ~num_teams:teams ~threads:128 ~mode3 t in
+              H.check_or_fail (Workloads.Laplace3d.verify t r.H.output);
+              r
+          | "transpose" ->
+              let t =
+                Workloads.Muram.generate
+                  { Workloads.Muram.ni = sc 48; nj = sc 48; nk = 48; seed = 5 }
+              in
+              let r = Workloads.Muram.run_transpose ~cfg ?trace ~num_teams:teams ~threads:128 ~mode3 t in
+              H.check_or_fail (Workloads.Muram.verify_transpose t r.H.output);
+              r
+          | "interpol" ->
+              let t =
+                Workloads.Muram.generate
+                  { Workloads.Muram.ni = sc 48; nj = sc 48; nk = 48; seed = 5 }
+              in
+              let r = Workloads.Muram.run_interpol ~cfg ?trace ~num_teams:teams ~threads:128 ~mode3 t in
+              H.check_or_fail (Workloads.Muram.verify_interpol t r.H.output);
+              r
+          | other ->
+              prerr_endline ("unknown kernel " ^ other);
+              exit 2
+        in
+        let r = run_with ?trace () in
+        Format.printf "%a@." Gpusim.Device.pp_report r.Workloads.Harness.report;
+        print_endline "result VERIFIED against the sequential reference";
+        match (trace, trace_path) with
+        | Some t, Some path ->
+            Gpusim.Trace_export.write_file t ~path;
+            Printf.printf "trace written to %s (load in chrome://tracing)\n" path
+        | _ -> ())
+  in
+  Cmd.v
+    (Cmd.info "kernel" ~doc:"Run one workload and print its device report")
+    Term.(
+      const run $ device_term $ scale_term $ kernel_arg $ mode_term
+      $ simdlen_term $ trace_term)
+
+let compile_cmd =
+  let file_arg =
+    let doc = "Kernel source file (see examples/rowsum.omp)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let guardize_term =
+    let doc = "Apply the SPMDization-by-guarding transform (S7)." in
+    Arg.(value & flag & info [ "guardize" ] ~doc)
+  in
+  let no_fold_term =
+    let doc = "Skip constant folding." in
+    Arg.(value & flag & info [ "no-fold" ] ~doc)
+  in
+  let run file guardize no_fold =
+    match Ompir.Parse.kernel_of_file file with
+    | exception Ompir.Parse.Syntax_error { line; message } ->
+        Printf.eprintf "%s:%d: syntax error: %s\n" file line message;
+        exit 1
+    | kernel -> (
+        match Openmp.Offload.compile ~guardize ~fold:(not no_fold) kernel with
+        | Error es ->
+            List.iter
+              (fun e -> Format.eprintf "%s: error: %a@." file Ompir.Check.pp_error e)
+              es;
+            exit 1
+        | Ok compiled ->
+            print_endline "=== lowered kernel ===";
+            print_endline
+              (Ompir.Printer.kernel_to_string
+                 compiled.Openmp.Offload.program.Ompir.Outline.kernel);
+            print_newline ();
+            print_endline "=== remarks ===";
+            List.iter print_endline (Openmp.Offload.remarks compiled))
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Parse, check and lower a kernel source file; print remarks")
+    Term.(const run $ file_arg $ guardize_term $ no_fold_term)
+
+let info_cmd =
+  let run device =
+    with_device device (fun cfg ->
+        Format.printf "%a@." Gpusim.Config.pp cfg)
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print the simulated device configuration")
+    Term.(const run $ device_term)
+
+let all_cmd =
+  let run device scale =
+    with_device device (fun cfg ->
+        Experiments.Fig9.print (Experiments.Fig9.run ~scale ~cfg ());
+        print_newline ();
+        Experiments.Fig10.print (Experiments.Fig10.run ~scale ~cfg ());
+        print_newline ();
+        Experiments.Sharing_ablation.print
+          (Experiments.Sharing_ablation.run ~scale ~cfg ());
+        print_newline ();
+        Experiments.Dispatch_ablation.print
+          (Experiments.Dispatch_ablation.run ~scale ~cfg ());
+        print_newline ();
+        Experiments.Amd_mode.print (Experiments.Amd_mode.run ~scale ());
+        print_newline ();
+        Experiments.Reduction_ablation.print
+          (Experiments.Reduction_ablation.run ~scale ~cfg ());
+        print_newline ();
+        Experiments.Teams_mode_ablation.print
+          (Experiments.Teams_mode_ablation.run ~scale ~cfg ());
+        print_newline ();
+        Experiments.Spmdization_ablation.print
+          (Experiments.Spmdization_ablation.run ~scale ~cfg ());
+        print_newline ();
+        Experiments.Schedule_ablation.print
+          (Experiments.Schedule_ablation.run ~scale ~cfg ()))
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment in EXPERIMENTS.md")
+    Term.(const run $ device_term $ scale_term)
+
+let () =
+  let info =
+    Cmd.info "ompsimd_run" ~version:"1.0.0"
+      ~doc:
+        "Reproduce the experiments of 'Implementing OpenMP's SIMD Directive \
+         in LLVM's GPU Runtime' (ICPP 2023) on the ompsimd simulator"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            fig9_cmd;
+            fig10_cmd;
+            sharing_cmd;
+            dispatch_cmd;
+            amd_cmd;
+            reduction_cmd;
+            teams_mode_cmd;
+            spmdize_cmd;
+            schedule_cmd;
+            kernel_cmd;
+            compile_cmd;
+            info_cmd;
+            all_cmd;
+          ]))

@@ -1,0 +1,49 @@
+(* probe — developer tool: print full roofline breakdowns for the Fig 9
+   kernels under each configuration, for cost-model calibration. *)
+
+module Harness = Workloads.Harness
+module Spmv = Workloads.Spmv
+module Su3 = Workloads.Su3
+module Ideal = Workloads.Ideal
+
+let show name (r : Harness.run) =
+  let rep = r.Harness.report in
+  let b = rep.Gpusim.Device.breakdown in
+  let c = rep.Gpusim.Device.counters in
+  Printf.printf
+    "%-22s time=%9.0f comp=%9.0f mem=%9.0f lsu=%9.0f lat=%9.0f res=%2d \
+     atomics=%8d wbar=%8d bbar=%7d dram=%10.0f txn=%9.0f\n%!"
+    name rep.Gpusim.Device.time_cycles b.Gpusim.Occupancy.compute_bound
+    b.Gpusim.Occupancy.memory_bound b.Gpusim.Occupancy.lsu_bound
+    b.Gpusim.Occupancy.latency_bound b.Gpusim.Occupancy.resident_blocks
+    c.Gpusim.Counters.atomics c.Gpusim.Counters.warp_barriers
+    c.Gpusim.Counters.block_barriers c.Gpusim.Counters.dram_bytes
+    c.Gpusim.Counters.lsu_transactions
+
+let () =
+  let sms = try int_of_string Sys.argv.(1) with _ -> 12 in
+  ignore (fun x -> x);
+  let cfg = Gpusim.Config.with_sms Gpusim.Config.a100 sms in
+  let teams = 4 * sms in
+  let lanes = teams * 128 in
+  Printf.printf "=== sparse_matvec (rows=%d) ===\n" (2 * lanes);
+  let t = Spmv.generate { Spmv.default_shape with Spmv.rows = 2 * lanes; cols = 2 * lanes } in
+  show "two-level(32thr,gen)" (Spmv.run_two_level ~cfg ~num_teams:(8 * teams) ~threads:32 t);
+  List.iter (fun gs ->
+      show (Printf.sprintf "simd gs=%d" gs)
+        (Spmv.run_simd ~cfg ~num_teams:teams ~threads:128 ~mode3:(Harness.generic_simd ~group_size:gs) t))
+    [2;4;8;16;32];
+  Printf.printf "=== su3 (sites=%d) ===\n" (2 * lanes);
+  let t = Su3.generate { Su3.sites = 2 * lanes; seed = 2 } in
+  show "baseline gs=1" (Su3.run_two_level ~cfg ~num_teams:teams ~threads:128 t);
+  List.iter (fun gs ->
+      show (Printf.sprintf "simd gs=%d" gs)
+        (Su3.run ~cfg ~num_teams:teams ~threads:128 ~mode3:(Harness.spmd_simd ~group_size:gs) t))
+    [2;4;8;16;32];
+  Printf.printf "=== ideal (rows=%d) ===\n" (2 * lanes);
+  let t = Ideal.generate { Ideal.default_shape with Ideal.rows = 2 * lanes } in
+  show "baseline gs=1" (Ideal.run_two_level ~cfg ~num_teams:teams ~threads:128 t);
+  List.iter (fun gs ->
+      show (Printf.sprintf "simd gs=%d" gs)
+        (Ideal.run ~cfg ~num_teams:teams ~threads:128 ~mode3:(Harness.generic_simd ~group_size:gs) t))
+    [2;4;8;16;32]

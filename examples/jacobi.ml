@@ -1,0 +1,88 @@
+(* Iterative Jacobi solver — a multi-kernel driver with reductions.
+
+   Run with:  dune exec examples/jacobi.exe
+
+   Solves a 1-D Poisson problem (u'' = f, Dirichlet boundaries) by Jacobi
+   iteration, offloading every sweep as a three-level kernel and
+   computing the residual norm with the simd reduction (the paper's §7
+   feature).  Demonstrates buffer swapping across kernel launches on the
+   same device data and convergence-driven iteration on the host. *)
+
+module Memory = Gpusim.Memory
+module Mode = Omprt.Mode
+module Clause = Openmp.Clause
+module Omp = Openmp.Omp
+
+let () =
+  let cfg = Gpusim.Config.a100_quarter in
+  let n = 8192 in
+  let width = 32 in
+  let rows = n / width in
+  let space = Memory.space () in
+  (* f = -1 everywhere, u = 0 initially; the exact solution is a parabola *)
+  let f = Memory.of_float_array space (Array.make n (-1.0)) in
+  let u = ref (Memory.falloc space n) in
+  let u_next = ref (Memory.falloc space n) in
+  let residual = Memory.falloc space rows in
+  let h2 = 1.0 /. float_of_int ((n + 1) * (n + 1)) in
+
+  let clauses =
+    Clause.(none |> num_threads 128 |> simdlen 32 |> parallel_mode Mode.Generic)
+  in
+  (* one Jacobi sweep + per-row residual contributions *)
+  let sweep () =
+    let src = !u and dst = !u_next in
+    Omp.target_teams ~cfg ~clauses (fun ctx ->
+        let th = ctx.Omprt.Team.th in
+        Omp.distribute_parallel_for ctx ~trip:rows (fun r ->
+            let row_residual =
+              Omp.simd_sum ctx ~trip:width (fun j ->
+                  let i = (r * width) + j in
+                  let left = if i = 0 then 0.0 else Memory.fget src th (i - 1) in
+                  let right =
+                    if i = n - 1 then 0.0 else Memory.fget src th (i + 1)
+                  in
+                  let fi = Memory.fget f th i in
+                  let updated = 0.5 *. (left +. right -. (h2 *. fi)) in
+                  Omprt.Team.charge_flops ctx 8;
+                  Memory.fset dst th i updated;
+                  let d = updated -. Memory.fget src th i in
+                  d *. d)
+            in
+            let geom = Omprt.Team.geometry ctx.Omprt.Team.team in
+            if Omprt.Simd_group.is_simd_group_leader geom ~tid:th.Gpusim.Thread.tid
+            then Memory.fset residual th r row_residual))
+  in
+
+  let total_cycles = ref 0.0 in
+  let sweeps = 60 in
+  let first_change = ref 0.0 in
+  let last_change = ref 0.0 in
+  for it = 1 to sweeps do
+    let report = sweep () in
+    total_cycles := !total_cycles +. report.Gpusim.Device.time_cycles;
+    (* host-side reduction of the per-row residual contributions *)
+    let change = ref 0.0 in
+    for r = 0 to rows - 1 do
+      change := !change +. Memory.host_get residual r
+    done;
+    if it = 1 then first_change := !change;
+    last_change := !change;
+    let tmp = !u in
+    u := !u_next;
+    u_next := tmp
+  done;
+
+  (* sanity: the iterate of u'' = -1 with zero boundaries is positive,
+     symmetric, and the per-sweep change decays monotonically *)
+  let near = Memory.host_get !u 1 in
+  let sym = abs_float (Memory.host_get !u 1 -. Memory.host_get !u (n - 2)) in
+  Printf.printf
+    "jacobi 1-D Poisson, n=%d: %d sweeps, total %.0f simulated cycles\n" n
+    sweeps !total_cycles;
+  Printf.printf "  per-sweep delta^2: %.3e (first) -> %.3e (last)\n"
+    !first_change !last_change;
+  Printf.printf "  u(1)=%.6e  |asymmetry|=%.3e  %s\n" near sym
+    (if near > 0.0 && sym < 1e-18 && !last_change < !first_change then
+       "SHAPE OK"
+     else "UNEXPECTED SHAPE")

@@ -1,0 +1,51 @@
+(* laplace3d demo — execution-mode cost on a 7-point Jacobi sweep (§6.4).
+
+   Run with:  dune exec examples/stencil_demo.exe
+
+   The same stencil runs in the paper's three configurations: "No SIMD"
+   (two levels, serial k loop), "SPMD SIMD", and "generic SIMD", plus the
+   AMD-like device where generic mode degrades (§5.4.1).  Results are
+   verified against the sequential sweep. *)
+
+module Harness = Workloads.Harness
+module Laplace3d = Workloads.Laplace3d
+
+let run_mode cfg t label mode3 =
+  let r = Laplace3d.run ~cfg ~num_teams:54 ~threads:128 ~mode3 t in
+  (match Laplace3d.verify t r.Harness.output with
+  | Ok () -> ()
+  | Error msg -> failwith (label ^ ": " ^ msg));
+  (label, Harness.time r)
+
+let () =
+  let cfg = Gpusim.Config.a100_quarter in
+  let t = Laplace3d.generate { Laplace3d.n = 66; seed = 7 } in
+  Printf.printf "laplace3d 66^3, one Jacobi sweep on %s\n" cfg.Gpusim.Config.name;
+  let results =
+    [
+      run_mode cfg t "No SIMD (two-level)" (Harness.spmd_simd ~group_size:1);
+      run_mode cfg t "SPMD SIMD (simdlen 32)" (Harness.spmd_simd ~group_size:32);
+      run_mode cfg t "generic SIMD (simdlen 32)"
+        (Harness.generic_simd ~group_size:32);
+    ]
+  in
+  let base = snd (List.hd results) in
+  List.iter
+    (fun (label, cycles) ->
+      Printf.printf "  %-28s %10.0f cycles   %.3fx\n" label cycles
+        (base /. cycles))
+    results;
+
+  (* the AMD gap: generic-SIMD sequentializes, SPMD-SIMD survives *)
+  let amd = Gpusim.Config.amd_like in
+  let _, spmd_amd =
+    run_mode amd t "amd spmd" (Harness.spmd_simd ~group_size:32)
+  in
+  let _, generic_amd =
+    run_mode amd t "amd generic" (Harness.generic_simd ~group_size:32)
+  in
+  Printf.printf
+    "on the AMD-like device (no wavefront barrier): SPMD-SIMD %.0f cycles, \
+     generic-SIMD %.0f cycles (degraded to sequential simd loops)\n"
+    spmd_amd generic_amd;
+  print_endline "all configurations verified against the sequential reference"

@@ -1,0 +1,42 @@
+type waiter = {
+  th : Thread.t;
+  k : (unit, unit) Effect.Deep.continuation;
+}
+
+type t = {
+  name : string;
+  expected : int;
+  cost : float;
+  mutable waiters : waiter list;
+}
+
+let create ?(name = "barrier") ~expected ~cost () =
+  if expected <= 0 then invalid_arg "Barrier.create: expected must be positive";
+  { name; expected; cost; waiters = [] }
+
+let name t = t.name
+let expected t = t.expected
+let waiting t = List.length t.waiters
+
+let arrive t th k =
+  let me = { th; k } in
+  if List.length t.waiters + 1 < t.expected then begin
+    t.waiters <- me :: t.waiters;
+    None
+  end
+  else begin
+    let all = me :: t.waiters in
+    t.waiters <- [];
+    let tmax = List.fold_left (fun acc w -> Float.max acc w.th.Thread.clock) 0.0 all in
+    (* The barrier instruction itself issues (a cycle or two); the rest of
+       the cost is pipeline-drain stall, which occupies no issue slots and
+       can be hidden by other resident blocks. *)
+    List.iter
+      (fun w ->
+        Thread.align_clock w.th tmax;
+        let busy_part = Float.min t.cost 2.0 in
+        Thread.tick w.th busy_part;
+        Thread.tick_wait w.th (t.cost -. busy_part))
+      all;
+    Some all
+  end

@@ -1,0 +1,34 @@
+(** Reusable rendezvous barriers.
+
+    A barrier releases all participants once [expected] threads have
+    arrived, setting every participant's clock to the *maximum* arrival
+    clock plus [cost].  This max-rule is what makes idle-lane waste and
+    state-machine hand-off overhead visible in simulated time: a lane that
+    arrives early simply absorbs the latest arriver's clock.
+
+    Barriers are reusable (generation-style): after a release the barrier is
+    empty and can be waited on again, which is how the SIMD state machine
+    loops on the same masked barrier. *)
+
+type waiter = {
+  th : Thread.t;
+  k : (unit, unit) Effect.Deep.continuation;
+}
+
+type t
+
+val create : ?name:string -> expected:int -> cost:float -> unit -> t
+(** @raise Invalid_argument if [expected <= 0]. *)
+
+val name : t -> string
+val expected : t -> int
+val waiting : t -> int
+(** Threads currently parked. *)
+
+val arrive :
+  t -> Thread.t -> (unit, unit) Effect.Deep.continuation -> waiter list option
+(** [arrive t th k] parks the thread ([None]) or — when it is the last
+    expected participant — performs the release: clocks of all participants
+    (including [th]) are aligned to the max and advanced by [cost] (counted
+    as busy time, a real synchronization instruction), the barrier resets,
+    and all waiters including [th]'s are returned for rescheduling. *)

@@ -1,0 +1,147 @@
+type cost = {
+  alu : float;
+  flop : float;
+  special : float;
+  mem_issue : float;
+  mem_miss_latency : float;
+  smem_access : float;
+  atomic : float;
+  atomic_contend : float;
+  warp_barrier : float;
+  block_barrier : float;
+  branch : float;
+  call : float;
+  icmp_cascade : float;
+  indirect_call : float;
+  launch_overhead : float;
+}
+
+type t = {
+  name : string;
+  warp_size : int;
+  num_sms : int;
+  max_threads_per_block : int;
+  max_threads_per_sm : int;
+  max_blocks_per_sm : int;
+  shared_mem_per_block : int;
+  shared_mem_per_sm : int;
+  issue_lanes_per_sm : int;
+  dram_bw_per_sm : float;
+  dram_bw_device : float;
+  line_bytes : int;
+  linebuf_lines : int;
+  coalesce_window : float;
+  l1_txn_per_cycle : float;
+  l2_sectors : int;
+  issue_dep_stall : float;
+  overlap_alpha : float;
+  has_warp_barrier : bool;
+  cost : cost;
+}
+
+let default_cost =
+  {
+    alu = 1.0;
+    flop = 2.0;
+    special = 8.0;
+    mem_issue = 4.0;
+    mem_miss_latency = 28.0;
+    smem_access = 2.0;
+    atomic = 30.0;
+    atomic_contend = 8.0;
+    warp_barrier = 2.0;
+    block_barrier = 48.0;
+    branch = 1.0;
+    call = 4.0;
+    icmp_cascade = 1.0;
+    indirect_call = 24.0;
+    launch_overhead = 2000.0;
+  }
+
+let a100 =
+  {
+    name = "sim-a100";
+    warp_size = 32;
+    num_sms = 108;
+    max_threads_per_block = 1024;
+    max_threads_per_sm = 2048;
+    max_blocks_per_sm = 32;
+    shared_mem_per_block = 48 * 1024;
+    shared_mem_per_sm = 164 * 1024;
+    issue_lanes_per_sm = 128;
+    dram_bw_per_sm = 10.0;
+    dram_bw_device = 1100.0;
+    line_bytes = 32;
+    linebuf_lines = 128;
+    coalesce_window = 200.0;
+    l1_txn_per_cycle = 3.0;
+    l2_sectors = 1_300_000;
+    issue_dep_stall = 4.0;
+    overlap_alpha = 0.15;
+    has_warp_barrier = true;
+    cost = default_cost;
+  }
+
+let with_sms t n =
+  if n <= 0 then invalid_arg "Config.with_sms: SM count must be positive";
+  {
+    t with
+    name = Printf.sprintf "%s-%dsm" t.name n;
+    num_sms = n;
+    dram_bw_device = t.dram_bw_device *. float_of_int n /. float_of_int t.num_sms;
+    l2_sectors = max 1 (t.l2_sectors * n / t.num_sms);
+  }
+
+let amd_like = { a100 with name = "sim-amd"; has_warp_barrier = false }
+
+let a100_quarter = { (with_sms a100 27) with name = "sim-a100-quarter" }
+
+let small =
+  {
+    a100 with
+    name = "sim-small";
+    num_sms = 4;
+    max_threads_per_block = 512;
+    max_threads_per_sm = 512;
+    max_blocks_per_sm = 8;
+    shared_mem_per_sm = 32 * 1024;
+    shared_mem_per_block = 16 * 1024;
+  }
+
+let validate t =
+  let check cond msg acc = if cond then acc else Error msg in
+  Ok ()
+  |> check (t.warp_size > 0 && t.warp_size <= 32) "warp_size must be in [1,32]"
+  |> check (t.num_sms > 0) "num_sms must be positive"
+  |> check
+       (t.max_threads_per_block mod t.warp_size = 0)
+       "max_threads_per_block must be a warp multiple"
+  |> check
+       (t.max_threads_per_sm >= t.max_threads_per_block)
+       "SM thread capacity below block limit"
+  |> check (t.max_blocks_per_sm > 0) "max_blocks_per_sm must be positive"
+  |> check (t.shared_mem_per_block > 0) "shared_mem_per_block must be positive"
+  |> check
+       (t.shared_mem_per_sm >= t.shared_mem_per_block)
+       "SM shared memory below block limit"
+  |> check (t.issue_lanes_per_sm > 0) "issue_lanes_per_sm must be positive"
+  |> check (t.dram_bw_per_sm > 0.0) "dram_bw_per_sm must be positive"
+  |> check (t.dram_bw_device > 0.0) "dram_bw_device must be positive"
+  |> check (t.line_bytes > 0) "line_bytes must be positive"
+  |> check (t.linebuf_lines > 0) "linebuf_lines must be positive"
+  |> check
+       (t.overlap_alpha >= 0.0 && t.overlap_alpha <= 1.0)
+       "overlap_alpha must be in [0,1]"
+  |> check (t.coalesce_window >= 0.0) "coalesce_window must be non-negative"
+  |> check (t.l1_txn_per_cycle > 0.0) "l1_txn_per_cycle must be positive"
+  |> check (t.l2_sectors > 0) "l2_sectors must be positive"
+  |> check (t.issue_dep_stall >= 1.0) "issue_dep_stall must be >= 1"
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>device %s: %d SMs, warp %d, <=%d thr/block, <=%d thr/SM,@ %d B \
+     smem/block, %d B smem/SM, issue %d lanes/cycle,@ bw %.1f B/cyc/SM \
+     (%.0f device), warp-barrier=%b@]"
+    t.name t.num_sms t.warp_size t.max_threads_per_block t.max_threads_per_sm
+    t.shared_mem_per_block t.shared_mem_per_sm t.issue_lanes_per_sm
+    t.dram_bw_per_sm t.dram_bw_device t.has_warp_barrier

@@ -1,0 +1,108 @@
+(** Device configuration for the simulated GPU.
+
+    All cost constants are in abstract "cycles".  They are calibrated so
+    that the *relative* results of the paper's experiments (speedup shapes,
+    mode overheads) reproduce; absolute values carry no meaning.  Every
+    experiment receives its device through this record, so ablations (e.g.
+    the AMD wavefront-barrier gap of §5.4.1) are plain field overrides. *)
+
+type cost = {
+  alu : float;  (** integer/logic op, per lane *)
+  flop : float;  (** floating-point op, per lane *)
+  special : float;  (** sqrt/exp/div and friends *)
+  mem_issue : float;  (** issue cost of any global-memory access *)
+  mem_miss_latency : float;
+      (** additional lane latency when the access opens a new 128 B line
+          transaction (i.e. it did not coalesce with a recent one) *)
+  smem_access : float;  (** shared-memory load/store *)
+  atomic : float;  (** global atomic RMW *)
+  atomic_contend : float;  (** extra cost per prior atomic on the same line
+                               within the current barrier epoch *)
+  warp_barrier : float;  (** masked warp-level synchronization *)
+  block_barrier : float;  (** block-wide (team-wide) barrier *)
+  branch : float;
+  call : float;  (** direct call of an outlined function *)
+  icmp_cascade : float;  (** per comparison in the if-cascade dispatcher *)
+  indirect_call : float;  (** fallback indirect function-pointer call *)
+  launch_overhead : float;  (** fixed kernel-launch cost in cycles *)
+}
+
+type t = {
+  name : string;
+  warp_size : int;
+  num_sms : int;
+  max_threads_per_block : int;
+  max_threads_per_sm : int;
+  max_blocks_per_sm : int;
+  shared_mem_per_block : int;  (** bytes *)
+  shared_mem_per_sm : int;  (** bytes *)
+  issue_lanes_per_sm : int;
+      (** lane-ops retired per cycle per SM (schedulers x warp width); the
+          throughput leg of the roofline *)
+  dram_bw_per_sm : float;  (** bytes per cycle per SM *)
+  dram_bw_device : float;  (** device-wide bytes per cycle *)
+  line_bytes : int;
+      (** DRAM transaction granularity in bytes — a 32 B sector, the unit
+          real devices actually fetch; strided access that uses 8 of every
+          32 bytes therefore pays 4x traffic once its sectors fall out of
+          residency *)
+  linebuf_lines : int;
+      (** per-warp cache-residency capacity in 128 B lines (the warp's
+          fair share of L1/L2); see {!Linebuf} for the model *)
+  coalesce_window : float;
+      (** touches of one line by a warp within this many virtual cycles
+          belong to the same memory instruction and coalesce into one L1
+          transaction *)
+  l1_txn_per_cycle : float;
+      (** L1/LSU lookup throughput per SM, in sector transactions per
+          cycle — the roofline leg that punishes uncoalesced access
+          patterns even when DRAM traffic is equal *)
+  l2_sectors : int;
+      (** device-wide L2 capacity in sectors; data whose footprint fits
+          here is fetched from DRAM once no matter how many blocks
+          re-read it *)
+  issue_dep_stall : float;
+      (** average cycles a lane waits between dependent instructions; an
+          SM can only retire [concurrently-active lanes / this] lane-ops
+          per cycle, so an underfilled device cannot reach peak issue —
+          the "thread level does not provide enough parallelism" effect
+          of the paper's S1 *)
+  overlap_alpha : float;
+      (** imperfect-overlap factor in \[0,1\]: per-SM time is the dominant
+          roofline leg plus [alpha] times the remaining legs.  0 models
+          perfect compute/memory/latency overlap; real devices leak a
+          fraction of the hidden legs into wall time. *)
+  has_warp_barrier : bool;
+      (** NVIDIA-style masked warp sync available.  [false] models the AMD
+          gap of §5.4.1: the runtime then degrades generic-mode simd loops
+          to sequential execution on the SIMD main thread. *)
+  cost : cost;
+}
+
+val default_cost : cost
+
+val a100 : t
+(** NVIDIA A100-40GB-like device (the paper's testbed), 108 SMs. *)
+
+val amd_like : t
+(** Same shape but [has_warp_barrier = false] (cf. §5.4.1). *)
+
+val a100_quarter : t
+(** A 27-SM quarter of the A100 with proportional device bandwidth — the
+    default benchmarking device: per-SM behaviour and therefore all
+    relative results are identical to the full device, at a quarter of
+    the simulation cost. *)
+
+val small : t
+(** Tiny 4-SM device for fast unit tests. *)
+
+val with_sms : t -> int -> t
+(** Scale the device to a given SM count, keeping per-SM resources and
+    scaling device-wide DRAM bandwidth proportionally.  Experiments use
+    this to run shape-faithful sweeps on a smaller device.
+    @raise Invalid_argument on non-positive counts. *)
+
+val validate : t -> (unit, string) result
+(** Structural sanity: warp size divides limits, capacities positive, etc. *)
+
+val pp : Format.formatter -> t -> unit

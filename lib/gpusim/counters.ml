@@ -1,0 +1,72 @@
+type t = {
+  mutable lane_busy_cycles : float;
+  mutable dram_bytes : float;
+  mutable smem_bytes : float;
+  mutable global_loads : int;
+  mutable global_stores : int;
+  mutable line_hits : int;
+  mutable line_misses : int;
+  mutable lsu_transactions : float;
+  mutable l2_hits : int;
+  mutable atomics : int;
+  mutable warp_barriers : int;
+  mutable block_barriers : int;
+  mutable calls : int;
+  extras : (string, float) Hashtbl.t;
+}
+
+let create () =
+  {
+    lane_busy_cycles = 0.0;
+    dram_bytes = 0.0;
+    smem_bytes = 0.0;
+    global_loads = 0;
+    global_stores = 0;
+    line_hits = 0;
+    line_misses = 0;
+    lsu_transactions = 0.0;
+    l2_hits = 0;
+    atomics = 0;
+    warp_barriers = 0;
+    block_barriers = 0;
+    calls = 0;
+    extras = Hashtbl.create 8;
+  }
+
+let bump t key v =
+  let cur = try Hashtbl.find t.extras key with Not_found -> 0.0 in
+  Hashtbl.replace t.extras key (cur +. v)
+
+let get_extra t key = try Hashtbl.find t.extras key with Not_found -> 0.0
+
+let merge_into ~dst src =
+  dst.lane_busy_cycles <- dst.lane_busy_cycles +. src.lane_busy_cycles;
+  dst.dram_bytes <- dst.dram_bytes +. src.dram_bytes;
+  dst.smem_bytes <- dst.smem_bytes +. src.smem_bytes;
+  dst.global_loads <- dst.global_loads + src.global_loads;
+  dst.global_stores <- dst.global_stores + src.global_stores;
+  dst.line_hits <- dst.line_hits + src.line_hits;
+  dst.line_misses <- dst.line_misses + src.line_misses;
+  dst.lsu_transactions <- dst.lsu_transactions +. src.lsu_transactions;
+  dst.l2_hits <- dst.l2_hits + src.l2_hits;
+  dst.atomics <- dst.atomics + src.atomics;
+  dst.warp_barriers <- dst.warp_barriers + src.warp_barriers;
+  dst.block_barriers <- dst.block_barriers + src.block_barriers;
+  dst.calls <- dst.calls + src.calls;
+  Hashtbl.iter (fun k v -> bump dst k v) src.extras
+
+let copy t =
+  let fresh = create () in
+  merge_into ~dst:fresh t;
+  fresh
+
+let coalescing_ratio t =
+  let total = t.line_hits + t.line_misses in
+  if total = 0 then 1.0 else float_of_int t.line_hits /. float_of_int total
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>busy=%.0f dram=%.0fB smem=%.0fB loads=%d stores=%d hit/miss=%d/%d \
+     atomics=%d wbar=%d bbar=%d calls=%d@]"
+    t.lane_busy_cycles t.dram_bytes t.smem_bytes t.global_loads t.global_stores
+    t.line_hits t.line_misses t.atomics t.warp_barriers t.block_barriers t.calls

@@ -1,0 +1,42 @@
+(** Performance counters accumulated while a block executes.
+
+    One instance is shared by all threads of a block; the launcher merges
+    block counters into a kernel-level report.  Hot-path counters are fixed
+    mutable fields; layered components (e.g. the OpenMP runtime) may record
+    their own events under string keys via [bump]. *)
+
+type t = {
+  mutable lane_busy_cycles : float;
+      (** total cycles in which some lane was executing (the throughput
+          leg of the roofline) *)
+  mutable dram_bytes : float;  (** global-memory transaction traffic *)
+  mutable smem_bytes : float;
+  mutable global_loads : int;
+  mutable global_stores : int;
+  mutable line_hits : int;  (** resident accesses (coalesced or L1 hits) *)
+  mutable line_misses : int;  (** accesses that went to DRAM *)
+  mutable lsu_transactions : float;
+      (** L1 lookups issued (hits + misses, excluding coalesced riders) —
+          drives the transaction-throughput roofline leg *)
+  mutable l2_hits : int;  (** warp-cache misses served by the device L2 *)
+  mutable atomics : int;
+  mutable warp_barriers : int;
+  mutable block_barriers : int;
+  mutable calls : int;
+  extras : (string, float) Hashtbl.t;
+}
+
+val create : unit -> t
+val bump : t -> string -> float -> unit
+val get_extra : t -> string -> float
+(** 0.0 when the key was never bumped. *)
+
+val merge_into : dst:t -> t -> unit
+(** Add every counter of the source into [dst]. *)
+
+val copy : t -> t
+
+val coalescing_ratio : t -> float
+(** hits / (hits + misses); 1.0 when there were no accesses. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+type report = {
+  cfg : Config.t;
+  grid : int;
+  block : int;
+  time_cycles : float;
+  breakdown : Occupancy.breakdown;
+  counters : Counters.t;
+  block_costs : Occupancy.block_cost array;
+}
+
+let launch ~cfg ?trace ~grid ~block ~init ~body () =
+  if grid <= 0 then invalid_arg "Device.launch: grid must be positive";
+  if block <= 0 then invalid_arg "Device.launch: block must be positive";
+  if block > cfg.Config.max_threads_per_block then
+    invalid_arg "Device.launch: block exceeds device limit";
+  let merged = Counters.create () in
+  let block_costs =
+    Array.init grid (fun block_id ->
+        let arena = Shared.arena cfg in
+        let state = init ~block_id arena in
+        let result =
+          Engine.run_block ~cfg ?trace ~block_id ~num_threads:block
+            (fun th -> body state th)
+        in
+        Counters.merge_into ~dst:merged result.Engine.counters;
+        Occupancy.of_result result ~smem_bytes:(Shared.high_water arena))
+  in
+  let breakdown = Occupancy.kernel_time cfg block_costs in
+  {
+    cfg;
+    grid;
+    block;
+    time_cycles = breakdown.Occupancy.time;
+    breakdown;
+    counters = merged;
+    block_costs;
+  }
+
+let pp_report ppf r =
+  let b = r.breakdown in
+  Format.fprintf ppf
+    "@[<v>kernel on %s: grid=%d block=%d time=%.0f cycles@ bounds: \
+     compute=%.0f memory=%.0f lsu=%.0f latency=%.0f resident=%d waves=%d@ %a@]"
+    r.cfg.Config.name r.grid r.block r.time_cycles b.Occupancy.compute_bound
+    b.Occupancy.memory_bound b.Occupancy.lsu_bound b.Occupancy.latency_bound
+    b.Occupancy.resident_blocks b.Occupancy.num_waves Counters.pp r.counters

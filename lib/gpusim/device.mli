@@ -1,0 +1,33 @@
+(** Kernel launcher: ties the fiber engine, shared-memory arenas and the
+    occupancy model together.
+
+    Thread blocks only interact through global atomics, so they are
+    simulated one at a time (keeping simulation cost linear in total work)
+    and composed into a kernel time by {!Occupancy.kernel_time}. *)
+
+type report = {
+  cfg : Config.t;
+  grid : int;  (** number of blocks launched *)
+  block : int;  (** threads per block *)
+  time_cycles : float;
+  breakdown : Occupancy.breakdown;
+  counters : Counters.t;  (** merged over all blocks *)
+  block_costs : Occupancy.block_cost array;
+}
+
+val launch :
+  cfg:Config.t ->
+  ?trace:Trace.t ->
+  grid:int ->
+  block:int ->
+  init:(block_id:int -> Shared.arena -> 'a) ->
+  body:('a -> Thread.t -> unit) ->
+  unit ->
+  report
+(** [launch ~cfg ~grid ~block ~init ~body ()] runs [grid] blocks of [block]
+    threads.  [init] runs once per block (e.g. building the team state and
+    reserving static shared memory); [body] runs in every thread fiber.
+    @raise Invalid_argument on non-positive [grid]/[block] or a block larger
+    than the device allows. *)
+
+val pp_report : Format.formatter -> report -> unit

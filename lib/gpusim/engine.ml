@@ -1,0 +1,102 @@
+open Effect
+open Effect.Deep
+
+exception Deadlock of string
+
+type block_result = {
+  block_id : int;
+  num_threads : int;
+  critical_cycles : float;
+  busy_cycles : float;
+  active_lanes : int;  (** lanes that did any work *)
+  counters : Counters.t;
+}
+
+type _ Effect.t += Wait : Barrier.t * Thread.t -> unit Effect.t
+
+let barrier_wait bar th =
+  (* Any synchronization orders the warp's outstanding atomics: contention
+     is only counted between consecutive sync points. *)
+  Hashtbl.reset th.Thread.warp.Thread.atomic_epoch;
+  perform (Wait (bar, th))
+
+let run_block ~cfg ?trace ~block_id ~num_threads body =
+  if num_threads <= 0 then
+    invalid_arg "Engine.run_block: num_threads must be positive";
+  if num_threads > cfg.Config.max_threads_per_block then
+    invalid_arg "Engine.run_block: block exceeds max_threads_per_block";
+  let counters = Counters.create () in
+  let ws = cfg.Config.warp_size in
+  let num_warps = (num_threads + ws - 1) / ws in
+  let warps = Array.init num_warps (fun w -> Thread.make_warp ~cfg ~warp_index:w) in
+  let threads =
+    Array.init num_threads (fun tid ->
+        Thread.create ~cfg ~counters ?trace ~block_id ~tid ~warp:warps.(tid / ws) ())
+  in
+  let ready : (unit -> unit) Queue.t = Queue.create () in
+  let completed = ref 0 in
+  let live_barriers : (string, Barrier.t) Hashtbl.t = Hashtbl.create 8 in
+  let release waiters =
+    List.iter
+      (fun (w : Barrier.waiter) -> Queue.add (fun () -> continue w.k ()) ready)
+      waiters
+  in
+  let run_fiber th =
+    match_with body th
+      {
+        retc = (fun () -> incr completed);
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Wait (bar, arriving) ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    match Barrier.arrive bar arriving k with
+                    | None ->
+                        Hashtbl.replace live_barriers (Barrier.name bar) bar
+                    | Some waiters ->
+                        Hashtbl.remove live_barriers (Barrier.name bar);
+                        release waiters)
+            | _ -> None);
+      }
+  in
+  Array.iter (fun th -> Queue.add (fun () -> run_fiber th) ready) threads;
+  let rec drain () =
+    match Queue.take_opt ready with
+    | Some job ->
+        job ();
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  if !completed <> num_threads then begin
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf
+      (Printf.sprintf "block %d: %d/%d threads finished; stuck barriers:"
+         block_id !completed num_threads);
+    Hashtbl.iter
+      (fun _ bar ->
+        if Barrier.waiting bar > 0 then
+          Buffer.add_string buf
+            (Printf.sprintf " [%s %d/%d]" (Barrier.name bar)
+               (Barrier.waiting bar) (Barrier.expected bar)))
+      live_barriers;
+    raise (Deadlock (Buffer.contents buf))
+  end;
+  let critical =
+    Array.fold_left (fun acc th -> Float.max acc th.Thread.clock) 0.0 threads
+  in
+  let active_lanes =
+    Array.fold_left
+      (fun acc th -> if th.Thread.busy > 0.0 then acc + 1 else acc)
+      0 threads
+  in
+  {
+    block_id;
+    num_threads;
+    critical_cycles = critical;
+    busy_cycles = counters.Counters.lane_busy_cycles;
+    active_lanes;
+    counters;
+  }

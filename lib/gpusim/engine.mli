@@ -1,0 +1,43 @@
+(** Cooperative fiber engine for one thread block.
+
+    Each GPU thread is an OCaml 5 effect fiber.  Fibers run until they
+    synchronize; [barrier_wait] performs an effect that parks the fiber in
+    the barrier, and a barrier release re-enqueues all participants.  The
+    execution order between synchronization points is unspecified — exactly
+    like real intra-block concurrency for race-free programs — while
+    barrier semantics (max-of-arrival clocks) are exact. *)
+
+exception Deadlock of string
+(** Raised when runnable fibers are exhausted but some threads neither
+    finished nor can be released — i.e. a barrier is waited on by fewer
+    threads than it expects.  The message lists the stuck barriers. *)
+
+type block_result = {
+  block_id : int;
+  num_threads : int;
+  critical_cycles : float;  (** max final lane clock: the latency leg *)
+  busy_cycles : float;  (** sum of lane busy time: the throughput leg *)
+  active_lanes : int;
+      (** lanes that executed any work — feeds the issue-efficiency model
+          (an underfilled SM cannot retire at full width) *)
+  counters : Counters.t;
+}
+
+val barrier_wait : Barrier.t -> Thread.t -> unit
+(** Suspend the calling fiber until the barrier releases.  Must be called
+    from inside [run_block]'s dynamic extent.  Also clears the calling
+    warp's atomic-contention epoch: contention is counted between
+    consecutive synchronization points only. *)
+
+val run_block :
+  cfg:Config.t ->
+  ?trace:Trace.t ->
+  block_id:int ->
+  num_threads:int ->
+  (Thread.t -> unit) ->
+  block_result
+(** Create [num_threads] fibers (grouped into warps of [cfg.warp_size]),
+    run the body in each, and return the block's timing summary.
+    @raise Invalid_argument if [num_threads] is not positive or exceeds
+    [cfg.max_threads_per_block].
+    @raise Deadlock on unreleased barriers. *)

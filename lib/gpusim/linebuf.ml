@@ -1,0 +1,103 @@
+type stamp = { mutable vtime : float; mutable lanes : int (* bitmask *) }
+
+type t = {
+  capacity : int;
+  coalesce_window : float;
+  stamps : (int, stamp) Hashtbl.t;  (* line -> latest touch burst *)
+  mutable misses : int;
+  mutable max_vtime : float;
+}
+
+type outcome = Coalesced | Hit | Miss
+
+let is_resident = function Coalesced | Hit -> true | Miss -> false
+
+let create ~capacity ~coalesce_window =
+  if capacity <= 0 then invalid_arg "Linebuf.create: capacity must be positive";
+  if coalesce_window < 0.0 then
+    invalid_arg "Linebuf.create: coalesce_window must be non-negative";
+  {
+    capacity;
+    coalesce_window;
+    stamps = Hashtbl.create 64;
+    misses = 0;
+    max_vtime = 0.0;
+  }
+
+let window t =
+  if t.misses <= t.capacity || t.max_vtime <= 0.0 then Float.infinity
+  else
+    (* rate = distinct-line fetches per virtual cycle; a line stays
+       resident for the time it takes the warp to pull [capacity] fresh
+       lines through the cache. *)
+    float_of_int t.capacity *. t.max_vtime /. float_of_int t.misses
+
+(* Bound the table: when it grows far past capacity, drop entries that
+   fell out of the residency window (they can only miss anyway). *)
+let compact t =
+  if Hashtbl.length t.stamps > 8 * t.capacity then begin
+    let w = window t in
+    let horizon = t.max_vtime -. w in
+    let stale =
+      Hashtbl.fold
+        (fun line st acc -> if st.vtime < horizon then line :: acc else acc)
+        t.stamps []
+    in
+    List.iter (Hashtbl.remove t.stamps) stale
+  end
+
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go m 0
+
+(* A "burst" is the set of lanes touching the line within the coalesce
+   window of each other — the per-lane view of one warp instruction (or a
+   short run of them) accessing the line in lockstep.  The first lane of a
+   burst opens the transaction; a new lane joining rides it for free; a
+   lane re-touching inside the burst is a fresh instruction whose
+   transaction is shared by every lane of the burst, so it is charged
+   1/|burst|.  A lane running alone therefore pays full price per touch,
+   which is exactly the uncoalesced baseline pattern. *)
+let touch t ~vtime ~lane line =
+  if vtime > t.max_vtime then t.max_vtime <- vtime;
+  let lane_bit = 1 lsl (lane land 31) in
+  let result =
+    match Hashtbl.find_opt t.stamps line with
+    | None ->
+        Hashtbl.replace t.stamps line { vtime; lanes = lane_bit };
+        (Miss, 1.0)
+    | Some st ->
+        let gap = vtime -. st.vtime in
+        let in_burst = Float.abs gap <= t.coalesce_window in
+        let outcome_weight =
+          if in_burst then
+            if st.lanes land lane_bit <> 0 then
+              (Hit, 1.0 /. float_of_int (popcount st.lanes))
+            else begin
+              st.lanes <- st.lanes lor lane_bit;
+              (Coalesced, 0.0)
+            end
+          else begin
+            st.lanes <- lane_bit;
+            if gap <= window t then (Hit, 1.0) else (Miss, 1.0)
+          end
+        in
+        if vtime > st.vtime then st.vtime <- vtime;
+        outcome_weight
+  in
+  (match result with
+  | Miss, _ ->
+      t.misses <- t.misses + 1;
+      compact t
+  | (Coalesced | Hit), _ -> ());
+  result
+
+let misses t = t.misses
+
+let clear t =
+  Hashtbl.reset t.stamps;
+  t.misses <- 0;
+  t.max_vtime <- 0.0
+
+let size t = Hashtbl.length t.stamps
+let capacity t = t.capacity

@@ -1,0 +1,55 @@
+(** Per-warp cached-lines model — the coalescing and L1-residency
+    stand-in.
+
+    Two effects are modelled on a line touch:
+
+    - {b coalescing}: the first touch of a 128 B line by a warp is a full
+      transaction (miss); nearby re-touches are free riders (hits).
+      Lanes reading consecutive addresses therefore coalesce.
+    - {b residency under concurrency}: the simulator runs each lane fiber
+      to its next barrier, so lanes execute serially in host order even
+      though their {e virtual} clocks overlap.  A real warp in lockstep
+      keeps all lanes' working sets in cache simultaneously; to reproduce
+      that pressure, a line only counts as resident if it was touched
+      within the warp's residency window of {e virtual} time —
+      [capacity / line-fetch-rate], where the rate is the warp's observed
+      distinct-line fetches per virtual cycle.  A warp streaming many
+      lines concurrently (e.g. one independent site per lane) evicts
+      quickly; a SIMD group sharing one site keeps its lines resident.
+
+    The window is infinite until the warp has fetched [capacity] distinct
+    lines, so small working sets never thrash. *)
+
+type t
+
+type outcome =
+  | Coalesced
+      (** a {e new} lane joining an open burst: rides the transaction *)
+  | Hit  (** resident in cache; charged a (possibly fractional) lookup *)
+  | Miss  (** new transaction that also goes to DRAM *)
+
+val create : capacity:int -> coalesce_window:float -> t
+(** @raise Invalid_argument if capacity <= 0 or the window is negative. *)
+
+val touch : t -> vtime:float -> lane:int -> int -> outcome * float
+(** [touch t ~vtime ~lane line] classifies the access and returns the
+    transaction weight to charge: 1.0 for a lane touching alone, 0.0 for
+    a new lane riding an open burst, and 1/(burst size) for re-touches
+    inside a burst — so a group of k lanes walking a shared line in
+    lockstep pays one transaction per instruction, k times less per lane
+    than k independent walkers.  [vtime] is the accessing lane's virtual
+    clock. *)
+
+val is_resident : outcome -> bool
+(** [Coalesced] or [Hit]. *)
+
+val window : t -> float
+(** Current residency window in virtual cycles ([infinity] while the
+    footprint is below capacity). *)
+
+val misses : t -> int
+(** Distinct-line fetches so far. *)
+
+val clear : t -> unit
+val size : t -> int
+val capacity : t -> int

@@ -1,0 +1,188 @@
+type space = {
+  mutable next_addr : int;
+  mutable l2 : Linebuf.t option;  (* created lazily from the first accessing device's config *)
+  mutable l2_order : float;  (* monotonic touch counter: order-based LRU proxy *)
+}
+
+let space () = { next_addr = 0; l2 = None; l2_order = 0.0 }
+
+let l2_of space (cfg : Config.t) =
+  match space.l2 with
+  | Some l2 -> l2
+  | None ->
+      let l2 =
+        Linebuf.create ~capacity:cfg.Config.l2_sectors ~coalesce_window:0.0
+      in
+      space.l2 <- Some l2;
+      l2
+
+let element_bytes = 8
+
+type farray = { fbase : int; fdata : float array; fspace : space }
+type iarray = { ibase : int; idata : int array; ispace : space }
+
+(* Keep distinct arrays on distinct lines so the coalescing window never
+   conflates them; align every allocation to a line boundary. *)
+let alloc_bytes space n =
+  let align = 128 in
+  let base = (space.next_addr + align - 1) / align * align in
+  space.next_addr <- base + n;
+  base
+
+let falloc space n =
+  if n < 0 then invalid_arg "Memory.falloc: negative length";
+  {
+    fbase = alloc_bytes space (n * element_bytes);
+    fdata = Array.make n 0.0;
+    fspace = space;
+  }
+
+let ialloc space n =
+  if n < 0 then invalid_arg "Memory.ialloc: negative length";
+  {
+    ibase = alloc_bytes space (n * element_bytes);
+    idata = Array.make n 0;
+    ispace = space;
+  }
+
+let of_float_array space a =
+  let arr = falloc space (Array.length a) in
+  Array.blit a 0 arr.fdata 0 (Array.length a);
+  arr
+
+let of_int_array space a =
+  let arr = ialloc space (Array.length a) in
+  Array.blit a 0 arr.idata 0 (Array.length a);
+  arr
+
+let flength a = Array.length a.fdata
+let ilength a = Array.length a.idata
+let space_of_farray a = a.fspace
+let space_of_iarray a = a.ispace
+
+let l2_reset space =
+  (match space.l2 with Some l2 -> Linebuf.clear l2 | None -> ());
+  space.l2_order <- 0.0
+
+let check name len i =
+  if i < 0 || i >= len then
+    invalid_arg (Printf.sprintf "Memory.%s: index %d out of bounds [0,%d)" name i len)
+
+(* Charge a global access.  Issue cost always; then the warp-level cache
+   decides whether the access coalesces, hits, or opens a transaction —
+   and a transaction that misses the warp cache still has a chance in the
+   device-wide L2 before counting as DRAM traffic. *)
+let account (th : Thread.t) ~space ~base ~index ~is_store =
+  let cfg = th.cfg in
+  let cost = cfg.Config.cost in
+  let c = th.counters in
+  let addr = base + (index * element_bytes) in
+  let line = addr / cfg.Config.line_bytes in
+  if is_store then c.Counters.global_stores <- c.Counters.global_stores + 1
+  else c.Counters.global_loads <- c.Counters.global_loads + 1;
+  Thread.tick th cost.Config.mem_issue;
+  (match
+     Linebuf.touch th.Thread.warp.Thread.lines ~vtime:th.Thread.clock
+       ~lane:th.Thread.lane line
+   with
+  | Linebuf.Coalesced, _ -> c.Counters.line_hits <- c.Counters.line_hits + 1
+  | Linebuf.Hit, weight ->
+      c.Counters.line_hits <- c.Counters.line_hits + 1;
+      c.Counters.lsu_transactions <- c.Counters.lsu_transactions +. weight
+  | Linebuf.Miss, weight ->
+      c.Counters.lsu_transactions <- c.Counters.lsu_transactions +. weight;
+      let l2 = l2_of space cfg in
+      space.l2_order <- space.l2_order +. 1.0;
+      (match Linebuf.touch l2 ~vtime:space.l2_order ~lane:0 line with
+      | (Linebuf.Coalesced | Linebuf.Hit), _ ->
+          c.Counters.l2_hits <- c.Counters.l2_hits + 1;
+          Thread.tick_wait th (cost.Config.mem_miss_latency /. 2.0)
+      | Linebuf.Miss, _ ->
+          c.Counters.line_misses <- c.Counters.line_misses + 1;
+          c.Counters.dram_bytes <-
+            c.Counters.dram_bytes +. float_of_int cfg.Config.line_bytes;
+          Thread.tick_wait th cost.Config.mem_miss_latency));
+  line
+
+let fget a th i =
+  check "fget" (Array.length a.fdata) i;
+  let (_ : int) =
+    account th ~space:a.fspace ~base:a.fbase ~index:i ~is_store:false
+  in
+  a.fdata.(i)
+
+let fset a th i v =
+  check "fset" (Array.length a.fdata) i;
+  let (_ : int) =
+    account th ~space:a.fspace ~base:a.fbase ~index:i ~is_store:true
+  in
+  a.fdata.(i) <- v
+
+let iget a th i =
+  check "iget" (Array.length a.idata) i;
+  let (_ : int) =
+    account th ~space:a.ispace ~base:a.ibase ~index:i ~is_store:false
+  in
+  a.idata.(i)
+
+let iset a th i v =
+  check "iset" (Array.length a.idata) i;
+  let (_ : int) =
+    account th ~space:a.ispace ~base:a.ibase ~index:i ~is_store:true
+  in
+  a.idata.(i) <- v
+
+let atomic_cost (th : Thread.t) line =
+  let cost = th.cfg.Config.cost in
+  let epoch = th.Thread.warp.Thread.atomic_epoch in
+  let prior = try Hashtbl.find epoch line with Not_found -> 0 in
+  Hashtbl.replace epoch line (prior + 1);
+  th.counters.Counters.atomics <- th.counters.Counters.atomics + 1;
+  (* The RMW itself issues; waiting behind other lanes' RMWs on the same
+     line is serialization stall, not issue work. *)
+  Thread.tick th cost.Config.atomic;
+  Thread.tick_wait th (float_of_int prior *. cost.Config.atomic_contend)
+
+let atomic_fadd a th i v =
+  check "atomic_fadd" (Array.length a.fdata) i;
+  let line = account th ~space:a.fspace ~base:a.fbase ~index:i ~is_store:true in
+  atomic_cost th line;
+  let prev = a.fdata.(i) in
+  a.fdata.(i) <- prev +. v;
+  prev
+
+let atomic_fmax a th i v =
+  check "atomic_fmax" (Array.length a.fdata) i;
+  let line = account th ~space:a.fspace ~base:a.fbase ~index:i ~is_store:true in
+  atomic_cost th line;
+  let prev = a.fdata.(i) in
+  if v > prev then a.fdata.(i) <- v;
+  prev
+
+let atomic_iadd a th i v =
+  check "atomic_iadd" (Array.length a.idata) i;
+  let line = account th ~space:a.ispace ~base:a.ibase ~index:i ~is_store:true in
+  atomic_cost th line;
+  let prev = a.idata.(i) in
+  a.idata.(i) <- prev + v;
+  prev
+
+let host_get a i =
+  check "host_get" (Array.length a.fdata) i;
+  a.fdata.(i)
+
+let host_set a i v =
+  check "host_set" (Array.length a.fdata) i;
+  a.fdata.(i) <- v
+
+let host_geti a i =
+  check "host_geti" (Array.length a.idata) i;
+  a.idata.(i)
+
+let host_seti a i v =
+  check "host_seti" (Array.length a.idata) i;
+  a.idata.(i) <- v
+
+let to_float_array a = Array.copy a.fdata
+let to_int_array a = Array.copy a.idata
+let fill a v = Array.fill a.fdata 0 (Array.length a.fdata) v

@@ -1,0 +1,141 @@
+type block_cost = {
+  critical : float;
+  busy : float;
+  dram_bytes : float;
+  lsu_transactions : float;
+  active_lanes : int;
+  threads : int;
+  smem_bytes : int;
+}
+
+let of_result (r : Engine.block_result) ~smem_bytes =
+  {
+    critical = r.Engine.critical_cycles;
+    busy = r.Engine.busy_cycles;
+    dram_bytes = r.Engine.counters.Counters.dram_bytes;
+    lsu_transactions = r.Engine.counters.Counters.lsu_transactions;
+    active_lanes = r.Engine.active_lanes;
+    threads = r.Engine.num_threads;
+    smem_bytes;
+  }
+
+type breakdown = {
+  time : float;
+  compute_bound : float;
+  memory_bound : float;
+  lsu_bound : float;
+  latency_bound : float;
+  resident_blocks : int;
+  num_waves : int;
+}
+
+let blocks_per_sm (cfg : Config.t) ~threads_per_block ~smem_per_block =
+  if threads_per_block <= 0 then
+    invalid_arg "Occupancy.blocks_per_sm: threads_per_block must be positive";
+  if threads_per_block > cfg.Config.max_threads_per_block
+     || smem_per_block > cfg.Config.shared_mem_per_block
+  then 0
+  else
+    let by_threads = cfg.Config.max_threads_per_sm / threads_per_block in
+    let by_smem =
+      if smem_per_block <= 0 then cfg.Config.max_blocks_per_sm
+      else cfg.Config.shared_mem_per_sm / smem_per_block
+    in
+    min cfg.Config.max_blocks_per_sm (min by_threads by_smem)
+
+let kernel_time (cfg : Config.t) blocks =
+  let n = Array.length blocks in
+  if n = 0 then invalid_arg "Occupancy.kernel_time: no blocks";
+  let max_threads =
+    Array.fold_left (fun acc b -> max acc b.threads) 0 blocks
+  in
+  let max_smem = Array.fold_left (fun acc b -> max acc b.smem_bytes) 0 blocks in
+  let resident =
+    blocks_per_sm cfg ~threads_per_block:max_threads ~smem_per_block:max_smem
+  in
+  if resident = 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Occupancy.kernel_time: block (%d threads, %d B smem) cannot launch"
+         max_threads max_smem);
+  (* Round-robin assignment of blocks to SMs; per-SM the three roofline
+     legs accumulate independently. *)
+  let sms = cfg.Config.num_sms in
+  let busy = Array.make sms 0.0 in
+  let dram = Array.make sms 0.0 in
+  let lsu = Array.make sms 0.0 in
+  let busy_max = Array.make sms 0.0 in
+  let eff_weighted = Array.make sms 0.0 in
+  let nblocks = Array.make sms 0 in
+  let crit_sum = Array.make sms 0.0 in
+  let crit_max = Array.make sms 0.0 in
+  Array.iteri
+    (fun i b ->
+      let s = i mod sms in
+      busy.(s) <- busy.(s) +. b.busy;
+      dram.(s) <- dram.(s) +. b.dram_bytes;
+      lsu.(s) <- lsu.(s) +. b.lsu_transactions;
+      busy_max.(s) <- Float.max busy_max.(s) b.busy;
+      (* Little's law: a block's average issuing parallelism is its total
+         lane-busy time over its duration. *)
+      if b.critical > 0.0 then
+        eff_weighted.(s) <- eff_weighted.(s) +. (b.busy *. (b.busy /. b.critical));
+      nblocks.(s) <- nblocks.(s) + 1;
+      crit_sum.(s) <- crit_sum.(s) +. b.critical;
+      crit_max.(s) <- Float.max crit_max.(s) b.critical)
+    blocks;
+  let issue = float_of_int cfg.Config.issue_lanes_per_sm in
+  let fold f init a = Array.fold_left f init a in
+  (* Issue efficiency: a lane retires one op per [issue_dep_stall] cycles,
+     so an SM only sustains full width with enough concurrently-issuing
+     lanes.  Concurrency = (effective busy blocks co-resident, capped by
+     the occupancy limit) x (busy-weighted mean per-block parallelism);
+     blocks with negligible work retire instantly and hide nothing. *)
+  let compute_bound = ref 0.0 in
+  for s = 0 to sms - 1 do
+    if nblocks.(s) > 0 && busy.(s) > 0.0 then begin
+      let n_eff =
+        if busy_max.(s) > 0.0 then busy.(s) /. busy_max.(s) else 1.0
+      in
+      let eff_mean = eff_weighted.(s) /. busy.(s) in
+      let concurrent = Float.min (float_of_int resident) n_eff *. eff_mean in
+      let retire =
+        Float.min issue
+          (Float.max 1.0 (concurrent /. cfg.Config.issue_dep_stall))
+      in
+      compute_bound := Float.max !compute_bound (busy.(s) /. retire)
+    end
+  done;
+  let compute_bound = !compute_bound in
+  let mem_per_sm =
+    fold (fun acc v -> Float.max acc (v /. cfg.Config.dram_bw_per_sm)) 0.0 dram
+  in
+  let total_dram = Array.fold_left (fun acc b -> acc +. b.dram_bytes) 0.0 blocks in
+  let mem_device = total_dram /. cfg.Config.dram_bw_device in
+  let memory_bound = Float.max mem_per_sm mem_device in
+  let lsu_bound =
+    fold (fun acc v -> Float.max acc (v /. cfg.Config.l1_txn_per_cycle)) 0.0 lsu
+  in
+  let latency_bound =
+    let r = float_of_int resident in
+    Array.to_seqi crit_sum
+    |> Seq.fold_left
+         (fun acc (s, sum) -> Float.max acc (Float.max crit_max.(s) (sum /. r)))
+         0.0
+  in
+  let per_sm_time =
+    let legs = [ compute_bound; memory_bound; lsu_bound; latency_bound ] in
+    let dominant = List.fold_left Float.max 0.0 legs in
+    let rest = List.fold_left ( +. ) 0.0 legs -. dominant in
+    dominant +. (cfg.Config.overlap_alpha *. rest)
+  in
+  let num_waves = (n + (sms * resident) - 1) / (sms * resident) in
+  {
+    time = per_sm_time +. cfg.Config.cost.Config.launch_overhead;
+    compute_bound;
+    memory_bound;
+    lsu_bound;
+    latency_bound;
+    resident_blocks = resident;
+    num_waves;
+  }

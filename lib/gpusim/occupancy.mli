@@ -1,0 +1,44 @@
+(** Occupancy and kernel-time composition.
+
+    Blocks are simulated independently; this module combines their costs
+    into a kernel time, modelling the two hardware effects the paper's
+    results depend on:
+
+    - occupancy: how many blocks are resident per SM, limited by threads,
+      shared memory and the block-count cap.  The extra main-thread warp
+      that generic-mode teams carry (§5.1) reaches this as a larger block;
+    - the roofline: per SM, time is bounded below by issue throughput
+      (total busy lane-cycles / issue width), by DRAM bandwidth, and by
+      latency (critical paths overlap only as far as resident blocks allow:
+      [sum(critical)/resident], never below [max(critical)]). *)
+
+type block_cost = {
+  critical : float;
+  busy : float;
+  dram_bytes : float;
+  lsu_transactions : float;
+  active_lanes : int;
+  threads : int;
+  smem_bytes : int;
+}
+
+val of_result : Engine.block_result -> smem_bytes:int -> block_cost
+
+type breakdown = {
+  time : float;  (** final kernel cycles, incl. launch overhead *)
+  compute_bound : float;  (** max-over-SMs throughput bound *)
+  memory_bound : float;  (** max of per-SM and device-wide DRAM bounds *)
+  lsu_bound : float;
+      (** L1 transaction-throughput bound: uncoalesced warps pay here even
+          when DRAM traffic is identical *)
+  latency_bound : float;
+  resident_blocks : int;  (** per SM *)
+  num_waves : int;  (** ceil(blocks / (SMs * resident)) *)
+}
+
+val blocks_per_sm :
+  Config.t -> threads_per_block:int -> smem_per_block:int -> int
+(** Resident-block limit (>= 0; 0 means the block cannot launch at all). *)
+
+val kernel_time : Config.t -> block_cost array -> breakdown
+(** @raise Invalid_argument on an empty array or an unlaunchable block. *)

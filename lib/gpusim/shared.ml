@@ -1,0 +1,34 @@
+type arena = { capacity : int; mutable used : int; mutable high_water : int }
+
+let arena (cfg : Config.t) =
+  { capacity = cfg.Config.shared_mem_per_block; used = 0; high_water = 0 }
+
+let arena_of_capacity capacity =
+  if capacity <= 0 then invalid_arg "Shared.arena_of_capacity: capacity";
+  { capacity; used = 0; high_water = 0 }
+
+let capacity a = a.capacity
+let used a = a.used
+let high_water a = a.high_water
+
+let alloc a ~bytes =
+  if bytes <= 0 then invalid_arg "Shared.alloc: bytes must be positive";
+  if a.used + bytes > a.capacity then None
+  else begin
+    let offset = a.used in
+    a.used <- a.used + bytes;
+    if a.used > a.high_water then a.high_water <- a.used;
+    Some offset
+  end
+
+let mark a = a.used
+
+let release a m =
+  if m < 0 || m > a.used then invalid_arg "Shared.release: invalid mark";
+  a.used <- m
+
+let touch (th : Thread.t) ~bytes =
+  let cost = th.Thread.cfg.Config.cost in
+  th.Thread.counters.Counters.smem_bytes <-
+    th.Thread.counters.Counters.smem_bytes +. float_of_int bytes;
+  Thread.tick th cost.Config.smem_access

@@ -1,0 +1,34 @@
+(** Per-block shared ("team") memory.
+
+    The arena models capacity — allocations consume bytes, the high-water
+    mark feeds the occupancy calculation — while value storage stays on the
+    OCaml side of whoever allocated.  Allocation is stack-disciplined
+    ([mark]/[release]) because the runtime frees sharing space at the end of
+    each parallel region (§5.3.1). *)
+
+type arena
+
+val arena : Config.t -> arena
+(** Fresh arena with the device's per-block capacity. *)
+
+val arena_of_capacity : int -> arena
+(** For tests. *)
+
+val capacity : arena -> int
+val used : arena -> int
+val high_water : arena -> int
+(** Maximum [used] ever observed; this is the block's shared-memory
+    footprint for occupancy purposes. *)
+
+val alloc : arena -> bytes:int -> int option
+(** Offset of a fresh allocation, or [None] when it would overflow — the
+    caller is expected to fall back to global memory (cf. §5.3.1).
+    @raise Invalid_argument on non-positive [bytes]. *)
+
+val mark : arena -> int
+val release : arena -> int -> unit
+(** [release a m] pops every allocation made since [mark] returned [m].
+    @raise Invalid_argument if [m] is not a valid mark. *)
+
+val touch : Thread.t -> bytes:int -> unit
+(** Charge a shared-memory access of the given width to a thread. *)

@@ -1,0 +1,61 @@
+type warp_state = {
+  warp_index : int;
+  lines : Linebuf.t;
+  atomic_epoch : (int, int) Hashtbl.t;
+}
+
+type t = {
+  block_id : int;
+  tid : int;
+  lane : int;
+  warp : warp_state;
+  cfg : Config.t;
+  counters : Counters.t;
+  trace : Trace.t option;
+  mutable clock : float;
+  mutable busy : float;
+  mutable simt_factor : float;
+}
+
+let make_warp ~(cfg : Config.t) ~warp_index =
+  {
+    warp_index;
+    lines =
+      Linebuf.create ~capacity:cfg.linebuf_lines
+        ~coalesce_window:cfg.coalesce_window;
+    atomic_epoch = Hashtbl.create 16;
+  }
+
+let create ~cfg ~counters ?trace ~block_id ~tid ~warp () =
+  {
+    block_id;
+    tid;
+    lane = tid mod cfg.Config.warp_size;
+    warp;
+    cfg;
+    counters;
+    trace;
+    clock = 0.0;
+    busy = 0.0;
+    simt_factor = 1.0;
+  }
+
+let tick t c =
+  t.clock <- t.clock +. c;
+  let charged = c *. t.simt_factor in
+  t.busy <- t.busy +. charged;
+  t.counters.Counters.lane_busy_cycles <-
+    t.counters.Counters.lane_busy_cycles +. charged
+
+let with_simt_factor t factor f =
+  if factor < 1.0 then invalid_arg "Thread.with_simt_factor: factor < 1";
+  let saved = t.simt_factor in
+  t.simt_factor <- factor;
+  Fun.protect ~finally:(fun () -> t.simt_factor <- saved) f
+
+let tick_wait t c = t.clock <- t.clock +. c
+
+let align_clock t target = if t.clock < target then t.clock <- target
+
+let trace t ~tag detail =
+  Trace.record t.trace ~time:t.clock ~block:t.block_id ~tid:t.tid ~tag detail

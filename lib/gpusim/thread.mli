@@ -1,0 +1,64 @@
+(** Per-thread (per-lane) execution context.
+
+    Every simulated GPU thread carries a virtual clock.  Compute and memory
+    costs advance the clock directly — no scheduler round-trip — so only
+    synchronization suspends a fiber.  [clock] is the latency leg of the
+    roofline (critical path); [busy] excludes barrier wait and feeds the
+    throughput leg. *)
+
+type warp_state = {
+  warp_index : int;
+  lines : Linebuf.t;  (** coalescing window shared by the warp's lanes *)
+  atomic_epoch : (int, int) Hashtbl.t;
+      (** atomics per line since the last block barrier; models RMW
+          serialization contention *)
+}
+
+type t = {
+  block_id : int;
+  tid : int;  (** thread index within the block *)
+  lane : int;  (** [tid mod warp_size] *)
+  warp : warp_state;
+  cfg : Config.t;
+  counters : Counters.t;
+  trace : Trace.t option;
+  mutable clock : float;
+  mutable busy : float;
+  mutable simt_factor : float;
+      (** Issue-slot inflation for divergent execution.  A warp instruction
+          occupies the whole warp's issue slots no matter how many lanes are
+          active, so a thread running code that only 1-in-N of its warp's
+          lanes executes (a SIMD main in a generic region, the team main
+          alone in its warp) is charged N lane-cycles of throughput per
+          cycle of latency.  1.0 when the warp is fully converged. *)
+}
+
+val make_warp : cfg:Config.t -> warp_index:int -> warp_state
+
+val create :
+  cfg:Config.t ->
+  counters:Counters.t ->
+  ?trace:Trace.t ->
+  block_id:int ->
+  tid:int ->
+  warp:warp_state ->
+  unit ->
+  t
+
+val tick : t -> float -> unit
+(** Advance clock and busy time by a compute cost; the busy (throughput)
+    charge is scaled by [simt_factor]. *)
+
+val with_simt_factor : t -> float -> (unit -> 'a) -> 'a
+(** Run a section under a given divergence factor, restoring the previous
+    factor afterwards (exception-safe).
+    @raise Invalid_argument if the factor is < 1. *)
+
+val tick_wait : t -> float -> unit
+(** Advance the clock only (stall, not issuing work). *)
+
+val align_clock : t -> float -> unit
+(** Raise the clock to at least the given time (barrier release). *)
+
+val trace : t -> tag:string -> string -> unit
+(** Record an event against this thread's clock if tracing is on. *)

@@ -1,0 +1,38 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let event_json (e : Trace.event) =
+  Printf.sprintf
+    {|{"name":"%s","ph":"i","s":"t","ts":%.3f,"pid":%d,"tid":%d,"args":{"detail":"%s"}}|}
+    (escape e.Trace.tag) e.Trace.time e.Trace.block e.Trace.tid
+    (escape e.Trace.detail)
+
+let to_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[\n";
+  let first = ref true in
+  List.iter
+    (fun e ->
+      if not !first then Buffer.add_string buf ",\n";
+      first := false;
+      Buffer.add_string buf (event_json e))
+    (Trace.events t);
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
+let write_file t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json t))

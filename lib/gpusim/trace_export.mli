@@ -1,0 +1,13 @@
+(** Chrome trace-event export.
+
+    Converts a recorded {!Trace.t} into the JSON array format that
+    [chrome://tracing] / Perfetto load directly: each simulator event
+    becomes an instant event, with blocks as processes and threads as
+    threads, timestamped by the virtual clock (cycles as microseconds).
+    Useful for eyeballing state-machine hand-offs and barrier convoys. *)
+
+val to_json : Trace.t -> string
+(** The complete JSON document. *)
+
+val write_file : Trace.t -> path:string -> unit
+(** @raise Sys_error on I/O failure. *)

@@ -1,0 +1,143 @@
+let rec is_pure (e : Ir.expr) =
+  match e with
+  | Ir.Int_lit _ | Ir.Float_lit _ | Ir.Var _ -> true
+  | Ir.Binop (_, a, b) -> is_pure a && is_pure b
+  | Ir.Unop (_, a) -> is_pure a
+  | Ir.Load _ | Ir.Load_int _ -> false
+
+let int_op (op : Ir.binop) x y =
+  let bool_ r = Some (if r then 1 else 0) in
+  match op with
+  | Ir.Add -> Some (x + y)
+  | Ir.Sub -> Some (x - y)
+  | Ir.Mul -> Some (x * y)
+  | Ir.Div -> if y = 0 then None else Some (x / y)
+  | Ir.Mod -> if y = 0 then None else Some (x mod y)
+  | Ir.Min -> Some (min x y)
+  | Ir.Max -> Some (max x y)
+  | Ir.Lt -> bool_ (x < y)
+  | Ir.Le -> bool_ (x <= y)
+  | Ir.Gt -> bool_ (x > y)
+  | Ir.Ge -> bool_ (x >= y)
+  | Ir.Eq -> bool_ (x = y)
+  | Ir.Ne -> bool_ (x <> y)
+  | Ir.And -> bool_ (x <> 0 && y <> 0)
+  | Ir.Or -> bool_ (x <> 0 || y <> 0)
+
+let float_op (op : Ir.binop) x y =
+  match op with
+  | Ir.Add -> Some (Ir.Float_lit (x +. y))
+  | Ir.Sub -> Some (Ir.Float_lit (x -. y))
+  | Ir.Mul -> Some (Ir.Float_lit (x *. y))
+  | Ir.Div -> Some (Ir.Float_lit (x /. y))
+  | Ir.Min -> Some (Ir.Float_lit (Float.min x y))
+  | Ir.Max -> Some (Ir.Float_lit (Float.max x y))
+  | Ir.Lt -> Some (Ir.Int_lit (if x < y then 1 else 0))
+  | Ir.Le -> Some (Ir.Int_lit (if x <= y then 1 else 0))
+  | Ir.Gt -> Some (Ir.Int_lit (if x > y then 1 else 0))
+  | Ir.Ge -> Some (Ir.Int_lit (if x >= y then 1 else 0))
+  | Ir.Eq -> Some (Ir.Int_lit (if x = y then 1 else 0))
+  | Ir.Ne -> Some (Ir.Int_lit (if x <> y then 1 else 0))
+  | Ir.And | Ir.Or | Ir.Mod -> None
+
+let rec expr (e : Ir.expr) =
+  match e with
+  | Ir.Int_lit _ | Ir.Float_lit _ | Ir.Var _ -> e
+  | Ir.Load (arr, idx) -> Ir.Load (arr, expr idx)
+  | Ir.Load_int (arr, idx) -> Ir.Load_int (arr, expr idx)
+  | Ir.Unop (op, a) -> (
+      let a = expr a in
+      match (op, a) with
+      | Ir.Neg, Ir.Int_lit n -> Ir.Int_lit (-n)
+      | Ir.Neg, Ir.Float_lit x -> Ir.Float_lit (-.x)
+      | Ir.Not, Ir.Int_lit n -> Ir.Int_lit (if n = 0 then 1 else 0)
+      | Ir.To_float, Ir.Int_lit n -> Ir.Float_lit (float_of_int n)
+      | Ir.To_int, Ir.Float_lit x -> Ir.Int_lit (int_of_float x)
+      | Ir.Abs, Ir.Int_lit n -> Ir.Int_lit (abs n)
+      | Ir.Abs, Ir.Float_lit x -> Ir.Float_lit (abs_float x)
+      | Ir.Sqrt, Ir.Float_lit x when x >= 0.0 -> Ir.Float_lit (sqrt x)
+      | _ -> Ir.Unop (op, a))
+  | Ir.Binop (op, a, b) -> (
+      let a = expr a and b = expr b in
+      match (a, b) with
+      | Ir.Int_lit x, Ir.Int_lit y -> (
+          match int_op op x y with
+          | Some r -> Ir.Int_lit r
+          | None -> Ir.Binop (op, a, b))
+      | Ir.Float_lit x, Ir.Float_lit y -> (
+          match float_op op x y with
+          | Some folded -> folded
+          | None -> Ir.Binop (op, a, b))
+      | _ -> (
+          (* safe identities; x*0 only when x is pure (a load may trap
+             on a bad index, so it must stay) *)
+          match (op, a, b) with
+          | Ir.Add, Ir.Int_lit 0, x | Ir.Add, x, Ir.Int_lit 0 -> x
+          | Ir.Add, Ir.Float_lit 0.0, x | Ir.Add, x, Ir.Float_lit 0.0 -> x
+          | Ir.Sub, x, Ir.Int_lit 0 -> x
+          | Ir.Sub, x, Ir.Float_lit 0.0 -> x
+          | Ir.Mul, Ir.Int_lit 1, x | Ir.Mul, x, Ir.Int_lit 1 -> x
+          | Ir.Mul, Ir.Float_lit 1.0, x | Ir.Mul, x, Ir.Float_lit 1.0 -> x
+          | Ir.Mul, (Ir.Int_lit 0 as z), x when is_pure x -> z
+          | Ir.Mul, x, (Ir.Int_lit 0 as z) when is_pure x -> z
+          | Ir.Div, x, Ir.Int_lit 1 -> x
+          | Ir.Div, x, Ir.Float_lit 1.0 -> x
+          | _ -> Ir.Binop (op, a, b)))
+
+let constant_trip lo hi =
+  match (lo, hi) with
+  | Ir.Int_lit l, Ir.Int_lit h -> Some (h - l)
+  | _ -> None
+
+let rec stmts body = List.concat_map stmt body
+
+and fold_directive (d : Ir.loop_directive) =
+  { d with Ir.lo = expr d.Ir.lo; hi = expr d.Ir.hi; body = stmts d.Ir.body }
+
+and stmt (s : Ir.stmt) =
+  match s with
+  | Ir.Decl { name; ty; init } -> [ Ir.Decl { name; ty; init = expr init } ]
+  | Ir.Assign (name, e) -> [ Ir.Assign (name, expr e) ]
+  | Ir.Store (arr, idx, value) -> [ Ir.Store (arr, expr idx, expr value) ]
+  | Ir.Store_int (arr, idx, value) ->
+      [ Ir.Store_int (arr, expr idx, expr value) ]
+  | Ir.Atomic_add (arr, idx, value) ->
+      [ Ir.Atomic_add (arr, expr idx, expr value) ]
+  | Ir.If (cond, then_, else_) -> (
+      match expr cond with
+      | Ir.Int_lit 0 -> stmts else_
+      | Ir.Int_lit _ -> stmts then_
+      | cond -> [ Ir.If (cond, stmts then_, stmts else_) ])
+  | Ir.While (cond, body) -> (
+      match expr cond with
+      | Ir.Int_lit 0 -> []
+      | cond -> [ Ir.While (cond, stmts body) ])
+  | Ir.For { var; lo; hi; body } -> (
+      let lo = expr lo and hi = expr hi in
+      match constant_trip lo hi with
+      | Some t when t <= 0 -> []
+      | _ -> [ Ir.For { var; lo; hi; body = stmts body } ])
+  | Ir.Distribute_parallel_for d -> (
+      let d = fold_directive d in
+      match constant_trip d.Ir.lo d.Ir.hi with
+      | Some t when t <= 0 -> []
+      | _ -> [ Ir.Distribute_parallel_for d ])
+  | Ir.Parallel_for d -> (
+      let d = fold_directive d in
+      match constant_trip d.Ir.lo d.Ir.hi with
+      | Some t when t <= 0 -> []
+      | _ -> [ Ir.Parallel_for d ])
+  | Ir.Simd d ->
+      (* an empty simd loop still synchronizes its group in generic mode;
+         keep it unless the body also vanished *)
+      let d = fold_directive d in
+      (match (constant_trip d.Ir.lo d.Ir.hi, d.Ir.body) with
+      | Some t, [] when t <= 0 -> []
+      | _ -> [ Ir.Simd d ])
+  | Ir.Simd_sum { acc; value; dir } ->
+      [ Ir.Simd_sum { acc; value = expr value; dir = fold_directive dir } ]
+  | Ir.Guarded body -> (
+      match stmts body with [] -> [] | body -> [ Ir.Guarded body ])
+  | Ir.Sync -> [ Ir.Sync ]
+
+let kernel (k : Ir.kernel) = { k with Ir.body = stmts k.Ir.body }

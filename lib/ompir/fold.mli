@@ -1,0 +1,16 @@
+(** Constant folding and algebraic simplification.
+
+    A standard cleanup pass run before outlining: folds literal
+    arithmetic, applies safe identities (x+0, x*1, x*0 when x is pure),
+    resolves constant branches, and drops loops and directives whose
+    iteration spaces are statically empty.  Semantics-preserving for
+    checked kernels; the differential suite cross-checks folded against
+    unfolded programs. *)
+
+val expr : Ir.expr -> Ir.expr
+(** Folded expression (idempotent). *)
+
+val kernel : Ir.kernel -> Ir.kernel
+
+val is_pure : Ir.expr -> bool
+(** No loads — safe to delete when its value is unused. *)

@@ -1,0 +1,34 @@
+type report = {
+  fn_id : int;
+  globalized : string list;
+  already_global : string list;
+}
+
+let run (p : Outline.program) =
+  let param_names =
+    List.map (fun (pm : Ir.param) -> pm.Ir.pname) p.Outline.kernel.Ir.params
+  in
+  (* Loop variables of enclosing directives are thread-private values the
+     runtime rebinds; they are passed by value, not globalized. *)
+  let loop_vars =
+    List.map (fun (o : Outline.outlined) -> o.Outline.loop_var) p.Outline.outlined
+  in
+  p.Outline.outlined
+  |> List.filter (fun (o : Outline.outlined) ->
+         match o.Outline.kind with
+         | `Simd | `Simd_sum -> true
+         | `Parallel_for | `Distribute_parallel_for -> false)
+  |> List.map (fun (o : Outline.outlined) ->
+         let global, local =
+           List.partition
+             (fun name -> List.mem name param_names || List.mem name loop_vars)
+             o.Outline.captures
+         in
+         {
+           fn_id = o.Outline.fn_id;
+           globalized = local;
+           already_global = global;
+         })
+
+let total_globalized reports =
+  List.fold_left (fun acc r -> acc + List.length r.globalized) 0 reports

@@ -1,0 +1,22 @@
+(** Variable globalization (§4.3).
+
+    When a simd loop executes in generic mode, its outlined body runs on
+    SIMD worker threads, so every captured variable must live in memory
+    that all of them can reach.  Array parameters are already in global
+    memory; {e local} scalar declarations of the enclosing region are
+    not — this pass identifies them.  A real compiler would rewrite the
+    allocas into shared-memory slots (and the evaluator charges that cost
+    through the runtime's sharing space); here the analysis records, per
+    outlined simd region, which captures required globalization. *)
+
+type report = {
+  fn_id : int;
+  globalized : string list;  (** local scalars promoted to shared memory *)
+  already_global : string list;  (** array params / scalar params *)
+}
+
+val run : Outline.program -> report list
+(** One report per outlined [`Simd] / [`Simd_sum] region, in fn_id
+    order. *)
+
+val total_globalized : report list -> int

@@ -1,0 +1,74 @@
+type outlined = {
+  fn_id : int;
+  kind : [ `Simd | `Simd_sum | `Parallel_for | `Distribute_parallel_for ];
+  loop_var : string;
+  captures : string list;
+}
+
+type program = { kernel : Ir.kernel; outlined : outlined list }
+
+let capture_of ~kind ~fn_id (d : Ir.loop_directive) =
+  (* The loop variable is rebound by the runtime per iteration; everything
+     else the body references must travel in the payload — including the
+     variables of the bound expressions, since the outlined task maps the
+     normalized iteration number back to the source index. *)
+  let module S = Set.Make (String) in
+  let bound_vars e = Ir.free_vars [ Ir.Assign ("__sink", e) ] in
+  let names =
+    S.union
+      (S.of_list (Ir.free_vars d.Ir.body))
+      (S.union (S.of_list (bound_vars d.Ir.lo)) (S.of_list (bound_vars d.Ir.hi)))
+  in
+  let captures =
+    S.elements (S.filter (fun n -> n <> d.Ir.loop_var && n <> "__sink") names)
+  in
+  { fn_id; kind; loop_var = d.Ir.loop_var; captures }
+
+let run (k : Ir.kernel) =
+  let counter = ref 0 in
+  let acc_ref = ref [] in
+  let fresh kind d =
+    let fn_id = !counter in
+    incr counter;
+    acc_ref := capture_of ~kind ~fn_id d :: !acc_ref;
+    fn_id
+  in
+  let rec stmts body = List.map stmt body
+  and stmt (s : Ir.stmt) =
+    match s with
+    | Ir.Distribute_parallel_for d ->
+        let fn_id = fresh `Distribute_parallel_for d in
+        Ir.Distribute_parallel_for { d with Ir.fn_id; body = stmts d.Ir.body }
+    | Ir.Parallel_for d ->
+        let fn_id = fresh `Parallel_for d in
+        Ir.Parallel_for { d with Ir.fn_id; body = stmts d.Ir.body }
+    | Ir.Simd d ->
+        let fn_id = fresh `Simd d in
+        Ir.Simd { d with Ir.fn_id; body = stmts d.Ir.body }
+    | Ir.Simd_sum { acc; value; dir = d } ->
+        (* the summand is part of the outlined body for capture purposes *)
+        let with_value =
+          { d with Ir.body = d.Ir.body @ [ Ir.Assign ("__red", value) ] }
+        in
+        let fn_id = !counter in
+        incr counter;
+        let cap = capture_of ~kind:`Simd_sum ~fn_id with_value in
+        let cap =
+          { cap with captures = List.filter (fun n -> n <> "__red" && n <> acc) cap.captures }
+        in
+        acc_ref := cap :: !acc_ref;
+        Ir.Simd_sum { acc; value; dir = { d with Ir.fn_id; body = stmts d.Ir.body } }
+    | Ir.If (c, a, b) -> Ir.If (c, stmts a, stmts b)
+    | Ir.While (c, body) -> Ir.While (c, stmts body)
+    | Ir.For { var; lo; hi; body } -> Ir.For { var; lo; hi; body = stmts body }
+    | Ir.Guarded body -> Ir.Guarded (stmts body)
+    | (Ir.Decl _ | Ir.Assign _ | Ir.Store _ | Ir.Store_int _
+      | Ir.Atomic_add _ | Ir.Sync) as s ->
+        s
+  in
+  let body = stmts k.Ir.body in
+  { kernel = { k with Ir.body }; outlined = List.rev !acc_ref }
+
+let dispatch_table_size p = List.length p.outlined
+
+let find p ~fn_id = List.find (fun o -> o.fn_id = fn_id) p.outlined

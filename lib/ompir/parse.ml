@@ -1,0 +1,576 @@
+exception Syntax_error of { line : int; message : string }
+
+(* --- lexer -------------------------------------------------------------- *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | Punct of string  (* operators and delimiters, longest-match *)
+  | Pragma of string list  (* the words of a #pragma line *)
+  | Eof
+
+type lexed = { token : token; line : int }
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let puncts =
+  (* longest first *)
+  [ "+="; "=="; "!="; "<="; ">="; "&&"; "||"; "++";
+    "("; ")"; "{"; "}"; "["; "]"; ";"; ","; ":";
+    "+"; "-"; "*"; "/"; "%"; "<"; ">"; "="; "!" ]
+
+let lex src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let fail message = raise (Syntax_error { line = !line; message }) in
+  let emit token = tokens := { token; line = !line } :: !tokens in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then begin
+      incr line;
+      incr pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '/' && !pos + 1 < n && src.[!pos + 1] = '/' then begin
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if c = '/' && !pos + 1 < n && src.[!pos + 1] = '*' then begin
+      pos := !pos + 2;
+      let closed = ref false in
+      while (not !closed) && !pos + 1 < n do
+        if src.[!pos] = '\n' then incr line;
+        if src.[!pos] = '*' && src.[!pos + 1] = '/' then begin
+          closed := true;
+          pos := !pos + 2
+        end
+        else incr pos
+      done;
+      if not !closed then fail "unterminated comment"
+    end
+    else if c = '#' then begin
+      (* a pragma line: collect its words up to end of line, keeping
+         punctuation as separate words *)
+      let stop = try String.index_from src !pos '\n' with Not_found -> n in
+      let text = String.sub src !pos (stop - !pos) in
+      let words = ref [] in
+      let i = ref 0 in
+      let m = String.length text in
+      while !i < m do
+        let ch = text.[!i] in
+        if ch = ' ' || ch = '\t' || ch = '#' then incr i
+        else if is_ident_start ch || is_digit ch then begin
+          let j = ref !i in
+          while !j < m && (is_ident text.[!j] || text.[!j] = '.') do
+            incr j
+          done;
+          words := String.sub text !i (!j - !i) :: !words;
+          i := !j
+        end
+        else begin
+          words := String.make 1 ch :: !words;
+          incr i
+        end
+      done;
+      emit (Pragma (List.rev !words));
+      pos := stop
+    end
+    else if is_digit c then begin
+      let j = ref !pos in
+      let isfloat = ref false in
+      while
+        !j < n
+        && (is_digit src.[!j] || src.[!j] = '.' || src.[!j] = 'e'
+           || src.[!j] = 'E'
+           || ((src.[!j] = '+' || src.[!j] = '-')
+              && !j > !pos
+              && (src.[!j - 1] = 'e' || src.[!j - 1] = 'E')))
+      do
+        if src.[!j] = '.' || src.[!j] = 'e' || src.[!j] = 'E' then
+          isfloat := true;
+        incr j
+      done;
+      let text = String.sub src !pos (!j - !pos) in
+      (if !isfloat then
+         match float_of_string_opt text with
+         | Some f -> emit (Float f)
+         | None -> fail ("bad number " ^ text)
+       else
+         match int_of_string_opt text with
+         | Some k -> emit (Int k)
+         | None -> fail ("bad number " ^ text));
+      pos := !j
+    end
+    else if is_ident_start c then begin
+      let j = ref !pos in
+      while !j < n && is_ident src.[!j] do
+        incr j
+      done;
+      emit (Ident (String.sub src !pos (!j - !pos)));
+      pos := !j
+    end
+    else begin
+      let matched =
+        List.find_opt
+          (fun p ->
+            let l = String.length p in
+            !pos + l <= n && String.sub src !pos l = p)
+          puncts
+      in
+      match matched with
+      | Some p ->
+          emit (Punct p);
+          pos := !pos + String.length p
+      | None -> fail (Printf.sprintf "unexpected character %c" c)
+    end
+  done;
+  emit Eof;
+  List.rev !tokens
+
+(* --- parser state -------------------------------------------------------- *)
+
+type state = {
+  mutable toks : lexed list;
+  mutable params : (string * Ir.param_ty) list;
+}
+
+let peek st = match st.toks with [] -> assert false | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> assert false | _ :: rest -> st.toks <- rest
+
+let fail_at st message =
+  raise (Syntax_error { line = (peek st).line; message })
+
+let expect_punct st p =
+  match (peek st).token with
+  | Punct q when q = p -> advance st
+  | _ -> fail_at st (Printf.sprintf "expected %S" p)
+
+let expect_ident st =
+  match (peek st).token with
+  | Ident name ->
+      advance st;
+      name
+  | _ -> fail_at st "expected an identifier"
+
+let expect_keyword st kw =
+  match (peek st).token with
+  | Ident name when name = kw -> advance st
+  | _ -> fail_at st (Printf.sprintf "expected %S" kw)
+
+let eat_punct st p =
+  match (peek st).token with
+  | Punct q when q = p ->
+      advance st;
+      true
+  | _ -> false
+
+(* --- expressions: precedence climbing ------------------------------------ *)
+
+let array_kind st name =
+  match List.assoc_opt name st.params with
+  | Some Ir.P_farray -> `F
+  | Some Ir.P_iarray -> `I
+  | Some _ -> fail_at st (name ^ " is not an array")
+  | None -> fail_at st ("unknown array " ^ name)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while eat_punct st "||" do
+    lhs := Ir.Binop (Ir.Or, !lhs, parse_and st)
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_cmp st) in
+  while eat_punct st "&&" do
+    lhs := Ir.Binop (Ir.And, !lhs, parse_cmp st)
+  done;
+  !lhs
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match (peek st).token with
+    | Punct "<" -> Some Ir.Lt
+    | Punct "<=" -> Some Ir.Le
+    | Punct ">" -> Some Ir.Gt
+    | Punct ">=" -> Some Ir.Ge
+    | Punct "==" -> Some Ir.Eq
+    | Punct "!=" -> Some Ir.Ne
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      Ir.Binop (op, lhs, parse_add st)
+
+and parse_add st =
+  let lhs = ref (parse_mul st) in
+  let rec go () =
+    if eat_punct st "+" then begin
+      lhs := Ir.Binop (Ir.Add, !lhs, parse_mul st);
+      go ()
+    end
+    else if eat_punct st "-" then begin
+      lhs := Ir.Binop (Ir.Sub, !lhs, parse_mul st);
+      go ()
+    end
+  in
+  go ();
+  !lhs
+
+and parse_mul st =
+  let lhs = ref (parse_unary st) in
+  let rec go () =
+    if eat_punct st "*" then begin
+      lhs := Ir.Binop (Ir.Mul, !lhs, parse_unary st);
+      go ()
+    end
+    else if eat_punct st "/" then begin
+      lhs := Ir.Binop (Ir.Div, !lhs, parse_unary st);
+      go ()
+    end
+    else if eat_punct st "%" then begin
+      lhs := Ir.Binop (Ir.Mod, !lhs, parse_unary st);
+      go ()
+    end
+  in
+  go ();
+  !lhs
+
+and parse_unary st =
+  if eat_punct st "-" then Ir.Unop (Ir.Neg, parse_unary st)
+  else if eat_punct st "!" then Ir.Unop (Ir.Not, parse_unary st)
+  else parse_postfix st
+
+and parse_postfix st =
+  match (peek st).token with
+  | Int n ->
+      advance st;
+      Ir.Int_lit n
+  | Float x ->
+      advance st;
+      Ir.Float_lit x
+  | Punct "(" -> (
+      advance st;
+      (* a cast or a parenthesized expression *)
+      match (peek st).token with
+      | Ident "int" ->
+          advance st;
+          expect_punct st ")";
+          Ir.Unop (Ir.To_int, parse_unary st)
+      | Ident "double" ->
+          advance st;
+          expect_punct st ")";
+          Ir.Unop (Ir.To_float, parse_unary st)
+      | _ ->
+          let e = parse_expr st in
+          expect_punct st ")";
+          e)
+  | Ident name -> (
+      advance st;
+      match (peek st).token with
+      | Punct "(" -> (
+          advance st;
+          let arg1 = parse_expr st in
+          let intrinsic1 op =
+            expect_punct st ")";
+            Ir.Unop (op, arg1)
+          in
+          match name with
+          | "sqrt" -> intrinsic1 Ir.Sqrt
+          | "exp" -> intrinsic1 Ir.Exp
+          | "log" -> intrinsic1 Ir.Log
+          | "fabs" | "abs" -> intrinsic1 Ir.Abs
+          | "min" | "max" ->
+              expect_punct st ",";
+              let arg2 = parse_expr st in
+              expect_punct st ")";
+              Ir.Binop ((if name = "min" then Ir.Min else Ir.Max), arg1, arg2)
+          | _ -> fail_at st ("unknown function " ^ name))
+      | Punct "[" ->
+          advance st;
+          let idx = parse_expr st in
+          expect_punct st "]";
+          (match array_kind st name with
+          | `F -> Ir.Load (name, idx)
+          | `I -> Ir.Load_int (name, idx))
+      | _ -> Ir.Var name)
+  | _ -> fail_at st "expected an expression"
+
+(* --- pragmas -------------------------------------------------------------- *)
+
+type pragma = {
+  construct : [ `Dpf | `Parallel_for | `Simd ];
+  sched : Ir.schedule;
+  reduction : string option;
+}
+
+let parse_pragma_words st line words =
+  let fail message = raise (Syntax_error { line; message }) in
+  let words =
+    match words with
+    | "pragma" :: "omp" :: rest -> rest
+    | _ -> fail "expected #pragma omp ..."
+  in
+  let construct, rest =
+    match words with
+    | "teams" :: "distribute" :: "parallel" :: "for" :: rest -> (`Dpf, rest)
+    | "parallel" :: "for" :: rest -> (`Parallel_for, rest)
+    | "simd" :: rest -> (`Simd, rest)
+    | _ -> fail "unsupported pragma (teams distribute parallel for | parallel for | simd)"
+  in
+  let sched = ref Ir.Sched_static in
+  let reduction = ref None in
+  let rec clauses = function
+    | [] -> ()
+    | "schedule" :: "(" :: kind :: "," :: n :: ")" :: rest ->
+        (match (kind, int_of_string_opt n) with
+        | "static", Some k -> sched := Ir.Sched_chunked k
+        | "dynamic", Some k -> sched := Ir.Sched_dynamic k
+        | _ -> fail "bad schedule clause");
+        clauses rest
+    | "schedule" :: "(" :: "static" :: ")" :: rest ->
+        sched := Ir.Sched_static;
+        clauses rest
+    | "reduction" :: "(" :: "+" :: ":" :: acc :: ")" :: rest ->
+        reduction := Some acc;
+        clauses rest
+    | w :: _ -> fail ("unsupported clause " ^ w)
+  in
+  clauses rest;
+  ignore st;
+  { construct; sched = !sched; reduction = !reduction }
+
+(* --- statements ------------------------------------------------------------ *)
+
+let rec parse_block st =
+  expect_punct st "{";
+  let stmts = ref [] in
+  while not (eat_punct st "}") do
+    stmts := parse_stmt st :: !stmts
+  done;
+  List.rev !stmts
+
+and parse_for_header st =
+  expect_keyword st "for";
+  expect_punct st "(";
+  (* optional "int" *)
+  (match (peek st).token with
+  | Ident "int" -> advance st
+  | _ -> ());
+  let var = expect_ident st in
+  expect_punct st "=";
+  let lo = parse_expr st in
+  expect_punct st ";";
+  let var2 = expect_ident st in
+  if var2 <> var then fail_at st "loop condition must test the loop variable";
+  expect_punct st "<";
+  let hi = parse_expr st in
+  expect_punct st ";";
+  let var3 = expect_ident st in
+  if var3 <> var then fail_at st "loop increment must bump the loop variable";
+  expect_punct st "++";
+  expect_punct st ")";
+  (var, lo, hi)
+
+and parse_stmt st =
+  match (peek st).token with
+  | Pragma words -> (
+      let line = (peek st).line in
+      advance st;
+      match words with
+      | [ "pragma"; "omp"; "atomic" ] -> (
+          (* a[e] += e; *)
+          let arr = expect_ident st in
+          expect_punct st "[";
+          let idx = parse_expr st in
+          expect_punct st "]";
+          expect_punct st "+=";
+          let value = parse_expr st in
+          expect_punct st ";";
+          match array_kind st arr with
+          | `F -> Ir.Atomic_add (arr, idx, value)
+          | `I -> fail_at st "atomic += supports float arrays")
+      | [ "pragma"; "omp"; "barrier" ] -> Ir.Sync
+      | _ -> (
+          let p = parse_pragma_words st line words in
+          let var, lo, hi = parse_for_header st in
+          let body = parse_block st in
+          match (p.construct, p.reduction) with
+          | `Dpf, None ->
+              Ir.Distribute_parallel_for
+                { loop_var = var; lo; hi; body; fn_id = -1; sched = p.sched }
+          | `Parallel_for, None ->
+              Ir.Parallel_for
+                { loop_var = var; lo; hi; body; fn_id = -1; sched = p.sched }
+          | `Simd, None ->
+              Ir.Simd
+                { loop_var = var; lo; hi; body; fn_id = -1; sched = p.sched }
+          | `Simd, Some acc -> (
+              (* the body's last statement must be [acc += value;] parsed
+                 as an assignment [acc = acc + value] or given via += *)
+              match List.rev body with
+              | Ir.Assign (a, Ir.Binop (Ir.Add, Ir.Var a', value)) :: prefix
+                when a = acc && a' = acc ->
+                  Ir.Simd_sum
+                    {
+                      acc;
+                      value;
+                      dir =
+                        {
+                          loop_var = var;
+                          lo;
+                          hi;
+                          body = List.rev prefix;
+                          fn_id = -1;
+                          sched = p.sched;
+                        };
+                    }
+              | _ ->
+                  raise
+                    (Syntax_error
+                       {
+                         line;
+                         message =
+                           "a reduction simd loop must end with '" ^ acc
+                           ^ " += <expr>;'";
+                       }))
+          | (`Dpf | `Parallel_for), Some _ ->
+              raise
+                (Syntax_error
+                   { line; message = "reduction is only supported on simd" })))
+  | Ident "guarded" ->
+      advance st;
+      Ir.Guarded (parse_block st)
+  | Ident "if" ->
+      advance st;
+      expect_punct st "(";
+      let cond = parse_expr st in
+      expect_punct st ")";
+      let then_ = parse_block st in
+      let else_ =
+        match (peek st).token with
+        | Ident "else" ->
+            advance st;
+            parse_block st
+        | _ -> []
+      in
+      Ir.If (cond, then_, else_)
+  | Ident "while" ->
+      advance st;
+      expect_punct st "(";
+      let cond = parse_expr st in
+      expect_punct st ")";
+      Ir.While (cond, parse_block st)
+  | Ident "for" ->
+      let var, lo, hi = parse_for_header st in
+      Ir.For { var; lo; hi; body = parse_block st }
+  | Ident ("int" | "double") ->
+      let ty =
+        match (peek st).token with
+        | Ident "int" -> Ir.Tint
+        | _ -> Ir.Tfloat
+      in
+      advance st;
+      let name = expect_ident st in
+      expect_punct st "=";
+      let init = parse_expr st in
+      expect_punct st ";";
+      Ir.Decl { name; ty; init }
+  | Ident name -> (
+      advance st;
+      match (peek st).token with
+      | Punct "[" -> (
+          advance st;
+          let idx = parse_expr st in
+          expect_punct st "]";
+          let kind = array_kind st name in
+          if eat_punct st "+=" then begin
+            (* sugar: a[e] += v  desugars to a load-add-store *)
+            let value = parse_expr st in
+            expect_punct st ";";
+            match kind with
+            | `F ->
+                Ir.Store
+                  (name, idx, Ir.Binop (Ir.Add, Ir.Load (name, idx), value))
+            | `I ->
+                Ir.Store_int
+                  (name, idx, Ir.Binop (Ir.Add, Ir.Load_int (name, idx), value))
+          end
+          else begin
+            expect_punct st "=";
+            let value = parse_expr st in
+            expect_punct st ";";
+            match kind with
+            | `F -> Ir.Store (name, idx, value)
+            | `I -> Ir.Store_int (name, idx, value)
+          end)
+      | Punct "+=" ->
+          advance st;
+          let value = parse_expr st in
+          expect_punct st ";";
+          Ir.Assign (name, Ir.Binop (Ir.Add, Ir.Var name, value))
+      | Punct "=" ->
+          advance st;
+          let value = parse_expr st in
+          expect_punct st ";";
+          Ir.Assign (name, value)
+      | _ -> fail_at st "expected an assignment or store")
+  | _ -> fail_at st "expected a statement"
+
+(* --- kernel --------------------------------------------------------------- *)
+
+let parse_param st =
+  match (peek st).token with
+  | Ident "double" ->
+      advance st;
+      if eat_punct st "*" then
+        { Ir.pname = expect_ident st; pty = Ir.P_farray }
+      else { Ir.pname = expect_ident st; pty = Ir.P_float }
+  | Ident "int" ->
+      advance st;
+      if eat_punct st "*" then
+        { Ir.pname = expect_ident st; pty = Ir.P_iarray }
+      else { Ir.pname = expect_ident st; pty = Ir.P_int }
+  | _ -> fail_at st "expected a parameter type (int/double, * for arrays)"
+
+let kernel src =
+  let st = { toks = lex src; params = [] } in
+  (match (peek st).token with
+  | Ident ("kernel" | "void") -> advance st
+  | _ -> fail_at st "expected 'kernel' (or 'void')");
+  let name = expect_ident st in
+  expect_punct st "(";
+  let params = ref [] in
+  if not (eat_punct st ")") then begin
+    let rec more () =
+      params := parse_param st :: !params;
+      if eat_punct st "," then more () else expect_punct st ")"
+    in
+    more ()
+  end;
+  let params = List.rev !params in
+  st.params <- List.map (fun (p : Ir.param) -> (p.Ir.pname, p.Ir.pty)) params;
+  let body = parse_block st in
+  (match (peek st).token with
+  | Eof -> ()
+  | _ -> fail_at st "trailing input after the kernel");
+  Ir.kernel ~name ~params body
+
+let kernel_of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> kernel (really_input_string ic (in_channel_length ic)))

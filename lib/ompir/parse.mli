@@ -1,0 +1,39 @@
+(** Parser for the kernel language — the textual front door of the
+    compiler pipeline.
+
+    The syntax is the pragma-annotated C subset that {!Printer} emits
+    (minus its annotations); a kernel file looks like the OpenMP source
+    the paper's benchmarks are written in:
+
+    {v
+kernel saxpy(double* x, double* y, double a, int n) {
+  #pragma omp teams distribute parallel for
+  for (i = 0; i < n; i++) {
+    #pragma omp simd
+    for (j = 0; j < 8; j++) {
+      y[(i * 8) + j] = a * x[(i * 8) + j] + y[(i * 8) + j];
+    }
+  }
+}
+    v}
+
+    Statements: declarations ([int v = e;] / [double v = e;]),
+    assignments, array stores, [if]/[else], [while], plain [for] loops,
+    [#pragma omp atomic] before [a\[e\] += e;], worksharing pragmas
+    ([teams distribute parallel for], [parallel for], [simd], each with an
+    optional [schedule(static|dynamic,N)] clause and, for simd,
+    [reduction(+:acc)] — whose loop body must end with [acc += e;]), and
+    [guarded { ... }] blocks.
+
+    Expressions follow C precedence with the intrinsics [sqrt], [exp],
+    [log], [fabs], [min], [max] and casts [(int)] / [(double)].  Array
+    loads type themselves from the parameter declarations. *)
+
+exception Syntax_error of { line : int; message : string }
+
+val kernel : string -> Ir.kernel
+(** Parse a kernel from source text.
+    @raise Syntax_error with a 1-based line number on malformed input. *)
+
+val kernel_of_file : string -> Ir.kernel
+(** @raise Sys_error on I/O failure, {!Syntax_error} on malformed input. *)

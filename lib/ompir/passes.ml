@@ -1,0 +1,168 @@
+type pass = { name : string; transform : Ir.kernel -> Ir.kernel }
+
+let fold = { name = "fold"; transform = Fold.kernel }
+
+(* --- dead code elimination ---------------------------------------------- *)
+
+module Names = Set.Make (String)
+
+let rec expr_reads acc (e : Ir.expr) =
+  match e with
+  | Ir.Var name -> Names.add name acc
+  | Ir.Int_lit _ | Ir.Float_lit _ -> acc
+  | Ir.Binop (_, a, b) -> expr_reads (expr_reads acc a) b
+  | Ir.Unop (_, a) -> expr_reads acc a
+  | Ir.Load (_, idx) | Ir.Load_int (_, idx) -> expr_reads acc idx
+
+(* All scalar reads anywhere in a statement list. *)
+let stmt_list_reads body =
+  let rec go acc stmts = List.fold_left stmt acc stmts
+  and stmt acc (s : Ir.stmt) =
+    match s with
+    | Ir.Decl { init; _ } -> expr_reads acc init
+    | Ir.Assign (_, e) -> expr_reads acc e
+    | Ir.Store (_, idx, v) | Ir.Store_int (_, idx, v) | Ir.Atomic_add (_, idx, v)
+      ->
+        expr_reads (expr_reads acc idx) v
+    | Ir.If (c, a, b) -> go (go (expr_reads acc c) a) b
+    | Ir.While (c, b) -> go (expr_reads acc c) b
+    | Ir.For { lo; hi; body; _ } ->
+        go (expr_reads (expr_reads acc lo) hi) body
+    | Ir.Distribute_parallel_for d | Ir.Parallel_for d | Ir.Simd d ->
+        go (expr_reads (expr_reads acc d.Ir.lo) d.Ir.hi) d.Ir.body
+    | Ir.Simd_sum { acc = red_acc; value; dir } ->
+        (* the accumulator is written, not read, but keep it: removing the
+           decl would orphan the reduction *)
+        let acc = Names.add red_acc acc in
+        go (expr_reads (expr_reads (expr_reads acc value) dir.Ir.lo) dir.Ir.hi)
+          dir.Ir.body
+    | Ir.Guarded body -> go acc body
+    | Ir.Sync -> acc
+  in
+  go Names.empty body
+
+(* Remove Decls and Assigns of scalars that no later statement reads.
+   Conservative: a name read anywhere in the enclosing body (even before
+   the site) keeps it — loops make flow-sensitive liveness subtle and the
+   win does not justify it here. *)
+let rec dce_body body =
+  let reads = stmt_list_reads body in
+  body
+  |> List.filter_map (fun (s : Ir.stmt) ->
+         match s with
+         | Ir.Decl { name; init; _ }
+           when (not (Names.mem name reads)) && Fold.is_pure init ->
+             None
+         | Ir.Assign (name, e)
+           when (not (Names.mem name reads)) && Fold.is_pure e ->
+             None
+         | Ir.If (c, a, b) -> Some (Ir.If (c, dce_body a, dce_body b))
+         | Ir.While (c, b) -> Some (Ir.While (c, dce_body b))
+         | Ir.For { var; lo; hi; body } ->
+             Some (Ir.For { var; lo; hi; body = dce_body body })
+         | Ir.Distribute_parallel_for d ->
+             Some (Ir.Distribute_parallel_for { d with Ir.body = dce_body d.Ir.body })
+         | Ir.Parallel_for d ->
+             Some (Ir.Parallel_for { d with Ir.body = dce_body d.Ir.body })
+         | Ir.Simd d -> Some (Ir.Simd { d with Ir.body = dce_body d.Ir.body })
+         | Ir.Simd_sum { acc; value; dir } ->
+             Some
+               (Ir.Simd_sum
+                  { acc; value; dir = { dir with Ir.body = dce_body dir.Ir.body } })
+         | Ir.Guarded b -> Some (Ir.Guarded (dce_body b))
+         | s -> Some s)
+
+let dce =
+  {
+    name = "dce";
+    transform = (fun k -> { k with Ir.body = dce_body k.Ir.body });
+  }
+
+(* --- simd unrolling ------------------------------------------------------ *)
+
+(* Unrolling replicates the body as region code, so it is only sound for
+   bodies whose replicas are idempotent under SPMD's redundant execution:
+   atomics are out. *)
+let rec has_atomic body =
+  List.exists
+    (fun (s : Ir.stmt) ->
+      match s with
+      | Ir.Atomic_add _ -> true
+      | Ir.If (_, a, b) -> has_atomic a || has_atomic b
+      | Ir.While (_, b) | Ir.For { body = b; _ } | Ir.Guarded b -> has_atomic b
+      | Ir.Distribute_parallel_for d | Ir.Parallel_for d | Ir.Simd d ->
+          has_atomic d.Ir.body
+      | Ir.Simd_sum { dir; _ } -> has_atomic dir.Ir.body
+      | Ir.Decl _ | Ir.Assign _ | Ir.Store _ | Ir.Store_int _ | Ir.Sync ->
+          false)
+    body
+
+(* Freshen the body's declarations per replica so replicas do not collide
+   in one scope. *)
+let rename_decls ~suffix body =
+  let decls =
+    List.filter_map
+      (function Ir.Decl { name; _ } -> Some name | _ -> None)
+      body
+  in
+  List.fold_left
+    (fun body name ->
+      let fresh = name ^ suffix in
+      Subst.stmts ~var:name ~by:(Ir.Var fresh)
+        (List.map
+           (fun (s : Ir.stmt) ->
+             match s with
+             | Ir.Decl { name = n; ty; init } when n = name ->
+                 Ir.Decl { name = fresh; ty; init }
+             | s -> s)
+           body))
+    body decls
+
+let unroll ?(max_trip = 8) () =
+  let rec stmts body = List.concat_map stmt body
+  and stmt (s : Ir.stmt) =
+    match s with
+    | Ir.Simd d -> (
+        match (d.Ir.lo, d.Ir.hi) with
+        | Ir.Int_lit lo, Ir.Int_lit hi
+          when hi - lo >= 1 && hi - lo <= max_trip
+               && not (has_atomic d.Ir.body) ->
+            List.concat_map
+              (fun iv ->
+                let body = stmts d.Ir.body in
+                let body = rename_decls ~suffix:(Printf.sprintf "__u%d" iv) body in
+                Subst.stmts ~var:d.Ir.loop_var ~by:(Ir.Int_lit iv) body)
+              (List.init (hi - lo) (fun k -> lo + k))
+        | _ -> [ Ir.Simd { d with Ir.body = stmts d.Ir.body } ])
+    | Ir.If (c, a, b) -> [ Ir.If (c, stmts a, stmts b) ]
+    | Ir.While (c, b) -> [ Ir.While (c, stmts b) ]
+    | Ir.For { var; lo; hi; body } -> [ Ir.For { var; lo; hi; body = stmts body } ]
+    | Ir.Distribute_parallel_for d ->
+        [ Ir.Distribute_parallel_for { d with Ir.body = stmts d.Ir.body } ]
+    | Ir.Parallel_for d -> [ Ir.Parallel_for { d with Ir.body = stmts d.Ir.body } ]
+    | Ir.Guarded b -> [ Ir.Guarded (stmts b) ]
+    | (Ir.Decl _ | Ir.Assign _ | Ir.Store _ | Ir.Store_int _ | Ir.Atomic_add _
+      | Ir.Simd_sum _ | Ir.Sync) as s ->
+        [ s ]
+  in
+  {
+    name = Printf.sprintf "unroll(%d)" max_trip;
+    transform = (fun k -> { k with Ir.body = stmts k.Ir.body });
+  }
+
+let default_pipeline = [ fold; dce ]
+
+let run passes kernel =
+  List.fold_left (fun k p -> p.transform k) kernel passes
+
+let run_verified passes kernel =
+  List.fold_left
+    (fun acc p ->
+      match acc with
+      | Error _ as e -> e
+      | Ok k -> (
+          let k = p.transform k in
+          match Check.kernel k with
+          | Ok () -> Ok k
+          | Error es -> Error (p.name, es)))
+    (Ok kernel) passes

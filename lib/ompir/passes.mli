@@ -1,0 +1,34 @@
+(** The optimization pipeline: named semantics-preserving kernel
+    transforms, composable and individually testable.
+
+    Passes operate before outlining.  Each is checked to preserve
+    well-formedness when the input was well-formed; the differential test
+    suite cross-checks results against unoptimized execution. *)
+
+type pass = { name : string; transform : Ir.kernel -> Ir.kernel }
+
+val fold : pass
+(** Constant folding / simplification ({!Fold}). *)
+
+val dce : pass
+(** Dead-code elimination: drops declarations never read and assignments
+    to scalars never read afterwards, when the right-hand side is pure
+    (loads stay — they can trap). *)
+
+val unroll : ?max_trip:int -> unit -> pass
+(** Full unrolling of [simd] loops with a small constant trip count
+    (default limit 8): the body is replicated with the loop variable
+    substituted.  Mirrors what a vectorizing compiler does to expose the
+    lanes; in the simulator's terms the unrolled loop becomes straight
+    region code (every lane executes every replica), so this is only
+    profitable for tiny trips — which is why the limit is small. *)
+
+val default_pipeline : pass list
+(** [fold; dce] — the pipeline {!Openmp.Offload.compile} applies. *)
+
+val run : pass list -> Ir.kernel -> Ir.kernel
+
+val run_verified :
+  pass list -> Ir.kernel -> (Ir.kernel, string * Check.error list) result
+(** Like {!run} but re-checks after every pass, reporting the name of the
+    first pass that broke the kernel — a pass-author debugging aid. *)

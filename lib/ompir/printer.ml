@@ -1,0 +1,122 @@
+let binop_str = function
+  | Ir.Add -> "+"
+  | Ir.Sub -> "-"
+  | Ir.Mul -> "*"
+  | Ir.Div -> "/"
+  | Ir.Mod -> "%"
+  | Ir.Min -> "min"
+  | Ir.Max -> "max"
+  | Ir.Lt -> "<"
+  | Ir.Le -> "<="
+  | Ir.Gt -> ">"
+  | Ir.Ge -> ">="
+  | Ir.Eq -> "=="
+  | Ir.Ne -> "!="
+  | Ir.And -> "&&"
+  | Ir.Or -> "||"
+
+let unop_str = function
+  | Ir.Neg -> "-"
+  | Ir.Not -> "!"
+  | Ir.To_float -> "(double)"
+  | Ir.To_int -> "(int)"
+  | Ir.Sqrt -> "sqrt"
+  | Ir.Exp -> "exp"
+  | Ir.Log -> "log"
+  | Ir.Abs -> "fabs"
+
+let rec pp_expr ppf (e : Ir.expr) =
+  match e with
+  | Ir.Int_lit n -> Format.pp_print_int ppf n
+  | Ir.Float_lit x ->
+      (* keep float literals lexically float so printed kernels reparse
+         with the same types *)
+      if Float.is_integer x && Float.abs x < 1e15 then
+        Format.fprintf ppf "%.1f" x
+      else Format.fprintf ppf "%g" x
+  | Ir.Var name -> Format.pp_print_string ppf name
+  | Ir.Binop ((Ir.Min | Ir.Max) as op, a, b) ->
+      Format.fprintf ppf "%s(%a, %a)" (binop_str op) pp_expr a pp_expr b
+  | Ir.Binop (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_str op) pp_expr b
+  | Ir.Unop (((Ir.Sqrt | Ir.Exp | Ir.Log | Ir.Abs) as op), a) ->
+      Format.fprintf ppf "%s(%a)" (unop_str op) pp_expr a
+  | Ir.Unop (op, a) -> Format.fprintf ppf "%s%a" (unop_str op) pp_expr a
+  | Ir.Load (arr, idx) | Ir.Load_int (arr, idx) ->
+      Format.fprintf ppf "%s[%a]" arr pp_expr idx
+
+let rec pp_block ppf body =
+  Format.fprintf ppf "{@;<1 2>@[<v>%a@]@ }"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt)
+    body
+
+and pp_loop ppf ~pragma (d : Ir.loop_directive) =
+  let sched =
+    match d.Ir.sched with
+    | Ir.Sched_static -> ""
+    | Ir.Sched_chunked n -> Printf.sprintf " schedule(static,%d)" n
+    | Ir.Sched_dynamic n -> Printf.sprintf " schedule(dynamic,%d)" n
+  in
+  Format.fprintf ppf "@[<v>#pragma omp %s%s%s@,for (int %s = %a; %s < %a; %s++) %a@]"
+    pragma sched
+    (if d.Ir.fn_id >= 0 then Printf.sprintf "  /* fn_id %d */" d.Ir.fn_id
+     else "")
+    d.Ir.loop_var pp_expr d.Ir.lo d.Ir.loop_var pp_expr d.Ir.hi d.Ir.loop_var
+    pp_block d.Ir.body
+
+and pp_stmt ppf (s : Ir.stmt) =
+  match s with
+  | Ir.Decl { name; ty; init } ->
+      Format.fprintf ppf "%s %s = %a;"
+        (match ty with Ir.Tint -> "int" | Ir.Tfloat -> "double")
+        name pp_expr init
+  | Ir.Assign (name, e) -> Format.fprintf ppf "%s = %a;" name pp_expr e
+  | Ir.Store (arr, idx, value) | Ir.Store_int (arr, idx, value) ->
+      Format.fprintf ppf "%s[%a] = %a;" arr pp_expr idx pp_expr value
+  | Ir.Atomic_add (arr, idx, value) ->
+      Format.fprintf ppf "#pragma omp atomic@,%s[%a] += %a;" arr pp_expr idx
+        pp_expr value
+  | Ir.If (cond, then_, else_) ->
+      if else_ = [] then
+        Format.fprintf ppf "@[<v>if (%a) %a@]" pp_expr cond pp_block then_
+      else
+        Format.fprintf ppf "@[<v>if (%a) %a else %a@]" pp_expr cond pp_block
+          then_ pp_block else_
+  | Ir.While (cond, body) ->
+      Format.fprintf ppf "@[<v>while (%a) %a@]" pp_expr cond pp_block body
+  | Ir.For { var; lo; hi; body } ->
+      Format.fprintf ppf "@[<v>for (int %s = %a; %s < %a; %s++) %a@]" var
+        pp_expr lo var pp_expr hi var pp_block body
+  | Ir.Distribute_parallel_for d ->
+      pp_loop ppf ~pragma:"teams distribute parallel for" d
+  | Ir.Parallel_for d -> pp_loop ppf ~pragma:"parallel for" d
+  | Ir.Simd d -> pp_loop ppf ~pragma:"simd" d
+  | Ir.Simd_sum { acc; value; dir = d } ->
+      (* printed in the concrete syntax the parser accepts: the summand
+         as a trailing `acc += value;` inside the loop *)
+      let with_sum =
+        { d with Ir.body = d.Ir.body @ [ Ir.Assign (acc, Ir.Binop (Ir.Add, Ir.Var acc, value)) ] }
+      in
+      pp_loop ppf ~pragma:(Printf.sprintf "simd reduction(+:%s)" acc) with_sum
+  | Ir.Guarded body ->
+      Format.fprintf ppf
+        "@[<v>/* SIMD main only, then broadcast */@,guarded %a@]" pp_block body
+  | Ir.Sync -> Format.pp_print_string ppf "#pragma omp barrier"
+
+let pp_kernel ppf (k : Ir.kernel) =
+  let param ppf (p : Ir.param) =
+    Format.fprintf ppf "%s %s"
+      (match p.Ir.pty with
+      | Ir.P_farray -> "double*"
+      | Ir.P_iarray -> "int*"
+      | Ir.P_int -> "int"
+      | Ir.P_float -> "double")
+      p.Ir.pname
+  in
+  Format.fprintf ppf "@[<v>void %s(%a)@,@[<v>%a@]@]" k.Ir.kname
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       param)
+    k.Ir.params pp_block k.Ir.body
+
+let kernel_to_string k = Format.asprintf "%a" pp_kernel k

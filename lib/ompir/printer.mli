@@ -1,0 +1,8 @@
+(** Pretty-printer: renders a kernel as pragma-annotated pseudo-C, the
+    way the corresponding OpenMP source would read.  Useful in examples
+    and for golden tests of the passes. *)
+
+val pp_expr : Format.formatter -> Ir.expr -> unit
+val pp_stmt : Format.formatter -> Ir.stmt -> unit
+val pp_kernel : Format.formatter -> Ir.kernel -> unit
+val kernel_to_string : Ir.kernel -> string

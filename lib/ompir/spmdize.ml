@@ -1,0 +1,146 @@
+(* A statement is innocuous outside a simd loop if it cannot write
+   anything observable: declarations and pure control flow are fine,
+   stores/atomics are not, and assignments only touch region-local
+   declarations (each redundant thread owns its copy). *)
+let rec side_effect_free_outside_simd ~locals stmts =
+  let stmt locals (s : Ir.stmt) =
+    match s with
+    | Ir.Decl { name; _ } -> (true, name :: locals)
+    | Ir.Assign (name, _) -> (List.mem name locals, locals)
+    | Ir.Store _ | Ir.Store_int _ | Ir.Atomic_add _ -> (false, locals)
+    | Ir.Sync -> (true, locals)
+    | Ir.Simd _ -> (true, locals) (* side effects inside simd are the point *)
+    | Ir.Simd_sum { acc; _ } ->
+        (* the group total lands in [acc] on the executing threads: safe
+           exactly when [acc] is region-local *)
+        (List.mem acc locals, locals)
+    | Ir.Guarded body ->
+        (* guarding is exactly what makes the block SPMD-safe; its
+           declarations extend the enclosing scope *)
+        let decls =
+          List.filter_map
+            (function Ir.Decl { name; _ } -> Some name | _ -> None)
+            body
+        in
+        (true, decls @ locals)
+    | Ir.If (_, a, b) ->
+        ( side_effect_free_outside_simd ~locals a
+          && side_effect_free_outside_simd ~locals b,
+          locals )
+    | Ir.While (_, body) | Ir.For { body; _ } ->
+        (side_effect_free_outside_simd ~locals body, locals)
+    | Ir.Parallel_for _ | Ir.Distribute_parallel_for _ ->
+        (* nested parallelism is outside this analysis: stay generic *)
+        (false, locals)
+  in
+  let ok, _ =
+    List.fold_left
+      (fun (ok, locals) s ->
+        if not ok then (false, locals)
+        else
+          let ok', locals = stmt locals s in
+          (ok && ok', locals))
+      (true, locals) stmts
+  in
+  ok
+
+let directive_mode (d : Ir.loop_directive) =
+  if side_effect_free_outside_simd ~locals:[] d.Ir.body then Omprt.Mode.Spmd
+  else Omprt.Mode.Generic
+
+let analyze (k : Ir.kernel) =
+  Ir.fold_directives
+    (fun acc s ->
+      match s with
+      | Ir.Parallel_for d | Ir.Distribute_parallel_for d ->
+          acc @ [ (d.Ir.loop_var, directive_mode d) ]
+      | _ -> acc)
+    [] k.Ir.body
+
+let all_spmd k =
+  List.for_all (fun (_, m) -> m = Omprt.Mode.Spmd) (analyze k)
+
+
+(* --- guardize: the transform of [16] applied at the parallel level ----
+
+   Wrap every side-effecting statement of a parallel body's sequential
+   part in a [Guarded] block, making the region SPMD-safe: the SIMD main
+   executes the guarded code once and broadcasts declared values.  Only
+   statement runs *outside* simd loops are touched. *)
+
+let rec contains_directive body =
+  List.exists
+    (fun (s : Ir.stmt) ->
+      match s with
+      | Ir.Simd _ | Ir.Simd_sum _ | Ir.Parallel_for _
+      | Ir.Distribute_parallel_for _ ->
+          true
+      | Ir.If (_, a, b) -> contains_directive a || contains_directive b
+      | Ir.While (_, b) | Ir.For { body = b; _ } | Ir.Guarded b ->
+          contains_directive b
+      | Ir.Decl _ | Ir.Assign _ | Ir.Store _ | Ir.Store_int _
+      | Ir.Atomic_add _ | Ir.Sync ->
+          false)
+    body
+
+let rec is_offender ~locals (s : Ir.stmt) =
+  match s with
+  | Ir.Store _ | Ir.Store_int _ | Ir.Atomic_add _ -> true
+  | Ir.Assign (name, _) -> not (List.mem name locals)
+  | Ir.If (_, a, b) ->
+      (* a control structure is only guardable when no worksharing
+         directive hides inside: guarding a simd loop would desynchronize
+         its group protocol *)
+      (not (contains_directive a || contains_directive b))
+      && (List.exists (is_offender ~locals) a
+         || List.exists (is_offender ~locals) b)
+  | Ir.While (_, body) | Ir.For { body; _ } ->
+      (not (contains_directive body))
+      && List.exists (is_offender ~locals) body
+  | Ir.Decl _ | Ir.Simd _ | Ir.Simd_sum _ | Ir.Guarded _ | Ir.Sync -> false
+  | Ir.Parallel_for _ | Ir.Distribute_parallel_for _ -> false
+
+let guardize_body body =
+  let guards = ref 0 in
+  let flush pending acc =
+    match pending with
+    | [] -> acc
+    | run ->
+        incr guards;
+        Ir.Guarded (List.rev run) :: acc
+  in
+  let rec go locals pending acc = function
+    | [] -> List.rev (flush pending acc)
+    | s :: rest ->
+        if is_offender ~locals s then go locals (s :: pending) acc rest
+        else
+          let locals =
+            match s with Ir.Decl { name; _ } -> name :: locals | _ -> locals
+          in
+          go locals [] (s :: flush pending acc) rest
+  in
+  let result = go [] [] [] body in
+  (result, !guards)
+
+let guardize (k : Ir.kernel) =
+  let total = ref 0 in
+  let rec stmts body = List.map stmt body
+  and stmt (s : Ir.stmt) =
+    match s with
+    | Ir.Parallel_for d ->
+        let body, n = guardize_body d.Ir.body in
+        total := Stdlib.( + ) !total n;
+        Ir.Parallel_for { d with Ir.body }
+    | Ir.Distribute_parallel_for d ->
+        let body, n = guardize_body d.Ir.body in
+        total := Stdlib.( + ) !total n;
+        Ir.Distribute_parallel_for { d with Ir.body }
+    | Ir.If (c, a, b) -> Ir.If (c, stmts a, stmts b)
+    | Ir.While (c, body) -> Ir.While (c, stmts body)
+    | Ir.For { var; lo; hi; body } -> Ir.For { var; lo; hi; body = stmts body }
+    | ( Ir.Decl _ | Ir.Assign _ | Ir.Store _ | Ir.Store_int _ | Ir.Atomic_add _
+      | Ir.Simd _ | Ir.Simd_sum _ | Ir.Guarded _ | Ir.Sync ) as s ->
+        s
+  in
+  let body = stmts k.Ir.body in
+  ({ k with Ir.body }, !total)

@@ -1,0 +1,27 @@
+(** SPMD-ization analysis (§3.2, [16]'s tight-nesting criterion).
+
+    A parallel region may run in SPMD mode — every thread executing the
+    region code redundantly — only when the sequential code around its
+    simd loops produces no side effects, since it will run once per lane
+    instead of once.  The tractable sufficient condition the compilers
+    use, and which this pass implements, is: every store, atomic, or
+    assignment to a captured scalar inside the parallel body must be
+    {e inside} a simd loop; everything outside may only compute values.
+    Regions that pass are marked [Spmd]; the rest stay [Generic]. *)
+
+val directive_mode : Ir.loop_directive -> Omprt.Mode.t
+(** Mode for one [parallel for] / [distribute parallel for] body. *)
+
+val analyze : Ir.kernel -> (string * Omprt.Mode.t) list
+(** Mode per parallel-level directive, keyed by loop variable, in
+    syntactic order. *)
+
+val all_spmd : Ir.kernel -> bool
+
+val guardize : Ir.kernel -> Ir.kernel * int
+(** The transform the paper's §7 plans (extending [16] to parallel
+    regions): wrap every side-effecting statement in the sequential part
+    of a parallel body in a {!Ir.Guarded} block, making the region
+    SPMD-safe at the price of per-block guarding and value broadcasting.
+    Returns the rewritten kernel and the number of guards inserted.
+    Statements already inside simd loops are untouched. *)

@@ -1,0 +1,11 @@
+(** Capture-avoiding variable substitution over expressions and
+    statement lists — the support machinery for unrolling and other
+    body-duplicating transforms. *)
+
+val expr : var:string -> by:Ir.expr -> Ir.expr -> Ir.expr
+(** Replace every free occurrence of [var]. *)
+
+val stmts : var:string -> by:Ir.expr -> Ir.stmt list -> Ir.stmt list
+(** Substitution stops at rebinding sites: a [Decl] of [var], or a loop /
+    directive whose loop variable is [var], shadows it for the remainder
+    of the scope. *)

@@ -1,0 +1,36 @@
+(** Outlined-function argument payloads (§4.1).
+
+    Captured variables are aggregated into one payload, packed before the
+    runtime call and unpacked inside the outlined function — the OCaml
+    analogue of LLVM's `void **args`.  Each slot is "pointer-sized": the
+    sharing space accounts 8 bytes per argument. *)
+
+type value =
+  | Int of int ref
+  | Float of float ref
+  | Farr of Gpusim.Memory.farray
+  | Iarr of Gpusim.Memory.iarray
+
+type t = value array
+
+exception Type_error of string
+(** Raised by the typed accessors on slot/type mismatch — the moral
+    equivalent of a miscompiled payload unpack. *)
+
+val empty : t
+val of_list : value list -> t
+val length : t -> int
+
+val int_ref : t -> int -> int ref
+val float_ref : t -> int -> float ref
+val farr : t -> int -> Gpusim.Memory.farray
+val iarr : t -> int -> Gpusim.Memory.iarray
+
+val bytes : t -> int
+(** 8 bytes per argument slot. *)
+
+val pack : Gpusim.Thread.t -> t -> unit
+(** Charge the cost of aggregating the payload (one ALU op per slot). *)
+
+val unpack : Gpusim.Thread.t -> t -> unit
+(** Charge the cost of unpacking inside the outlined function. *)

@@ -1,0 +1,5 @@
+type t = { identity : float; combine : float -> float -> float }
+
+let sum = { identity = 0.0; combine = ( +. ) }
+let max = { identity = Float.neg_infinity; combine = Float.max }
+let min = { identity = Float.infinity; combine = Float.min }

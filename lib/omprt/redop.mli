@@ -1,0 +1,9 @@
+(** Reduction operators over floats — shared by the warp-shuffle
+    reductions and the simd-loop reduction protocol.  A record rather
+    than a variant so user code can bring its own monoid. *)
+
+type t = { identity : float; combine : float -> float -> float }
+
+val sum : t
+val max : t
+val min : t

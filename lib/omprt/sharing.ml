@@ -1,0 +1,89 @@
+type location = Shared_space | Global_fallback
+
+type t = {
+  total_bytes : int;
+  mutable current_slice : int;
+  mutable global_fallbacks : int;
+  mutable shared_grants : int;
+}
+
+let default_bytes = 2048
+
+let create ~arena ~bytes =
+  match Gpusim.Shared.alloc arena ~bytes with
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Sharing.create: %d B sharing space exceeds block shared memory"
+           bytes)
+  | Some (_ : int) ->
+      {
+        total_bytes = bytes;
+        current_slice = bytes;
+        global_fallbacks = 0;
+        shared_grants = 0;
+      }
+
+let total_bytes t = t.total_bytes
+
+let configure t ~num_groups =
+  if num_groups < 0 then invalid_arg "Sharing.configure: num_groups";
+  (* The team main thread writes here too (§5.3.1), hence the +1 slice.
+     [num_groups = 0] is the classic two-level configuration: no SIMD
+     mains share the space, the team main keeps all of it. *)
+  t.current_slice <- t.total_bytes / (num_groups + 1)
+
+let slice_bytes t = t.current_slice
+
+let global_access_cost (th : Gpusim.Thread.t) =
+  let cost = th.Gpusim.Thread.cfg.Gpusim.Config.cost in
+  cost.Gpusim.Config.mem_issue +. cost.Gpusim.Config.mem_miss_latency
+
+let acquire t th ~nargs =
+  if nargs * 8 <= t.current_slice then begin
+    t.shared_grants <- t.shared_grants + 1;
+    Shared_space
+  end
+  else begin
+    t.global_fallbacks <- t.global_fallbacks + 1;
+    Gpusim.Counters.bump th.Gpusim.Thread.counters "sharing.global_fallbacks" 1.0;
+    (* A device-side malloc: runtime lock traffic plus the round-trip to
+       set up the fresh global buffer — far costlier than the shared
+       slab, which is the point of §5.3.1's sizing discussion. *)
+    Gpusim.Thread.tick th (2.0 *. global_access_cost th);
+    Gpusim.Thread.tick_wait th (6.0 *. global_access_cost th);
+    Global_fallback
+  end
+
+let copy_cost ?(sharers = 1) t th location payload =
+  ignore t;
+  let n = Payload.length payload in
+  match location with
+  | Shared_space ->
+      for _ = 1 to n do
+        Gpusim.Shared.touch th ~bytes:8
+      done
+  | Global_fallback ->
+      (* every slot is a real global-memory round trip, and the freshly
+         allocated buffer is always cold: its sectors hit DRAM *)
+      let cfg = th.Gpusim.Thread.cfg in
+      let c = th.Gpusim.Thread.counters in
+      let sectors =
+        (n * 8 / cfg.Gpusim.Config.line_bytes)
+        + (if n * 8 mod cfg.Gpusim.Config.line_bytes = 0 then 0 else 1)
+      in
+      (* concurrent same-buffer copies by the group's lanes coalesce *)
+      let share = float_of_int (max 1 sharers) in
+      c.Gpusim.Counters.dram_bytes <-
+        c.Gpusim.Counters.dram_bytes
+        +. (float_of_int (sectors * cfg.Gpusim.Config.line_bytes) /. share);
+      c.Gpusim.Counters.lsu_transactions <-
+        c.Gpusim.Counters.lsu_transactions +. (float_of_int sectors /. share);
+      Gpusim.Thread.tick th
+        (float_of_int n *. cfg.Gpusim.Config.cost.Gpusim.Config.mem_issue);
+      Gpusim.Thread.tick_wait th (float_of_int n *. global_access_cost th)
+
+let publish t th location payload = copy_cost t th location payload
+let fetch = copy_cost
+let global_fallbacks t = t.global_fallbacks
+let shared_grants t = t.shared_grants

@@ -1,0 +1,51 @@
+(** The variable-sharing space (§5.3.1).
+
+    A static slab of GPU shared memory (paper default grown from 1024 to
+    2048 bytes) through which main threads publish outlined-function
+    arguments to their workers.  On entry to a parallel region the slab is
+    divided evenly among the SIMD groups plus the team main thread; a group
+    whose payload does not fit its slice falls back to a fresh global-memory
+    allocation, freed at the end of the region. *)
+
+type location =
+  | Shared_space  (** payload fits the group's slice of the slab *)
+  | Global_fallback  (** overflow: per-group global allocation *)
+
+type t
+
+val default_bytes : int
+(** 2048 — the paper's enlarged reservation. *)
+
+val create : arena:Gpusim.Shared.arena -> bytes:int -> t
+(** Statically reserve [bytes] of the block's shared memory.
+    @raise Invalid_argument if the arena cannot fit the reservation. *)
+
+val total_bytes : t -> int
+
+val configure : t -> num_groups:int -> unit
+(** Called on parallel-region entry: split the slab across [num_groups]
+    SIMD groups plus the team main.  Zero groups means a classic
+    (SPMD / no-simd) region where only the team main publishes and keeps
+    the whole slab.  @raise Invalid_argument on negative [num_groups]. *)
+
+val slice_bytes : t -> int
+(** Bytes available to each main thread under the current configuration. *)
+
+val acquire : t -> Gpusim.Thread.t -> nargs:int -> location
+(** Decide where a payload of [nargs] pointer-sized slots lives.  A global
+    fallback charges an allocation round-trip and is counted. *)
+
+val publish : t -> Gpusim.Thread.t -> location -> Payload.t -> unit
+(** Main-side copy of the payload into the sharing location (per-slot
+    shared-memory or global-memory store costs). *)
+
+val fetch :
+  ?sharers:int -> t -> Gpusim.Thread.t -> location -> Payload.t -> unit
+(** Worker-side fetch of a published payload.  [sharers] is how many
+    threads fetch the same buffer concurrently — their global-memory
+    traffic coalesces. *)
+
+val global_fallbacks : t -> int
+(** How many acquires overflowed to global memory since creation. *)
+
+val shared_grants : t -> int

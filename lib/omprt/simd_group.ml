@@ -1,0 +1,37 @@
+module Mask = Ompsimd_util.Mask
+
+type t = { group_size : int; num_groups : int; groups_per_warp : int }
+
+let make ~warp_size ~num_workers ~group_size =
+  if group_size <= 0 || group_size > warp_size || warp_size mod group_size <> 0
+  then
+    invalid_arg
+      (Printf.sprintf "Simd_group.make: group size %d does not divide warp %d"
+         group_size warp_size);
+  if num_workers <= 0 || num_workers mod group_size <> 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Simd_group.make: %d workers not a positive multiple of group %d"
+         num_workers group_size);
+  {
+    group_size;
+    num_groups = num_workers / group_size;
+    groups_per_warp = warp_size / group_size;
+  }
+
+let get_simd_group t ~tid = tid / t.group_size
+let get_simd_group_id t ~tid = tid mod t.group_size
+let get_simd_group_size t = t.group_size
+let is_simd_group_leader t ~tid = get_simd_group_id t ~tid = 0
+
+let simdmask t ~tid =
+  let group_in_warp = get_simd_group t ~tid mod t.groups_per_warp in
+  Mask.group ~group_size:t.group_size ~group_index:group_in_warp
+
+let leader_tid t ~group =
+  if group < 0 || group >= t.num_groups then
+    invalid_arg "Simd_group.leader_tid: group out of range";
+  group * t.group_size
+
+let valid_group_sizes ~warp_size =
+  List.filter (fun d -> warp_size mod d = 0) (List.init warp_size (fun i -> i + 1))

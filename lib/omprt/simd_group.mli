@@ -1,0 +1,40 @@
+(** SIMD-group geometry (§5.1).
+
+    A team's worker threads are evenly divided into SIMD groups; every
+    group lives inside a single warp (the implementation "does not allow
+    SIMD groups to encompass multiple warps as it extensively utilizes
+    warp-level thread barriers").  One thread per group — lane offset 0 —
+    is the SIMD main.
+
+    These are the pure counterparts of the paper's runtime mapping
+    functions: [getSimdGroup], [getSimdGroupId], [getSimdGroupSize],
+    [isSimdGroupLeader] and [simdmask]. *)
+
+type t = private {
+  group_size : int;  (** threads per group; divides the warp size *)
+  num_groups : int;  (** groups in the team *)
+  groups_per_warp : int;
+}
+
+val make : warp_size:int -> num_workers:int -> group_size:int -> t
+(** @raise Invalid_argument when [group_size] does not divide [warp_size],
+    or [num_workers] is not a positive multiple of [group_size]. *)
+
+val get_simd_group : t -> tid:int -> int
+(** Which group the thread belongs to (paper: getSimdGroup). *)
+
+val get_simd_group_id : t -> tid:int -> int
+(** The thread's id within its group; mains have id 0 (getSimdGroupId). *)
+
+val get_simd_group_size : t -> int
+
+val is_simd_group_leader : t -> tid:int -> bool
+
+val simdmask : t -> tid:int -> Ompsimd_util.Mask.t
+(** Warp bit-mask of the lanes sharing the thread's group (simdmask). *)
+
+val leader_tid : t -> group:int -> int
+(** Team-local tid of a group's SIMD main. *)
+
+val valid_group_sizes : warp_size:int -> int list
+(** Divisors of the warp size, ascending — the legal [simdlen] values. *)

@@ -1,0 +1,29 @@
+(** Offloaded-region entry: [__target_init], the team state machine, and
+    the kernel launcher (§5.2, Fig 5).
+
+    In SPMD teams mode every thread returns from initialization straight
+    into the target-region body.  In generic teams mode only the team main
+    thread (lane 0 of the extra warp, Fig 2) runs the body; worker threads
+    enter the team state machine where they idle at the team barrier until
+    the main thread publishes a parallel region, and the remaining lanes of
+    the main warp retire immediately. *)
+
+val launch :
+  cfg:Gpusim.Config.t ->
+  ?trace:Gpusim.Trace.t ->
+  params:Team.params ->
+  ?dispatch_table_size:int ->
+  (Team.ctx -> unit) ->
+  Gpusim.Device.report
+(** [launch ~cfg ~params body] runs the target region [body] on
+    [params.num_teams] teams of [params.num_threads] worker threads.
+    [dispatch_table_size] is the number of outlined regions the compiler
+    put in the if-cascade dispatcher (§5.5); ids beyond it pay the
+    indirect-call penalty.  The returned report carries the simulated
+    kernel time and merged counters. *)
+
+val team_state_machine : (Team.ctx -> unit) -> Team.ctx -> unit
+(** Worker-thread loop for generic teams mode — exposed for tests.  The
+    first argument is unused by workers (they receive outlined functions
+    through the signal slot) but keeps the signature parallel to the main
+    path. *)

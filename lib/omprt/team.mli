@@ -1,0 +1,163 @@
+(** Per-team runtime state (§5).
+
+    One value of type {!t} is shared by all threads of a block: it carries
+    the execution modes, the signal slots through which main threads hand
+    outlined functions to their workers, the variable-sharing space, and
+    the team's barriers.  The record is exposed concretely because the
+    runtime's behaviour modules ([Parallel], [Simd], [Target]) are its
+    co-implementors; user code goes through the [Openmp] frontend and never
+    touches it. *)
+
+type params = {
+  num_teams : int;
+  num_threads : int;  (** worker threads per team; a warp multiple *)
+  teams_mode : Mode.t;
+  sharing_bytes : int;  (** static sharing-space reservation *)
+}
+
+val default_params : params
+(** 1 team x 1 warp, SPMD, 2048-byte sharing space. *)
+
+type ctx = { th : Gpusim.Thread.t; team : t }
+(** What an executing thread sees: its lane and its team. *)
+
+and microtask = ctx -> Payload.t -> unit
+(** An outlined [parallel]-region body. *)
+
+and simd_body = ctx -> int -> Payload.t -> unit
+(** An outlined [simd] loop body; the [int] is the iteration number. *)
+
+and parallel_task = {
+  fn : microtask;
+  fn_id : int;  (** outlined-region id for dispatch-cost modelling (§5.5) *)
+  payload : Payload.t;
+  task_mode : Mode.t;  (** mode of this parallel region *)
+  group_size : int;  (** SIMD group size for this region *)
+  mutable payload_location : Sharing.location;
+      (** where the team main published the payload (generic teams mode) *)
+}
+
+and simd_reducer = ctx -> int -> Payload.t -> float
+(** A simd loop body contributing one summand per iteration (extension). *)
+
+and simd_slot = {
+  mutable simd_fn : simd_body option;
+  mutable simd_red_fn : simd_reducer option;
+      (** set instead of [simd_fn] for reducing loops: workers must join
+          the group reduction after their share of the iterations *)
+  mutable simd_red_op : Redop.t;
+      (** the monoid of the current reducing loop *)
+  mutable simd_fn_id : int;
+  mutable simd_trip : int;
+  mutable simd_args : Payload.t;
+  mutable simd_args_location : Sharing.location;
+}
+
+and t = {
+  cfg : Gpusim.Config.t;
+  block_id : int;
+  params : params;
+  num_workers : int;
+  main_tid : int option;  (** the extra warp's lane 0, generic mode only *)
+  team_barrier : Gpusim.Barrier.t;
+  warp_barriers : (int, Gpusim.Barrier.t) Hashtbl.t;
+  region_barriers : (int, Gpusim.Barrier.t) Hashtbl.t;
+      (** barriers over the threads executing the current parallel region,
+          keyed by participant count *)
+  lockstep_barriers : (int, Gpusim.Barrier.t) Hashtbl.t;
+      (** zero-cost alignment barriers modelling the implicit SIMT
+          lockstep of a group's lanes inside a simd loop *)
+  sharing : Sharing.t;
+  simd_slots : simd_slot array;  (** indexed by SIMD group *)
+  mutable parallel_signal : parallel_task option;
+      (** the team main's signal to workers in teams-generic mode *)
+  mutable active_geometry : Simd_group.t option;
+      (** set while a parallel region executes *)
+  mutable active_task : parallel_task option;
+      (** the parallel region currently executing (any teams mode) *)
+  mutable dispatch_table_size : int;
+      (** outlined regions known to the if-cascade dispatcher (§5.5) *)
+  red_scratch : float array;
+      (** per-worker reduction scratch (one slot per tid), extension §7 *)
+  mutable dyn_counter : int;
+      (** shared iteration counter for dynamically-scheduled worksharing
+          loops (extension): OpenMP threads grab chunks with an atomic
+          fetch-add *)
+  in_region : bool array;
+      (** per-worker flag: inside a parallel region's outlined body.
+          Used to reject nested [parallel] with a clear error (LLVM
+          serializes nested regions; this runtime asks the program to
+          restructure instead). *)
+}
+
+val create :
+  cfg:Gpusim.Config.t ->
+  arena:Gpusim.Shared.arena ->
+  params:params ->
+  block_id:int ->
+  t
+(** Build the team state and statically reserve the sharing space.
+    @raise Invalid_argument if [num_threads] is not a positive warp
+    multiple, or the block would exceed device limits. *)
+
+val block_threads : cfg:Gpusim.Config.t -> params -> int
+(** Threads the block must launch with: [num_threads], plus one extra warp
+    for the team main in generic mode (§5.1 / Fig 2). *)
+
+type role =
+  | Team_main  (** lane 0 of the extra warp (generic mode) *)
+  | Worker
+  | Inactive_main_lane  (** remaining lanes of the extra warp *)
+
+val role : t -> tid:int -> role
+
+val geometry : t -> Simd_group.t
+(** Geometry of the active parallel region.
+    @raise Failure when no parallel region is active. *)
+
+val slot : t -> group:int -> simd_slot
+
+val sync_warp : ctx -> unit
+(** Masked warp-level barrier over the calling thread's SIMD group
+    (CUDA [__syncwarp(simdmask())]).  A no-op for singleton groups.  On a
+    device without explicit wavefront barriers (§5.4.1) it degrades to
+    the implicit-lockstep alignment, which suffices for the SPMD path;
+    generic-mode signalling cannot use it and is degraded to singleton
+    groups by {!Parallel.parallel} before ever reaching here. *)
+
+val team_barrier_wait : ctx -> unit
+(** Block-wide barrier over workers + team main. *)
+
+val lockstep_align : ctx -> unit
+(** Align the SIMD group's virtual clocks without cost or counter
+    traffic.  Models the implicit instruction-level lockstep of the
+    lanes inside a simd workshare loop — on hardware the lanes of a warp
+    advance together; the fiber engine runs them to completion one at a
+    time, so without realignment their clocks would drift and
+    same-instruction accesses would stop looking concurrent to the
+    coalescing model.  A no-op for singleton groups. *)
+
+val executing_threads : t -> int
+(** How many threads execute the active parallel region's code: all
+    workers in SPMD mode, one SIMD main per group in generic mode.
+    @raise Failure when no region is active. *)
+
+val region_barrier_wait : ctx -> unit
+(** Barrier over exactly the threads executing the current region — what
+    an [omp barrier] or a reduction inside the region compiles to.  Every
+    executing thread must call it the same number of times. *)
+
+val charge_flops : ctx -> int -> unit
+(** Account floating-point work done by a kernel body written against the
+    direct (closure) API — the IR evaluator does this automatically, but a
+    hand-written body's arithmetic is invisible to the simulator without
+    it. *)
+
+val charge_alu : ctx -> int -> unit
+val charge_special : ctx -> int -> unit
+(** Square roots, exponentials, divisions. *)
+
+val invoke_microtask : ctx -> fn_id:int -> (unit -> unit) -> unit
+(** Run an outlined region, charging the §5.5 dispatch cost: an if-cascade
+    compare per known region when the id is in the table, the indirect-call
+    penalty otherwise. *)

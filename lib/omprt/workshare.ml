@@ -1,0 +1,205 @@
+type schedule = Static | Chunked of int | Dynamic of int
+
+let check_geometry_args ~id ~num ~trip =
+  if num <= 0 then invalid_arg "Workshare: worker count must be positive";
+  if id < 0 || id >= num then invalid_arg "Workshare: worker id out of range";
+  if trip < 0 then invalid_arg "Workshare: negative trip count"
+
+let iterations schedule ~id ~num ~trip =
+  check_geometry_args ~id ~num ~trip;
+  match schedule with
+  | Dynamic _ -> invalid_arg "Workshare.iterations: dynamic has no static set"
+  | Static ->
+      let rec go i acc = if i >= trip then List.rev acc else go (i + num) (i :: acc) in
+      go id []
+  | Chunked chunk ->
+      if chunk <= 0 then invalid_arg "Workshare: chunk must be positive";
+      let rec chunks base acc =
+        if base >= trip then List.rev acc
+        else
+          let hi = min trip (base + chunk) in
+          let acc = List.rev_append (List.init (hi - base) (fun k -> base + k)) acc in
+          chunks (base + (num * chunk)) acc
+      in
+      chunks (id * chunk) []
+
+
+(* Per-iteration loop overhead: induction update + bound compare/branch. *)
+let step_cost (ctx : Team.ctx) =
+  let cost = ctx.team.Team.cfg.Gpusim.Config.cost in
+  cost.Gpusim.Config.alu +. cost.Gpusim.Config.branch
+
+(* One fetch-add on the team's shared loop counter.  In SPMD mode the
+   whole SIMD group is one OpenMP thread, so the group's main grabs and
+   broadcasts the base through scratch; in generic mode only mains execute
+   loop code and grab directly. *)
+let group_grab (ctx : Team.ctx) ~chunk =
+  let team = ctx.Team.team in
+  let cost = team.Team.cfg.Gpusim.Config.cost in
+  let grab () =
+    Gpusim.Thread.tick ctx.Team.th cost.Gpusim.Config.atomic;
+    ctx.Team.th.Gpusim.Thread.counters.Gpusim.Counters.atomics <-
+      ctx.Team.th.Gpusim.Thread.counters.Gpusim.Counters.atomics + 1;
+    let base = team.Team.dyn_counter in
+    team.Team.dyn_counter <- base + chunk;
+    base
+  in
+  let g = Team.geometry team in
+  let gs = Simd_group.get_simd_group_size g in
+  let spmd_task =
+    match team.Team.active_task with
+    | Some task -> task.Team.task_mode = Mode.Spmd
+    | None -> true
+  in
+  if gs = 1 || not spmd_task then grab ()
+  else begin
+    let tid = ctx.Team.th.Gpusim.Thread.tid in
+    let group = Simd_group.get_simd_group g ~tid in
+    let leader = Simd_group.leader_tid g ~group in
+    if tid = leader then
+      team.Team.red_scratch.(leader) <- float_of_int (grab ());
+    Team.sync_warp ctx;
+    let base = int_of_float team.Team.red_scratch.(leader) in
+    Team.sync_warp ctx;
+    base
+  end
+
+let dynamic_loop ctx ~chunk ~trip f =
+  if chunk <= 0 then invalid_arg "Workshare: chunk must be positive";
+  let team = ctx.Team.team in
+  let overhead = step_cost ctx in
+  (* entry: reset the shared counter once, fenced by region barriers *)
+  Team.region_barrier_wait ctx;
+  if ctx.Team.th.Gpusim.Thread.tid = 0 then team.Team.dyn_counter <- 0;
+  Team.region_barrier_wait ctx;
+  let rec work () =
+    let base = group_grab ctx ~chunk in
+    if base < trip then begin
+      let hi = min trip (base + chunk) in
+      for i = base to hi - 1 do
+        Gpusim.Thread.tick ctx.Team.th overhead;
+        f i
+      done;
+      work ()
+    end
+  in
+  work ();
+  (* the implicit barrier at the end of a worksharing loop, which also
+     protects the counter for the next loop *)
+  Team.region_barrier_wait ctx
+
+let run_schedule ctx schedule ~id ~num ~trip f =
+  check_geometry_args ~id ~num ~trip;
+  let overhead = step_cost ctx in
+  let run i =
+    Gpusim.Thread.tick ctx.Team.th overhead;
+    f i
+  in
+  (match schedule with
+  | Dynamic chunk -> dynamic_loop ctx ~chunk ~trip f
+  | Static ->
+      let i = ref id in
+      while !i < trip do
+        run !i;
+        i := !i + num
+      done
+  | Chunked chunk ->
+      if chunk <= 0 then invalid_arg "Workshare: chunk must be positive";
+      let base = ref (id * chunk) in
+      while !base < trip do
+        let hi = min trip (!base + chunk) in
+        for i = !base to hi - 1 do
+          run i
+        done;
+        base := !base + (num * chunk)
+      done);
+  (* trailing bound check that exits the loop *)
+  Gpusim.Thread.tick ctx.Team.th overhead
+
+(* distribute splits the iteration space into one contiguous chunk per
+   team (LLVM's default distribute schedule: dist_schedule(static) with
+   chunk = ceil(trip/teams)), which keeps small iteration spaces spread
+   across all SMs. *)
+let team_chunk ctx ~trip =
+  let team = ctx.Team.team in
+  let teams = team.Team.params.Team.num_teams in
+  let chunk = (trip + teams - 1) / teams in
+  let base = min trip (team.Team.block_id * chunk) in
+  let stop = min trip (base + chunk) in
+  (base, stop)
+
+let distribute ctx ?(schedule = Static) ~trip f =
+  let base, stop = team_chunk ctx ~trip in
+  match schedule with
+  | Static | Dynamic _ ->
+      (* dist_schedule is static; a dynamic request degrades gracefully *)
+      run_schedule ctx Static ~id:0 ~num:1 ~trip:(stop - base)
+        (fun i -> f (base + i))
+  | Chunked _ ->
+      run_schedule ctx schedule ~id:ctx.Team.team.Team.block_id
+        ~num:ctx.Team.team.Team.params.Team.num_teams ~trip f
+
+let omp_thread ctx =
+  let team = ctx.Team.team in
+  let g = Team.geometry team in
+  let tid = ctx.Team.th.Gpusim.Thread.tid in
+  (Simd_group.get_simd_group g ~tid, g.Simd_group.num_groups)
+
+let omp_for ctx ?(schedule = Static) ~trip f =
+  let id, num = omp_thread ctx in
+  run_schedule ctx schedule ~id ~num ~trip f
+
+let distribute_parallel_for ctx ?(schedule = Static) ~trip f =
+  (* combined construct: a contiguous team chunk, workshared across the
+     team's OpenMP threads *)
+  let base, stop = team_chunk ctx ~trip in
+  let group, num_groups = omp_thread ctx in
+  run_schedule ctx schedule ~id:group ~num:num_groups ~trip:(stop - base)
+    (fun i -> f (base + i))
+
+let simd_loop ctx ~trip f =
+  let team = ctx.Team.team in
+  let g = Team.geometry team in
+  let tid = ctx.Team.th.Gpusim.Thread.tid in
+  let id = Simd_group.get_simd_group_id g ~tid in
+  let num = Simd_group.get_simd_group_size g in
+  if num = 1 then run_schedule ctx Static ~id:0 ~num:1 ~trip f
+  else begin
+    Team.sync_warp ctx;
+    (* Lockstep rounds: every lane steps through ceil(trip/num) rounds,
+       masked off when its iteration number falls beyond the trip count —
+       this is both how SIMT hardware executes the loop and what makes
+       idle-lane waste (trip not divisible by the group size) visible. *)
+    let overhead = step_cost ctx in
+    let rounds = (trip + num - 1) / num in
+    for r = 0 to rounds - 1 do
+      let iv = id + (r * num) in
+      Gpusim.Thread.tick ctx.Team.th overhead;
+      if iv < trip then begin
+        (* In a remainder round the masked-off lanes still occupy their
+           issue slots, so the active lanes carry the whole group's
+           width: this is the idle-thread waste of a trip count that the
+           group size does not divide (S6.5). *)
+        let active = min num (trip - (r * num)) in
+        if active = num then f iv
+        else
+          Gpusim.Thread.with_simt_factor ctx.Team.th
+            (ctx.Team.th.Gpusim.Thread.simt_factor
+            *. (float_of_int num /. float_of_int active))
+            (fun () -> f iv)
+      end;
+      Team.lockstep_align ctx
+    done;
+    Gpusim.Thread.tick ctx.Team.th overhead
+  end
+
+let sequential_loop ctx ~trip f = run_schedule ctx Static ~id:0 ~num:1 ~trip f
+
+(* The executing lane for single/master: OpenMP thread 0's SIMD main —
+   i.e. tid 0, which executes region code in both modes. *)
+let master ctx f =
+  if ctx.Team.th.Gpusim.Thread.tid = 0 then f ()
+
+let single ctx f =
+  master ctx f;
+  Team.region_barrier_wait ctx

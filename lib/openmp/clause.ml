@@ -1,0 +1,59 @@
+type schedule = Static | Static_chunked of int | Dynamic of int
+
+type t = {
+  num_teams : int option;
+  num_threads : int option;
+  teams_mode : Omprt.Mode.t option;
+  parallel_mode : Omprt.Mode.t option;
+  simdlen : int option;
+  schedule : schedule;
+  sharing_bytes : int option;
+}
+
+let none =
+  {
+    num_teams = None;
+    num_threads = None;
+    teams_mode = None;
+    parallel_mode = None;
+    simdlen = None;
+    schedule = Static;
+    sharing_bytes = None;
+  }
+
+let num_teams n t = { t with num_teams = Some n }
+let num_threads n t = { t with num_threads = Some n }
+let teams_mode m t = { t with teams_mode = Some m }
+let parallel_mode m t = { t with parallel_mode = Some m }
+let simdlen n t = { t with simdlen = Some n }
+let schedule s t = { t with schedule = s }
+let sharing_bytes n t = { t with sharing_bytes = Some n }
+
+let resolve ~(cfg : Gpusim.Config.t) t =
+  let num_teams =
+    match t.num_teams with
+    | Some n when n > 0 -> n
+    | Some _ -> invalid_arg "Clause.resolve: num_teams must be positive"
+    | None -> 2 * cfg.Gpusim.Config.num_sms
+  in
+  let num_threads = Option.value t.num_threads ~default:128 in
+  let simdlen = Option.value t.simdlen ~default:1 in
+  if simdlen <= 0 || cfg.Gpusim.Config.warp_size mod simdlen <> 0 then
+    invalid_arg "Clause.resolve: simdlen must divide the warp size";
+  let params =
+    {
+      Omprt.Team.num_teams;
+      num_threads;
+      teams_mode = Option.value t.teams_mode ~default:Omprt.Mode.Spmd;
+      sharing_bytes =
+        Option.value t.sharing_bytes ~default:Omprt.Sharing.default_bytes;
+    }
+  in
+  let parallel_mode = Option.value t.parallel_mode ~default:Omprt.Mode.Spmd in
+  (params, parallel_mode, simdlen)
+
+let workshare_schedule t =
+  match t.schedule with
+  | Static -> Omprt.Workshare.Static
+  | Static_chunked n -> Omprt.Workshare.Chunked n
+  | Dynamic n -> Omprt.Workshare.Dynamic n

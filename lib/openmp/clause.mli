@@ -1,0 +1,38 @@
+(** Directive clauses — the knobs a pragma line carries, assembled into
+    the runtime's launch parameters.
+
+    [simdlen] must divide the warp; [num_threads] must be a warp
+    multiple; defaults follow LLVM's: 128 threads per team, SPMD
+    everywhere the program shape allows, simdlen 1 (two-level
+    compatibility) unless a [simd] construct appears. *)
+
+type schedule = Static | Static_chunked of int | Dynamic of int
+
+type t = {
+  num_teams : int option;
+  num_threads : int option;
+  teams_mode : Omprt.Mode.t option;  (** force generic/SPMD teams *)
+  parallel_mode : Omprt.Mode.t option;
+  simdlen : int option;
+  schedule : schedule;
+  sharing_bytes : int option;
+}
+
+val none : t
+
+val num_teams : int -> t -> t
+val num_threads : int -> t -> t
+val teams_mode : Omprt.Mode.t -> t -> t
+val parallel_mode : Omprt.Mode.t -> t -> t
+val simdlen : int -> t -> t
+val schedule : schedule -> t -> t
+val sharing_bytes : int -> t -> t
+
+val resolve :
+  cfg:Gpusim.Config.t -> t -> Omprt.Team.params * Omprt.Mode.t * int
+(** Launch parameters, the parallel-region mode, and the simdlen, with
+    defaults filled in (teams = 2 per SM, threads = 128, everything
+    SPMD, simdlen 1).
+    @raise Invalid_argument on clause values the runtime would reject. *)
+
+val workshare_schedule : t -> Omprt.Workshare.schedule

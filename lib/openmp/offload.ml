@@ -1,0 +1,90 @@
+type compiled = {
+  program : Ompir.Outline.program;
+  globalization : Ompir.Globalize.report list;
+  region_modes : (string * Omprt.Mode.t) list;
+  guards_inserted : int;
+}
+
+let compile ?(guardize = false) ?(fold = true) kernel =
+  match Ompir.Check.kernel kernel with
+  | Error es -> Error es
+  | Ok () ->
+      let kernel =
+        if fold then Ompir.Passes.run Ompir.Passes.default_pipeline kernel
+        else kernel
+      in
+      let kernel, guards =
+        if guardize then Ompir.Spmdize.guardize kernel else (kernel, 0)
+      in
+      let program = Ompir.Outline.run kernel in
+      Ok
+        {
+          program;
+          globalization = Ompir.Globalize.run program;
+          region_modes = Ompir.Spmdize.analyze kernel;
+          guards_inserted = guards;
+        }
+
+let remarks c =
+  let outlined =
+    List.map
+      (fun (o : Ompir.Outline.outlined) ->
+        Printf.sprintf "outlined fn %d (%s over %s): captures [%s]"
+          o.Ompir.Outline.fn_id
+          (match o.Ompir.Outline.kind with
+          | `Simd -> "simd"
+          | `Simd_sum -> "simd reduction(+)"
+          | `Parallel_for -> "parallel for"
+          | `Distribute_parallel_for -> "distribute parallel for")
+          o.Ompir.Outline.loop_var
+          (String.concat ", " o.Ompir.Outline.captures))
+      c.program.Ompir.Outline.outlined
+  in
+  let globalized =
+    List.concat_map
+      (fun (r : Ompir.Globalize.report) ->
+        List.map
+          (fun name ->
+            Printf.sprintf
+              "fn %d: local %s globalized to shared memory (S4.3)"
+              r.Ompir.Globalize.fn_id name)
+          r.Ompir.Globalize.globalized)
+      c.globalization
+  in
+  let modes =
+    List.map
+      (fun (var, mode) ->
+        Printf.sprintf "parallel region over %s: %s mode" var
+          (Omprt.Mode.to_string mode))
+      c.region_modes
+  in
+  let guards =
+    if c.guards_inserted > 0 then
+      [
+        Printf.sprintf
+          "SPMDized with %d guard block(s): side effects execute on SIMD \
+           mains and declared values broadcast (S7 / [16])"
+          c.guards_inserted;
+      ]
+    else []
+  in
+  outlined @ globalized @ modes @ guards
+
+let run ~cfg ?trace ?(clauses = Clause.none) ~bindings c =
+  let params, _, simdlen = Clause.resolve ~cfg clauses in
+  let parallel_mode =
+    match clauses.Clause.parallel_mode with
+    | Some m -> `Force m
+    | None -> `Auto
+  in
+  let options =
+    {
+      Ompir.Eval.num_teams = params.Omprt.Team.num_teams;
+      num_threads = params.Omprt.Team.num_threads;
+      teams_mode = params.Omprt.Team.teams_mode;
+      parallel_mode;
+      simd_len = simdlen;
+      sharing_bytes = params.Omprt.Team.sharing_bytes;
+    }
+  in
+  Ompir.Eval.run ~cfg ?trace ~options ~bindings c.program

@@ -1,0 +1,43 @@
+(** The compile-and-offload pipeline for IR kernels: the front-end route
+    through the codegen layer (§4), ending on the simulated device.
+
+    [compile] runs the checker, the outliner, the globalization analysis
+    and the SPMD-ization analysis; [run] executes the compiled kernel.
+    Diagnostics mirror what a compiler would print with optimization
+    remarks enabled. *)
+
+type compiled = {
+  program : Ompir.Outline.program;
+  globalization : Ompir.Globalize.report list;
+  region_modes : (string * Omprt.Mode.t) list;
+      (** SPMD-ization verdict per parallel-level directive *)
+  guards_inserted : int;
+      (** guard blocks added by the [guardize] transform (0 without it) *)
+}
+
+val compile :
+  ?guardize:bool ->
+  ?fold:bool ->
+  Ompir.Ir.kernel ->
+  (compiled, Ompir.Check.error list) result
+(** [guardize] (default false) applies {!Ompir.Spmdize.guardize} first:
+    side-effecting sequential statements of parallel bodies are wrapped in
+    guard blocks so the regions become SPMD-safe — the paper's §7 plan for
+    SPMDizing parallel regions.  [fold] (default true) runs the
+    default optimization pipeline ({!Ompir.Passes.default_pipeline}:
+    constant folding then dead-code elimination) before outlining. *)
+
+val remarks : compiled -> string list
+(** Human-readable optimization remarks: outlined regions, captured
+    payloads, globalized variables, chosen execution modes. *)
+
+val run :
+  cfg:Gpusim.Config.t ->
+  ?trace:Gpusim.Trace.t ->
+  ?clauses:Clause.t ->
+  bindings:(string * Ompir.Eval.binding) list ->
+  compiled ->
+  Gpusim.Device.report
+(** Execute on the device.  Unless the clauses force a parallel mode, each
+    region uses its SPMD-ization verdict — SPMD when tightly nested,
+    generic otherwise (§3.2). *)

@@ -1,0 +1,97 @@
+(** The user-facing directive API — the OCaml rendering of the pragmas.
+
+    A typical three-level kernel reads like its OpenMP source:
+
+    {[
+      let report =
+        Omp.target_teams ~cfg
+          ~clauses:Clause.(none |> num_threads 128 |> simdlen 8
+                           |> parallel_mode Omprt.Mode.Generic)
+          (fun ctx ->
+            Omp.distribute_parallel_for ctx ~trip:rows (fun row ->
+                ...sequential per-row code...
+                Omp.simd ctx ~trip:row_nnz (fun k -> ...)))
+    ]}
+
+    [target_teams] opens the offloaded region ([omp target teams]) and
+    implicitly the parallel region described by the clauses — mirroring
+    the combined [target teams distribute parallel for] constructs the
+    paper's kernels use.  Explicit [parallel] nesting (for [teams
+    distribute] + inner [parallel for], the two-level baseline shape) is
+    available through {!target_teams_distribute}. *)
+
+type ctx = Omprt.Team.ctx
+
+val target_teams :
+  cfg:Gpusim.Config.t ->
+  ?trace:Gpusim.Trace.t ->
+  ?clauses:Clause.t ->
+  ?payload:Omprt.Payload.t ->
+  (ctx -> unit) ->
+  Gpusim.Device.report
+(** Launch the combined construct: the body runs inside one parallel
+    region configured by the clauses (mode, simdlen, threads). *)
+
+val target_teams_distribute :
+  cfg:Gpusim.Config.t ->
+  ?trace:Gpusim.Trace.t ->
+  ?clauses:Clause.t ->
+  trip:int ->
+  (ctx -> int -> unit) ->
+  Gpusim.Device.report
+(** [omp target teams distribute] — generic teams mode: the team main
+    iterates its chunk; the body typically opens {!parallel_for} regions
+    (the paper's two-level sparse_matvec shape). *)
+
+val parallel_for :
+  ctx ->
+  ?clauses:Clause.t ->
+  ?payload:Omprt.Payload.t ->
+  trip:int ->
+  (int -> unit) ->
+  unit
+(** An inner [parallel for] region — only meaningful from a
+    {!target_teams_distribute} body. *)
+
+val distribute_parallel_for :
+  ctx -> ?schedule:Clause.schedule -> trip:int -> (int -> unit) -> unit
+(** Workshare across teams x OpenMP threads, from a {!target_teams}
+    body. *)
+
+val for_ : ctx -> ?schedule:Clause.schedule -> trip:int -> (int -> unit) -> unit
+(** [omp for] across the region's OpenMP threads. *)
+
+val simd : ctx -> ?payload:Omprt.Payload.t -> trip:int -> (int -> unit) -> unit
+(** The paper's contribution: the innermost level.  Iterations run in
+    lockstep across the calling thread's SIMD group. *)
+
+val simd_sum :
+  ctx -> ?payload:Omprt.Payload.t -> trip:int -> (int -> float) -> float
+(** [simd reduction(+:x)] (extension, §7). *)
+
+val barrier : ctx -> unit
+(** [omp barrier] over the region's executing threads. *)
+
+val single : ctx -> (unit -> unit) -> unit
+(** [omp single] — one thread executes, implicit barrier after. *)
+
+val master : ctx -> (unit -> unit) -> unit
+(** [omp master] — thread 0 executes, no barrier. *)
+
+val team_num : ctx -> int
+val num_teams : ctx -> int
+val thread_num : ctx -> int
+(** OpenMP thread id = SIMD group index (§5.1). *)
+
+val num_threads : ctx -> int
+(** OpenMP thread count = number of SIMD groups. *)
+
+val simd_lane : ctx -> int
+val simd_width : ctx -> int
+
+val collapse2 : n1:int -> n2:int -> ((int -> int * int) -> 'a) -> 'a
+(** [collapse(2)]: flatten two loop extents; the continuation receives the
+    decoder from the flat index.  Usage:
+    [collapse2 ~n1 ~n2 (fun decode -> dpf ctx ~trip:(n1*n2) (fun f -> let i, j = decode f in ...))]. *)
+
+val collapse3 : n1:int -> n2:int -> n3:int -> ((int -> int * int * int) -> 'a) -> 'a

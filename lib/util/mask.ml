@@ -1,0 +1,50 @@
+type t = int
+
+let warp_size = 32
+let full = 0xFFFFFFFF
+let empty = 0
+
+let lane i =
+  if i < 0 || i >= warp_size then invalid_arg "Mask.lane: lane out of range";
+  1 lsl i
+
+let valid_group_size size = size >= 1 && size <= warp_size && warp_size mod size = 0
+
+let group ~group_size ~group_index =
+  if not (valid_group_size group_size) then
+    invalid_arg "Mask.group: group_size must divide the warp";
+  let groups = warp_size / group_size in
+  if group_index < 0 || group_index >= groups then
+    invalid_arg "Mask.group: group_index out of range";
+  let base = (1 lsl group_size) - 1 in
+  base lsl (group_index * group_size)
+
+let mem m i = m land (1 lsl i) <> 0
+
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go m 0
+
+let lowest m =
+  if m = 0 then invalid_arg "Mask.lowest: empty mask";
+  let rec go i = if m land (1 lsl i) <> 0 then i else go (i + 1) in
+  go 0
+
+let iter f m =
+  for i = 0 to warp_size - 1 do
+    if mem m i then f i
+  done
+
+let fold f init m =
+  let acc = ref init in
+  iter (fun i -> acc := f !acc i) m;
+  !acc
+
+let to_list m = List.rev (fold (fun acc i -> i :: acc) [] m)
+
+let union = ( lor )
+let inter = ( land )
+let disjoint a b = a land b = 0
+let subset a ~of_ = a land of_ = a
+
+let pp ppf m = Format.fprintf ppf "0x%08x" m

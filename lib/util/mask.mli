@@ -1,0 +1,51 @@
+(** 32-bit lane masks, mirroring CUDA's [__activemask]/[__syncwarp(mask)]
+    conventions.  Bit [i] set means lane [i] of the warp participates.
+
+    SIMD groups in the runtime are identified by such masks: the mask of a
+    group is a contiguous run of bits covering the group's lanes (cf. the
+    paper's [simdmask] runtime function). *)
+
+type t = int
+(** Always within [0, 2^32). *)
+
+val warp_size : int
+(** 32; lane ids are in \[0, 32). *)
+
+val full : t
+(** All 32 lanes. *)
+
+val empty : t
+
+val lane : int -> t
+(** Mask with only the given lane.  @raise Invalid_argument if out of
+    range. *)
+
+val group : group_size:int -> group_index:int -> t
+(** [group ~group_size ~group_index] is the contiguous mask for the
+    [group_index]-th group of [group_size] lanes within a warp: lanes
+    \[group_index*group_size, (group_index+1)*group_size).  [group_size]
+    must divide into the warp (1,2,4,8,16 or 32).
+    @raise Invalid_argument otherwise. *)
+
+val mem : t -> int -> bool
+(** [mem m lane] tests lane membership. *)
+
+val popcount : t -> int
+
+val lowest : t -> int
+(** Index of the lowest set lane.  @raise Invalid_argument on [empty]. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate set lanes in increasing order. *)
+
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+val to_list : t -> int list
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val disjoint : t -> t -> bool
+val subset : t -> of_:t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Hex rendering, e.g. [0x0000ff00]. *)

@@ -1,0 +1,117 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* splitmix64: expands a seed into well-mixed 64-bit values, used to
+   initialize xoshiro state (its own stream must never be all zero). *)
+let splitmix64 state =
+  state := Int64.add !state golden_gamma;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed =
+  let st = ref (Int64.of_int seed) in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let st = ref (bits64 t) in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3 }
+
+(* Non-negative 62-bit int from the top bits. *)
+let bits t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let max_int62 = (1 lsl 62) - 1 in
+  let limit = max_int62 - (max_int62 mod bound) in
+  let rec draw () =
+    let v = bits t in
+    if v >= limit then draw () else v mod bound
+  in
+  draw ()
+
+let int_in t ~lo ~hi =
+  if hi < lo then invalid_arg "Prng.int_in: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let uniform t =
+  (* 53 random bits mapped to [0,1). *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int v *. 0x1.0p-53
+
+let float t bound = uniform t *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let normal t ~mu ~sigma =
+  let rec nonzero () =
+    let u = uniform t in
+    if u = 0.0 then nonzero () else u
+  in
+  let u1 = nonzero () and u2 = uniform t in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let geometric t ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Prng.geometric: p must be in (0,1]";
+  if p = 1.0 then 0
+  else
+    let rec nonzero () =
+      let u = uniform t in
+      if u = 0.0 then nonzero () else u
+    in
+    int_of_float (Float.floor (log (nonzero ()) /. log (1.0 -. p)))
+
+(* Rejection-inversion sampling for the Zipf distribution (Hormann/Derflinger).
+   Exact for all n >= 1 and s > 0, no precomputed tables. *)
+let zipf t ~n ~s =
+  if n < 1 then invalid_arg "Prng.zipf: n must be >= 1";
+  if s <= 0.0 then invalid_arg "Prng.zipf: s must be > 0";
+  if n = 1 then 1
+  else
+    let h x = if s = 1.0 then log x else (x ** (1.0 -. s) -. 1.0) /. (1.0 -. s) in
+    let h_inv x = if s = 1.0 then exp x else (1.0 +. ((1.0 -. s) *. x)) ** (1.0 /. (1.0 -. s)) in
+    let hx0 = h 0.5 -. 1.0 in
+    let hn = h (float_of_int n +. 0.5) in
+    let rec draw () =
+      let u = hx0 +. (uniform t *. (hn -. hx0)) in
+      let x = h_inv u in
+      let k = int_of_float (Float.round x) in
+      let k = if k < 1 then 1 else if k > n then n else k in
+      let fk = float_of_int k in
+      if u >= h (fk +. 0.5) -. (fk ** -.s) then k else draw ()
+    in
+    draw ()
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

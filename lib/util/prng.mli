@@ -1,0 +1,56 @@
+(** Deterministic pseudo-random number generation.
+
+    The simulator must be a pure function of (configuration, seed), so all
+    randomness flows through an explicit generator state rather than the
+    global [Random] module.  The implementation is splitmix64 for seeding and
+    xoshiro256** for the stream, both well-studied generators that are cheap
+    and have no measurable bias for the workload-generation purposes here. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] builds a generator from a 63-bit seed.  Equal seeds give
+    equal streams. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val split : t -> t
+(** [split t] draws from [t] to seed a fresh, statistically independent
+    generator.  Useful to give each workload component its own stream so that
+    adding draws in one place does not perturb another. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in \[0, bound).  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** [int_in t ~lo ~hi] is uniform in \[lo, hi\] inclusive.
+    @raise Invalid_argument if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in \[0, bound). *)
+
+val uniform : t -> float
+(** Uniform in \[0, 1). *)
+
+val bool : t -> bool
+
+val normal : t -> mu:float -> sigma:float -> float
+(** Gaussian via Box–Muller. *)
+
+val geometric : t -> p:float -> int
+(** Geometric distribution (number of failures before first success),
+    [0 < p <= 1]. *)
+
+val zipf : t -> n:int -> s:float -> int
+(** [zipf t ~n ~s] draws from a Zipf distribution on \[1, n\] with exponent
+    [s], via inverse-CDF on a precomputed table-free rejection scheme.  Used
+    for power-law sparse-matrix row lengths. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,61 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
+    acc /. float_of_int (n - 1)
+
+let stddev xs = sqrt (variance xs)
+
+let geomean xs =
+  if Array.exists (fun x -> x <= 0.0) xs then
+    invalid_arg "Stats.geomean: all samples must be positive";
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else exp (Array.fold_left (fun a x -> a +. log x) 0.0 xs /. float_of_int n)
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty input";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let w = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. w)) +. (sorted.(hi) *. w)
+
+let median xs = percentile xs 50.0
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: empty input";
+  {
+    n;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = Array.fold_left Float.min xs.(0) xs;
+    max = Array.fold_left Float.max xs.(0) xs;
+    median = median xs;
+  }
+
+let speedup ~baseline t =
+  if t <= 0.0 then invalid_arg "Stats.speedup: non-positive time";
+  baseline /. t

@@ -1,0 +1,28 @@
+(** ASCII table rendering for benchmark and experiment output.
+
+    The benchmark harness prints the same rows/series the paper's figures
+    report; this module does the layout. *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+(** Header row; each column carries its alignment. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val add_separator : t -> unit
+(** Horizontal rule between row groups. *)
+
+val render : t -> string
+(** Full table with box-drawing in plain ASCII. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline flush. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Fixed-point formatting helper (default 2 decimals). *)
+
+val cell_int : int -> string

@@ -1,0 +1,44 @@
+type mode3 = {
+  teams_mode : Omprt.Mode.t;
+  parallel_mode : Omprt.Mode.t;
+  group_size : int;
+}
+
+let spmd_simd ~group_size =
+  {
+    teams_mode = Omprt.Mode.Spmd;
+    parallel_mode = Omprt.Mode.Spmd;
+    group_size;
+  }
+
+let generic_simd ~group_size =
+  {
+    teams_mode = Omprt.Mode.Spmd;
+    parallel_mode = Omprt.Mode.Generic;
+    group_size;
+  }
+
+type run = { report : Gpusim.Device.report; output : float array }
+
+let time r = r.report.Gpusim.Device.time_cycles
+
+let verify_close ?(tolerance = 1e-6) ~expected actual =
+  if Array.length expected <> Array.length actual then
+    Error
+      (Printf.sprintf "length mismatch: expected %d, got %d"
+         (Array.length expected) (Array.length actual))
+  else
+    let bad = ref None in
+    Array.iteri
+      (fun i e ->
+        if !bad = None then
+          let a = actual.(i) in
+          let scale = Float.max 1.0 (abs_float e) in
+          if abs_float (a -. e) > tolerance *. scale then bad := Some (i, e, a))
+      expected;
+    match !bad with
+    | None -> Ok ()
+    | Some (i, e, a) ->
+        Error (Printf.sprintf "mismatch at %d: expected %.9g, got %.9g" i e a)
+
+let check_or_fail = function Ok () -> () | Error msg -> failwith msg

@@ -1,0 +1,28 @@
+(** Shared plumbing for the benchmark workloads: the three-level mode
+    descriptor, run results, and verification helpers. *)
+
+type mode3 = {
+  teams_mode : Omprt.Mode.t;
+  parallel_mode : Omprt.Mode.t;
+  group_size : int;  (** SIMD group size ([simdlen]) *)
+}
+
+val spmd_simd : group_size:int -> mode3
+(** teams SPMD + parallel SPMD — the paper's "SPMD SIMD" configuration. *)
+
+val generic_simd : group_size:int -> mode3
+(** teams SPMD + parallel generic — the paper's "generic SIMD"
+    configuration (workers reached through the SIMD state machine). *)
+
+type run = { report : Gpusim.Device.report; output : float array }
+
+val time : run -> float
+(** Simulated kernel cycles. *)
+
+val verify_close :
+  ?tolerance:float -> expected:float array -> float array -> (unit, string) result
+(** Element-wise comparison with a relative/absolute tolerance; the error
+    message pinpoints the first mismatch. *)
+
+val check_or_fail : (unit, string) result -> unit
+(** @raise Failure with the message on [Error]. *)

@@ -1,0 +1,322 @@
+(* Differential testing: random, well-formed, race-free IR kernels must
+   compute identical results on the simulated device — in every execution
+   mode and geometry — and under the sequential host interpreter.
+
+   Generator invariants that make comparison sound:
+   - writes go only to [out] (and only at the canonical disjoint index
+     (r*W + j), so parallel iterations never collide);
+   - reads come only from the read-only [src] array and scalars;
+   - atomics go to [acc_arr] with the (commutative) add, compared with a
+     tolerance since float addition is not associative;
+   - all indices are [... mod n] with n > 0, so bounds always hold. *)
+
+module Memory = Gpusim.Memory
+module Mode = Omprt.Mode
+module Ir = Ompir.Ir
+module Check = Ompir.Check
+module Outline = Ompir.Outline
+module Eval = Ompir.Eval
+module Hosteval = Ompir.Hosteval
+
+let cfg = Gpusim.Config.small
+
+(* --- random expression / statement generators -------------------------- *)
+
+open QCheck
+
+(* Non-negative int expressions over the given variables and [n]. *)
+let rec gen_index_expr vars depth st =
+  if depth = 0 then
+    run_leaf vars st
+  else
+    match Gen.int_range 0 3 st with
+    | 0 -> run_leaf vars st
+    | 1 ->
+        Ir.Binop
+          (Ir.Add, gen_index_expr vars (depth - 1) st, gen_index_expr vars (depth - 1) st)
+    | 2 ->
+        Ir.Binop
+          (Ir.Mul, gen_index_expr vars (depth - 1) st, Ir.Int_lit (Gen.int_range 1 3 st))
+    | _ ->
+        Ir.Binop
+          (Ir.Max, gen_index_expr vars (depth - 1) st, gen_index_expr vars (depth - 1) st)
+
+and run_leaf vars st =
+  let choices = List.map (fun v -> Ir.Var v) vars @ [ Ir.Int_lit (Gen.int_range 0 9 st) ] in
+  List.nth choices (Gen.int_range 0 (List.length choices - 1) st)
+
+let bounded_index vars st =
+  Ir.Binop (Ir.Mod, gen_index_expr vars 2 st, Ir.Var "n")
+
+(* Float expressions reading only [src] and float locals. *)
+let rec gen_float_expr vars fvars depth st =
+  if depth = 0 then float_leaf vars fvars st
+  else
+    match Gen.int_range 0 4 st with
+    | 0 -> float_leaf vars fvars st
+    | 1 ->
+        Ir.Binop
+          ( Ir.Add,
+            gen_float_expr vars fvars (depth - 1) st,
+            gen_float_expr vars fvars (depth - 1) st )
+    | 2 ->
+        Ir.Binop
+          ( Ir.Mul,
+            gen_float_expr vars fvars (depth - 1) st,
+            gen_float_expr vars fvars (depth - 1) st )
+    | 3 -> Ir.Unop (Ir.Abs, gen_float_expr vars fvars (depth - 1) st)
+    | _ -> Ir.Load ("src", bounded_index vars st)
+
+and float_leaf vars fvars st =
+  let lit () = Ir.Float_lit (float_of_int (Gen.int_range (-4) 4 st) /. 2.0) in
+  match fvars with
+  | [] -> (
+      match Gen.int_range 0 1 st with
+      | 0 -> lit ()
+      | _ -> Ir.Load ("src", bounded_index vars st))
+  | _ -> (
+      match Gen.int_range 0 2 st with
+      | 0 -> lit ()
+      | 1 -> Ir.Var (List.nth fvars (Gen.int_range 0 (List.length fvars - 1) st))
+      | _ -> Ir.Load ("src", bounded_index vars st))
+
+(* The simd body: a couple of declarations, then a store to the canonical
+   disjoint slot and possibly an atomic. *)
+let gen_simd_body ~width vars st =
+  let decl_count = Gen.int_range 0 2 st in
+  let rec decls k fvars acc =
+    if k = 0 then (List.rev acc, fvars)
+    else
+      let name = Printf.sprintf "t%d" k in
+      let d =
+        Ir.Decl
+          { name; ty = Ir.Tfloat; init = gen_float_expr vars fvars 2 st }
+      in
+      decls (k - 1) (name :: fvars) (d :: acc)
+  in
+  let ds, fvars = decls decl_count [] [] in
+  let idx = Ir.(Binop (Add, Binop (Mul, Var "r", Int_lit width), Var "j")) in
+  let store = Ir.Store ("out", idx, gen_float_expr vars fvars 2 st) in
+  let atomic =
+    if Gen.bool st then
+      [
+        Ir.Atomic_add
+          ( "acc_arr",
+            Ir.Binop (Ir.Mod, Ir.Var "r", Ir.Int_lit 4),
+            gen_float_expr vars fvars 1 st );
+      ]
+    else []
+  in
+  ds @ [ store ] @ atomic
+
+type case = {
+  kernel : Ir.kernel;
+  rows : int;
+  width : int;
+  n : int;
+  teams : int;
+  threads : int;
+  teams_mode : Mode.t;
+  simd_len : int;
+  parallel_mode : [ `Auto | `Force of Mode.t ];
+  guardize : bool;
+}
+
+let gen_case st =
+  let width = List.nth [ 4; 8; 16; 32 ] (Gen.int_range 0 3 st) in
+  let rows = Gen.int_range 1 40 st in
+  let n = rows * width in
+  (* region body: optional row-local decls, an optional guarded-able
+     sequential store, the simd loop, optionally a reduction *)
+  let row_decl =
+    Ir.Decl
+      {
+        name = "base";
+        ty = Ir.Tfloat;
+        init = gen_float_expr [ "r" ] [] 2 st;
+      }
+  in
+  let seq_store =
+    if Gen.bool st then
+      [ Ir.Store ("marks", Ir.Var "r", gen_float_expr [ "r" ] [ "base" ] 1 st) ]
+    else []
+  in
+  (* a pure sequential loop refining a local: SPMD-safe region code *)
+  let seq_loop =
+    if Gen.bool st then
+      [
+        Ir.For
+          {
+            var = "w";
+            lo = Ir.Int_lit 0;
+            hi = Ir.Int_lit (Gen.int_range 1 3 st);
+            body = [ Ir.Assign ("base", Ir.(Binop (Add, Var "base", Float_lit 0.25))) ];
+          };
+      ]
+    else []
+  in
+  let simd_loop =
+    let body = gen_simd_body ~width [ "r"; "j" ] st in
+    let plain = Ir.simd ~var:"j" ~lo:(Ir.Int_lit 0) ~hi:(Ir.Int_lit width) body in
+    if Gen.bool st then
+      (* branch on the row parity: groups agree, so simd call counts stay
+         consistent within each group *)
+      Ir.If
+        ( Ir.(Binop (Eq, Binop (Mod, Var "r", Int_lit 2), Int_lit 0)),
+          [ plain ],
+          [
+            Ir.simd ~var:"j" ~lo:(Ir.Int_lit 0) ~hi:(Ir.Int_lit width)
+              (gen_simd_body ~width [ "r"; "j" ] st);
+          ] )
+    else plain
+  in
+  let reduction =
+    if Gen.bool st then
+      [
+        Ir.Decl { name = "total"; ty = Ir.Tfloat; init = Ir.Float_lit 0.0 };
+        Ir.simd_sum ~acc:"total" ~var:"k" ~lo:(Ir.Int_lit 0)
+          ~hi:(Ir.Int_lit width)
+          ~value:
+            (Ir.Load
+               ( "src",
+                 Ir.(Binop (Mod, Binop (Add, Var "r", Var "k"), Var "n")) ))
+          [];
+        Ir.Store ("red", Ir.Var "r", Ir.Var "total");
+      ]
+    else []
+  in
+  let body =
+    [
+      Ir.distribute_parallel_for ~var:"r" ~lo:(Ir.Int_lit 0)
+        ~hi:(Ir.Var "rows")
+        ((row_decl :: (seq_loop @ seq_store)) @ [ simd_loop ] @ reduction);
+    ]
+  in
+  let kernel =
+    Ir.kernel ~name:"random"
+      ~params:
+        [
+          { Ir.pname = "src"; pty = Ir.P_farray };
+          { Ir.pname = "out"; pty = Ir.P_farray };
+          { Ir.pname = "marks"; pty = Ir.P_farray };
+          { Ir.pname = "red"; pty = Ir.P_farray };
+          { Ir.pname = "acc_arr"; pty = Ir.P_farray };
+          { Ir.pname = "rows"; pty = Ir.P_int };
+          { Ir.pname = "n"; pty = Ir.P_int };
+        ]
+      body
+  in
+  {
+    kernel;
+    rows;
+    width;
+    n;
+    teams = Gen.int_range 1 3 st;
+    threads = List.nth [ 32; 64; 128 ] (Gen.int_range 0 2 st);
+    teams_mode = (if Gen.bool st then Mode.Spmd else Mode.Generic);
+    simd_len = List.nth [ 1; 2; 4; 8; 16; 32 ] (Gen.int_range 0 5 st);
+    parallel_mode =
+      List.nth [ `Auto; `Force Mode.Spmd; `Force Mode.Generic ]
+        (Gen.int_range 0 2 st);
+    guardize = Gen.bool st;
+  }
+
+(* Forcing SPMD on a kernel with a sequential store would be a genuine
+   miscompile (redundant side effects); guardize repairs it.  Auto and
+   generic are always sound. *)
+let sound case =
+  match case.parallel_mode with
+  | `Force Mode.Spmd -> case.guardize || Ompir.Spmdize.all_spmd case.kernel
+  | `Force Mode.Generic | `Auto -> true
+
+let make_bindings case =
+  let space = Memory.space () in
+  let g = Ompsimd_util.Prng.create ~seed:(case.rows + (case.width * 131)) in
+  let src =
+    Memory.of_float_array space
+      (Array.init case.n (fun _ -> Ompsimd_util.Prng.float g 2.0 -. 1.0))
+  in
+  [
+    ("src", Eval.B_farr src);
+    ("out", Eval.B_farr (Memory.falloc space case.n));
+    ("marks", Eval.B_farr (Memory.falloc space (max 1 case.rows)));
+    ("red", Eval.B_farr (Memory.falloc space (max 1 case.rows)));
+    ("acc_arr", Eval.B_farr (Memory.falloc space 4));
+    ("rows", Eval.B_int case.rows);
+    ("n", Eval.B_int case.n);
+  ]
+  |> fun b -> (space, b)
+
+let array_of bindings name =
+  match List.assoc name bindings with
+  | Eval.B_farr a -> Memory.to_float_array a
+  | _ -> assert false
+
+let close a b =
+  Array.for_all2
+    (fun x y ->
+      let scale = Float.max 1.0 (Float.max (abs_float x) (abs_float y)) in
+      abs_float (x -. y) <= 1e-9 *. scale)
+    a b
+
+let run_differential case =
+  if not (sound case) then true
+  else begin
+    (* the checker must accept the generated kernel *)
+    (match Check.kernel case.kernel with
+    | Ok () -> ()
+    | Error es ->
+        Test.fail_reportf "generator produced an ill-formed kernel: %s"
+          (String.concat "; "
+             (List.map (fun (e : Check.error) -> e.Check.what) es)));
+    let kernel =
+      if case.guardize then fst (Ompir.Spmdize.guardize case.kernel)
+      else case.kernel
+    in
+    let program = Outline.run kernel in
+    (* host reference *)
+    let _, host_bindings = make_bindings case in
+    Hosteval.run ~bindings:host_bindings case.kernel;
+    (* device run *)
+    let _, dev_bindings = make_bindings case in
+    let options =
+      {
+        Eval.num_teams = case.teams;
+        num_threads = case.threads;
+        teams_mode = case.teams_mode;
+        parallel_mode = case.parallel_mode;
+        simd_len = case.simd_len;
+        sharing_bytes = 2048;
+      }
+    in
+    let (_ : Gpusim.Device.report) =
+      Eval.run ~cfg ~options ~bindings:dev_bindings program
+    in
+    List.for_all
+      (fun name -> close (array_of host_bindings name) (array_of dev_bindings name))
+      [ "out"; "marks"; "red"; "acc_arr" ]
+  end
+
+let case_arbitrary =
+  QCheck.make
+    ~print:(fun case ->
+      Printf.sprintf
+        "rows=%d width=%d teams=%d threads=%d tmode=%s simdlen=%d mode=%s guardize=%b\n%s"
+        case.rows case.width case.teams case.threads
+        (Mode.to_string case.teams_mode) case.simd_len
+        (match case.parallel_mode with
+        | `Auto -> "auto"
+        | `Force Mode.Spmd -> "spmd"
+        | `Force Mode.Generic -> "generic")
+        case.guardize
+        (Ompir.Printer.kernel_to_string case.kernel))
+    gen_case
+
+let qcheck_cases =
+  [
+    Test.make ~name:"random kernels: device matches host reference" ~count:120
+      case_arbitrary run_differential;
+  ]
+
+let suite =
+  [ ("differential", List.map QCheck_alcotest.to_alcotest qcheck_cases) ]

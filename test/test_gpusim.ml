@@ -1,0 +1,628 @@
+(* Unit and property tests for the GPU simulator substrate. *)
+
+module Config = Gpusim.Config
+module Counters = Gpusim.Counters
+module Linebuf = Gpusim.Linebuf
+module Thread = Gpusim.Thread
+module Barrier = Gpusim.Barrier
+module Engine = Gpusim.Engine
+module Memory = Gpusim.Memory
+module Shared = Gpusim.Shared
+module Occupancy = Gpusim.Occupancy
+module Device = Gpusim.Device
+module Trace = Gpusim.Trace
+
+let cfg = Config.small
+let checkf = Alcotest.check (Alcotest.float 1e-6)
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+
+(* --- Config ----------------------------------------------------------- *)
+
+let test_config_presets_valid () =
+  List.iter
+    (fun c ->
+      match Config.validate c with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s invalid: %s" c.Config.name msg)
+    [ Config.a100; Config.amd_like; Config.small ]
+
+let test_config_validation_catches () =
+  let bad = { Config.a100 with Config.num_sms = 0 } in
+  check_bool "invalid" true (Result.is_error (Config.validate bad));
+  let bad2 = { Config.a100 with Config.max_threads_per_block = 100 } in
+  check_bool "non-warp-multiple" true (Result.is_error (Config.validate bad2))
+
+let test_config_amd_flag () =
+  check_bool "a100 has warp barrier" true Config.a100.Config.has_warp_barrier;
+  check_bool "amd lacks warp barrier" false
+    Config.amd_like.Config.has_warp_barrier
+
+(* --- Linebuf ---------------------------------------------------------- *)
+
+let test_linebuf_hit_miss () =
+  let lb = Linebuf.create ~capacity:8 ~coalesce_window:0.0 in
+  check_bool "first is miss" false (Linebuf.is_resident (fst (Linebuf.touch lb ~vtime:0.0 ~lane:0 1)));
+  check_bool "repeat is hit" true (Linebuf.is_resident (fst (Linebuf.touch lb ~vtime:1.0 ~lane:0 1)));
+  check_bool "second line miss" false (Linebuf.is_resident (fst (Linebuf.touch lb ~vtime:2.0 ~lane:0 2)));
+  check_bool "both resident" true (Linebuf.is_resident (fst (Linebuf.touch lb ~vtime:3.0 ~lane:0 2)))
+
+let test_linebuf_window_infinite_below_capacity () =
+  (* A small working set never thrashes: re-touches hit at any distance. *)
+  let lb = Linebuf.create ~capacity:8 ~coalesce_window:0.0 in
+  for l = 0 to 5 do
+    ignore (Linebuf.touch lb ~vtime:(float_of_int l) ~lane:0 l)
+  done;
+  check_bool "infinite window" true (Linebuf.window lb = Float.infinity);
+  check_bool "old line still hits" true (Linebuf.is_resident (fst (Linebuf.touch lb ~vtime:1.0e6 ~lane:0 0)))
+
+let test_linebuf_residency_window () =
+  (* Stream far more distinct lines than capacity: the window becomes
+     finite and stale re-touches miss while fresh ones hit. *)
+  let lb = Linebuf.create ~capacity:4 ~coalesce_window:0.0 in
+  for l = 0 to 99 do
+    ignore (Linebuf.touch lb ~vtime:(float_of_int l) ~lane:0 l)
+  done;
+  (* rate = 1 line/cycle, so lines stay resident ~capacity cycles *)
+  let w = Linebuf.window lb in
+  check_bool "finite window" true (w < 10.0);
+  check_bool "stale line misses" false (Linebuf.is_resident (fst (Linebuf.touch lb ~vtime:100.0 ~lane:0 3)));
+  check_bool "recent line hits" true (Linebuf.is_resident (fst (Linebuf.touch lb ~vtime:100.0 ~lane:0 99)))
+
+let test_linebuf_concurrent_vtimes_overlap () =
+  (* Lanes run serially in host order but overlap in virtual time: a
+     touch with an *earlier* vtime than the stamp is still a hit. *)
+  let lb = Linebuf.create ~capacity:2 ~coalesce_window:0.0 in
+  for l = 0 to 49 do
+    ignore (Linebuf.touch lb ~vtime:(float_of_int (l * 10)) ~lane:0 l)
+  done;
+  (* stamp of line 49 is 490; another lane at vtime 100 touching it is
+     concurrent, not stale *)
+  check_bool "concurrent touch hits" true (Linebuf.is_resident (fst (Linebuf.touch lb ~vtime:100.0 ~lane:0 49)))
+
+let test_linebuf_clear () =
+  let lb = Linebuf.create ~capacity:4 ~coalesce_window:0.0 in
+  ignore (Linebuf.touch lb ~vtime:0.0 ~lane:0 9);
+  Linebuf.clear lb;
+  check_int "empty" 0 (Linebuf.size lb);
+  check_int "misses reset" 0 (Linebuf.misses lb);
+  check_bool "miss after clear" false (Linebuf.is_resident (fst (Linebuf.touch lb ~vtime:0.0 ~lane:0 9)))
+
+(* --- Counters --------------------------------------------------------- *)
+
+let test_counters_merge () =
+  let a = Counters.create () and b = Counters.create () in
+  a.Counters.global_loads <- 3;
+  b.Counters.global_loads <- 4;
+  Counters.bump a "x" 1.5;
+  Counters.bump b "x" 2.5;
+  Counters.merge_into ~dst:a b;
+  check_int "loads" 7 a.Counters.global_loads;
+  checkf "extras" 4.0 (Counters.get_extra a "x")
+
+let test_counters_coalescing_ratio () =
+  let c = Counters.create () in
+  checkf "no accesses" 1.0 (Counters.coalescing_ratio c);
+  c.Counters.line_hits <- 3;
+  c.Counters.line_misses <- 1;
+  checkf "3/4" 0.75 (Counters.coalescing_ratio c)
+
+(* --- Engine / Barrier ------------------------------------------------- *)
+
+let run_block ?(threads = 8) body =
+  Engine.run_block ~cfg ~block_id:0 ~num_threads:threads body
+
+let test_engine_runs_all_threads () =
+  let seen = Array.make 8 false in
+  let r = run_block (fun th -> seen.(th.Thread.tid) <- true) in
+  Array.iteri (fun i s -> check_bool (Printf.sprintf "thread %d ran" i) true s) seen;
+  check_int "threads" 8 r.Engine.num_threads
+
+let test_engine_barrier_aligns_clocks () =
+  (* Threads tick different amounts, then all meet a barrier: every clock
+     must come out as max(arrivals) + barrier cost. *)
+  let bar = Barrier.create ~expected:4 ~cost:10.0 () in
+  let finals = Array.make 4 0.0 in
+  ignore
+    (run_block ~threads:4 (fun th ->
+         Thread.tick th (float_of_int (th.Thread.tid * 100));
+         Engine.barrier_wait bar th;
+         finals.(th.Thread.tid) <- th.Thread.clock));
+  Array.iter (fun c -> checkf "aligned" 310.0 c) finals
+
+let test_engine_barrier_reusable () =
+  let bar = Barrier.create ~expected:4 ~cost:0.0 () in
+  let counter = ref 0 in
+  ignore
+    (run_block ~threads:4 (fun th ->
+         Engine.barrier_wait bar th;
+         if th.Thread.tid = 0 then incr counter;
+         Engine.barrier_wait bar th;
+         if th.Thread.tid = 0 then incr counter));
+  check_int "two rounds" 2 !counter
+
+let test_engine_barrier_orders_writes () =
+  (* Signal pattern used by the runtime: t0 writes, everyone syncs, all
+     read.  The barrier must make the write visible in simulated order. *)
+  let bar = Barrier.create ~expected:4 ~cost:1.0 () in
+  let cell = ref 0 in
+  let seen = Array.make 4 0 in
+  ignore
+    (run_block ~threads:4 (fun th ->
+         if th.Thread.tid = 0 then cell := 99;
+         Engine.barrier_wait bar th;
+         seen.(th.Thread.tid) <- !cell));
+  Array.iter (fun v -> check_int "saw write" 99 v) seen
+
+let test_engine_deadlock_detection () =
+  let bar = Barrier.create ~expected:5 ~cost:0.0 () in
+  (* only 4 threads arrive at a 5-expected barrier *)
+  check_bool "deadlock raised" true
+    (try
+       ignore (run_block ~threads:4 (fun th -> Engine.barrier_wait bar th));
+       false
+     with Engine.Deadlock _ -> true)
+
+let test_engine_rejects_bad_sizes () =
+  Alcotest.check_raises "zero threads"
+    (Invalid_argument "Engine.run_block: num_threads must be positive")
+    (fun () -> ignore (run_block ~threads:0 (fun _ -> ())));
+  check_bool "too large" true
+    (try
+       ignore (run_block ~threads:(cfg.Config.max_threads_per_block + 1) (fun _ -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_engine_busy_excludes_wait () =
+  (* A thread that waits at a barrier for a slow peer gains clock but not
+     busy time. *)
+  let bar = Barrier.create ~expected:2 ~cost:0.0 () in
+  let busy = Array.make 2 0.0 in
+  ignore
+    (run_block ~threads:2 (fun th ->
+         if th.Thread.tid = 1 then Thread.tick th 1000.0;
+         Engine.barrier_wait bar th;
+         busy.(th.Thread.tid) <- th.Thread.busy));
+  check_bool "fast thread not busy while waiting" true (busy.(0) < 10.0);
+  check_bool "slow thread busy" true (busy.(1) >= 1000.0)
+
+(* --- Memory ----------------------------------------------------------- *)
+
+let with_thread f =
+  ignore
+    (run_block ~threads:1 (fun th -> f th))
+
+let test_memory_roundtrip () =
+  let sp = Memory.space () in
+  let a = Memory.falloc sp 16 in
+  with_thread (fun th ->
+      Memory.fset a th 3 2.5;
+      checkf "read back" 2.5 (Memory.fget a th 3));
+  checkf "host view" 2.5 (Memory.host_get a 3)
+
+let test_memory_int_roundtrip () =
+  let sp = Memory.space () in
+  let a = Memory.ialloc sp 8 in
+  with_thread (fun th ->
+      Memory.iset a th 0 42;
+      check_int "read back" 42 (Memory.iget a th 0))
+
+let test_memory_bounds () =
+  let sp = Memory.space () in
+  let a = Memory.falloc sp 4 in
+  with_thread (fun th ->
+      check_bool "oob raises" true
+        (try
+           ignore (Memory.fget a th 4);
+           false
+         with Invalid_argument _ -> true))
+
+let test_memory_coalescing_consecutive () =
+  (* 16 consecutive doubles span four 32-byte sectors: one DRAM fetch per
+     sector, the other accesses are resident. *)
+  let sp = Memory.space () in
+  let a = Memory.falloc sp 16 in
+  let r =
+    run_block ~threads:1 (fun th ->
+        for i = 0 to 15 do
+          ignore (Memory.fget a th i)
+        done)
+  in
+  check_int "four sector misses" 4 r.Engine.counters.Counters.line_misses;
+  check_int "rest resident" 12 r.Engine.counters.Counters.line_hits
+
+let test_memory_strided_access_uncoalesced () =
+  (* Stride 16 (one line each) touches a new line per access. *)
+  let sp = Memory.space () in
+  let a = Memory.falloc sp (16 * 16) in
+  let r =
+    run_block ~threads:1 (fun th ->
+        for i = 0 to 15 do
+          ignore (Memory.fget a th (i * 16))
+        done)
+  in
+  check_int "all misses" 16 r.Engine.counters.Counters.line_misses
+
+let test_memory_warp_lanes_share_lines () =
+  (* Lanes of one warp reading consecutive elements coalesce: 32 doubles
+     = 8 sectors, one transaction each; the other 24 accesses ride along. *)
+  let sp = Memory.space () in
+  let a = Memory.falloc sp 32 in
+  let r =
+    run_block ~threads:32 (fun th ->
+        ignore (Memory.fget a th th.Thread.tid))
+  in
+  check_int "eight sectors" 8 r.Engine.counters.Counters.line_misses;
+  check_int "rest coalesced" 24 r.Engine.counters.Counters.line_hits;
+  checkf "transactions = misses" 8.0 r.Engine.counters.Counters.lsu_transactions
+
+let test_memory_dram_bytes_accounting () =
+  let sp = Memory.space () in
+  let a = Memory.falloc sp 16 in
+  let r =
+    run_block ~threads:1 (fun th -> ignore (Memory.fget a th 0))
+  in
+  checkf "one line of traffic"
+    (float_of_int cfg.Config.line_bytes)
+    r.Engine.counters.Counters.dram_bytes
+
+let test_memory_atomic_add () =
+  let sp = Memory.space () in
+  let a = Memory.falloc sp 1 in
+  ignore
+    (run_block ~threads:8 (fun th ->
+         ignore (Memory.atomic_fadd a th 0 1.0)));
+  checkf "all adds landed" 8.0 (Memory.host_get a 0)
+
+let test_memory_atomic_contention_cost () =
+  (* Same-line atomics in one epoch cost more than spread-out atomics. *)
+  let sp = Memory.space () in
+  let hot = Memory.falloc sp 1 in
+  let cold = Memory.falloc sp (16 * 8) in
+  let time_of target idx_of =
+    let r =
+      run_block ~threads:8 (fun th ->
+          ignore (Memory.atomic_fadd target th (idx_of th.Thread.tid) 1.0))
+    in
+    r.Engine.critical_cycles
+  in
+  let hot_t = time_of hot (fun _ -> 0) in
+  let cold_t = time_of cold (fun tid -> tid * 16) in
+  check_bool "contention costs" true (hot_t > cold_t)
+
+let test_memory_of_arrays () =
+  let sp = Memory.space () in
+  let f = Memory.of_float_array sp [| 1.0; 2.0 |] in
+  let i = Memory.of_int_array sp [| 7; 8; 9 |] in
+  check_int "flength" 2 (Memory.flength f);
+  check_int "ilength" 3 (Memory.ilength i);
+  checkf "content" 2.0 (Memory.host_get f 1);
+  check_int "icontent" 9 (Memory.host_geti i 2);
+  Memory.fill f 5.0;
+  checkf "fill" 5.0 (Memory.host_get f 0)
+
+(* --- Shared ----------------------------------------------------------- *)
+
+let test_shared_alloc_and_overflow () =
+  let a = Shared.arena_of_capacity 100 in
+  (match Shared.alloc a ~bytes:60 with
+  | Some off -> check_int "first at 0" 0 off
+  | None -> Alcotest.fail "alloc failed");
+  check_bool "overflow" true (Shared.alloc a ~bytes:60 = None);
+  check_int "used" 60 (Shared.used a)
+
+let test_shared_stack_discipline () =
+  let a = Shared.arena_of_capacity 100 in
+  let m = Shared.mark a in
+  ignore (Shared.alloc a ~bytes:40);
+  Shared.release a m;
+  check_int "released" 0 (Shared.used a);
+  check_int "high water kept" 40 (Shared.high_water a)
+
+let test_shared_release_validation () =
+  let a = Shared.arena_of_capacity 10 in
+  Alcotest.check_raises "bad mark"
+    (Invalid_argument "Shared.release: invalid mark") (fun () ->
+      Shared.release a 5)
+
+(* --- Occupancy -------------------------------------------------------- *)
+
+let test_occupancy_thread_limit () =
+  check_int "by threads" 4
+    (Occupancy.blocks_per_sm cfg ~threads_per_block:128 ~smem_per_block:0)
+
+let test_occupancy_smem_limit () =
+  let smem = cfg.Config.shared_mem_per_sm / 2 in
+  check_int "by smem" 2
+    (Occupancy.blocks_per_sm cfg ~threads_per_block:32 ~smem_per_block:smem)
+
+let test_occupancy_unlaunchable () =
+  check_int "too big" 0
+    (Occupancy.blocks_per_sm cfg
+       ~threads_per_block:(cfg.Config.max_threads_per_block + 32)
+       ~smem_per_block:0)
+
+let block_cost ?(critical = 100.0) ?(busy = 1000.0) ?(dram = 0.0)
+    ?(lsu = 0.0) ?(active = 32) ?(threads = 32) ?(smem = 0) () =
+  {
+    Occupancy.critical;
+    busy;
+    dram_bytes = dram;
+    lsu_transactions = lsu;
+    active_lanes = active;
+    threads;
+    smem_bytes = smem;
+  }
+
+let test_occupancy_latency_hiding () =
+  (* With many resident blocks, total time approaches max(critical), not
+     sum(critical). *)
+  let small_blocks = Array.init 8 (fun _ -> block_cost ~busy:0.0 ()) in
+  let bd = Occupancy.kernel_time cfg small_blocks in
+  let launch = cfg.Config.cost.Config.launch_overhead in
+  check_bool "latency hidden" true (bd.Occupancy.time -. launch < 250.0)
+
+let test_occupancy_throughput_bound () =
+  (* Huge busy time must dominate; a single block whose average issuing
+     parallelism (busy/critical) is 32 lanes retires 32/dep_stall
+     lane-ops per cycle, not full width. *)
+  let blocks = [| block_cost ~busy:1.0e6 ~critical:(1.0e6 /. 32.0) () |] in
+  let bd = Occupancy.kernel_time cfg blocks in
+  checkf "compute bound"
+    (1.0e6 /. (32.0 /. cfg.Config.issue_dep_stall))
+    bd.Occupancy.compute_bound
+
+let test_occupancy_full_fill_reaches_issue_width () =
+  (* Enough concurrently-issuing lanes: the classic busy/issue bound. *)
+  let blocks =
+    Array.init 16 (fun _ ->
+        block_cost ~busy:1.0e6 ~critical:(1.0e6 /. 128.0) ~threads:128 ())
+  in
+  let bd = Occupancy.kernel_time cfg blocks in
+  let per_sm_busy = 4.0e6 (* 16 blocks over 4 SMs *) in
+  checkf "issue-width bound"
+    (per_sm_busy /. float_of_int cfg.Config.issue_lanes_per_sm)
+    bd.Occupancy.compute_bound
+
+let test_occupancy_memory_bound () =
+  let blocks = [| block_cost ~dram:1.0e7 () |] in
+  let bd = Occupancy.kernel_time cfg blocks in
+  check_bool "memory dominates" true
+    (bd.Occupancy.memory_bound >= bd.Occupancy.compute_bound)
+
+let test_occupancy_more_blocks_longer () =
+  let mk n = Array.init n (fun _ -> block_cost ~busy:50_000.0 ()) in
+  let t1 = (Occupancy.kernel_time cfg (mk 4)).Occupancy.time in
+  let t2 = (Occupancy.kernel_time cfg (mk 64)).Occupancy.time in
+  check_bool "monotone in blocks" true (t2 > t1)
+
+(* --- Device ----------------------------------------------------------- *)
+
+let test_device_launch_end_to_end () =
+  let sp = Memory.space () in
+  let out = Memory.falloc sp 64 in
+  let report =
+    Device.launch ~cfg ~grid:4 ~block:16
+      ~init:(fun ~block_id _arena -> block_id)
+      ~body:(fun block_id th ->
+        let i = (block_id * 16) + th.Thread.tid in
+        Memory.fset out th i (float_of_int i))
+      ()
+  in
+  check_int "grid" 4 report.Device.grid;
+  for i = 0 to 63 do
+    checkf "output" (float_of_int i) (Memory.host_get out i)
+  done;
+  check_bool "time positive" true (report.Device.time_cycles > 0.0)
+
+let test_device_counters_merged () =
+  let sp = Memory.space () in
+  let a = Memory.falloc sp 128 in
+  let report =
+    Device.launch ~cfg ~grid:2 ~block:32
+      ~init:(fun ~block_id _ -> block_id)
+      ~body:(fun b th -> ignore (Memory.fget a th ((b * 32) + th.Thread.tid)))
+      ()
+  in
+  check_int "loads from both blocks" 64
+    report.Device.counters.Counters.global_loads
+
+let test_device_trace_records () =
+  let trace = Trace.create () in
+  ignore
+    (Device.launch ~cfg ~trace ~grid:1 ~block:1
+       ~init:(fun ~block_id _ -> block_id)
+       ~body:(fun _ th -> Thread.trace th ~tag:"hello" "world")
+       ());
+  check_int "one event" 1 (Trace.count trace ~tag:"hello")
+
+let test_device_validates () =
+  check_bool "bad grid" true
+    (try
+       ignore
+         (Device.launch ~cfg ~grid:0 ~block:32
+            ~init:(fun ~block_id _ -> block_id)
+            ~body:(fun _ _ -> ())
+            ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_engine_non_warp_multiple () =
+  (* the raw engine accepts ragged blocks (the runtime layers add their
+     own warp-multiple constraints) *)
+  let seen = ref 0 in
+  let r =
+    Engine.run_block ~cfg ~block_id:0 ~num_threads:40 (fun _ -> incr seen)
+  in
+  check_int "ran 40" 40 !seen;
+  check_int "active" 0 r.Engine.active_lanes
+  (* no busy work -> no active lanes *)
+
+(* --- Trace export ------------------------------------------------------ *)
+
+let test_trace_export_json () =
+  let trace = Trace.create () in
+  ignore
+    (Device.launch ~cfg ~trace ~grid:2 ~block:4
+       ~init:(fun ~block_id _ -> block_id)
+       ~body:(fun _ th ->
+         Thread.trace th ~tag:"evt" "a \"quoted\" detail\nline2")
+       ());
+  let json = Gpusim.Trace_export.to_json trace in
+  check_bool "array" true
+    (String.length json > 2 && json.[0] = '[');
+  check_bool "escaped quote" true (Astring_like.contains json "\\\"quoted\\\"");
+  check_bool "escaped newline" true (Astring_like.contains json "\\n");
+  check_bool "pid field" true (Astring_like.contains json "\"pid\":1");
+  (* 8 threads, one event each *)
+  check_int "count" 8 (Trace.count trace ~tag:"evt")
+
+let test_trace_export_file () =
+  let trace = Trace.create () in
+  Trace.record (Some trace) ~time:1.0 ~block:0 ~tid:0 ~tag:"x" "y";
+  let path = Filename.temp_file "ompsimd" ".json" in
+  Gpusim.Trace_export.write_file trace ~path;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove path;
+  check_bool "non-empty" true (len > 10)
+
+(* --- Engine stress ------------------------------------------------------ *)
+
+let test_engine_many_barrier_rounds () =
+  (* 64 threads through 100 rounds of interleaved warp/block barriers:
+     exercises barrier reuse and the run queue at depth *)
+  let bar_block = Barrier.create ~expected:64 ~cost:1.0 () in
+  let bar_warps =
+    Array.init 2 (fun w ->
+        Barrier.create ~name:(Printf.sprintf "w%d" w) ~expected:32 ~cost:1.0 ())
+  in
+  let r =
+    Engine.run_block ~cfg ~block_id:0 ~num_threads:64 (fun th ->
+        for _ = 1 to 100 do
+          Engine.barrier_wait bar_warps.(th.Thread.tid / 32) th;
+          Engine.barrier_wait bar_block th
+        done)
+  in
+  check_int "all finished" 64 r.Engine.num_threads;
+  check_bool "time accumulated" true (r.Engine.critical_cycles >= 200.0)
+
+(* --- qcheck properties ------------------------------------------------ *)
+
+let qcheck_cases =
+  let open QCheck in
+  [
+    Test.make ~name:"barrier release = max arrival + cost" ~count:100
+      (pair (int_range 2 32) (list_of_size Gen.(return 8) (float_range 0.0 1000.0)))
+      (fun (_, ticks) ->
+        let ticks = Array.of_list ticks in
+        let bar = Barrier.create ~expected:8 ~cost:5.0 () in
+        let finals = Array.make 8 0.0 in
+        ignore
+          (Engine.run_block ~cfg ~block_id:0 ~num_threads:8 (fun th ->
+               Thread.tick th ticks.(th.Thread.tid);
+               Engine.barrier_wait bar th;
+               finals.(th.Thread.tid) <- th.Thread.clock));
+        let expected = Array.fold_left Float.max 0.0 ticks +. 5.0 in
+        Array.for_all (fun c -> abs_float (c -. expected) < 1e-6) finals);
+    Test.make ~name:"linebuf hit implies prior touch" ~count:200
+      (pair (int_range 1 16) (list (int_range 0 64)))
+      (fun (cap, touches) ->
+        let lb = Linebuf.create ~capacity:cap ~coalesce_window:0.0 in
+        let seen = Hashtbl.create 16 in
+        List.for_all
+          (fun l ->
+            let vtime = float_of_int (Hashtbl.length seen) in
+            let hit = Linebuf.is_resident (fst (Linebuf.touch lb ~vtime ~lane:0 l)) in
+            let ok = (not hit) || Hashtbl.mem seen l in
+            Hashtbl.replace seen l ();
+            ok)
+          touches);
+    Test.make ~name:"occupancy bounded by device caps" ~count:200
+      (pair (int_range 1 32) (int_range 0 20_000))
+      (fun (warps, smem) ->
+        let threads = warps * 32 in
+        let r = Occupancy.blocks_per_sm cfg ~threads_per_block:threads ~smem_per_block:smem in
+        r <= cfg.Config.max_blocks_per_sm
+        && (r = 0 || r * threads <= cfg.Config.max_threads_per_sm));
+  ]
+
+let suite =
+  [
+    ( "gpusim.config",
+      [
+        Alcotest.test_case "presets valid" `Quick test_config_presets_valid;
+        Alcotest.test_case "validation" `Quick test_config_validation_catches;
+        Alcotest.test_case "amd flag" `Quick test_config_amd_flag;
+      ] );
+    ( "gpusim.linebuf",
+      [
+        Alcotest.test_case "hit/miss" `Quick test_linebuf_hit_miss;
+        Alcotest.test_case "infinite window below capacity" `Quick
+          test_linebuf_window_infinite_below_capacity;
+        Alcotest.test_case "residency window" `Quick test_linebuf_residency_window;
+        Alcotest.test_case "concurrent vtimes overlap" `Quick
+          test_linebuf_concurrent_vtimes_overlap;
+        Alcotest.test_case "clear" `Quick test_linebuf_clear;
+      ] );
+    ( "gpusim.counters",
+      [
+        Alcotest.test_case "merge" `Quick test_counters_merge;
+        Alcotest.test_case "coalescing ratio" `Quick test_counters_coalescing_ratio;
+      ] );
+    ( "gpusim.engine",
+      [
+        Alcotest.test_case "runs all threads" `Quick test_engine_runs_all_threads;
+        Alcotest.test_case "barrier aligns clocks" `Quick test_engine_barrier_aligns_clocks;
+        Alcotest.test_case "barrier reusable" `Quick test_engine_barrier_reusable;
+        Alcotest.test_case "barrier orders writes" `Quick test_engine_barrier_orders_writes;
+        Alcotest.test_case "deadlock detection" `Quick test_engine_deadlock_detection;
+        Alcotest.test_case "size validation" `Quick test_engine_rejects_bad_sizes;
+        Alcotest.test_case "busy excludes wait" `Quick test_engine_busy_excludes_wait;
+      ] );
+    ( "gpusim.memory",
+      [
+        Alcotest.test_case "float roundtrip" `Quick test_memory_roundtrip;
+        Alcotest.test_case "int roundtrip" `Quick test_memory_int_roundtrip;
+        Alcotest.test_case "bounds" `Quick test_memory_bounds;
+        Alcotest.test_case "consecutive coalesce" `Quick test_memory_coalescing_consecutive;
+        Alcotest.test_case "strided uncoalesced" `Quick test_memory_strided_access_uncoalesced;
+        Alcotest.test_case "warp lanes share lines" `Quick test_memory_warp_lanes_share_lines;
+        Alcotest.test_case "dram byte accounting" `Quick test_memory_dram_bytes_accounting;
+        Alcotest.test_case "atomic add" `Quick test_memory_atomic_add;
+        Alcotest.test_case "atomic contention" `Quick test_memory_atomic_contention_cost;
+        Alcotest.test_case "of arrays" `Quick test_memory_of_arrays;
+      ] );
+    ( "gpusim.shared",
+      [
+        Alcotest.test_case "alloc/overflow" `Quick test_shared_alloc_and_overflow;
+        Alcotest.test_case "stack discipline" `Quick test_shared_stack_discipline;
+        Alcotest.test_case "release validation" `Quick test_shared_release_validation;
+      ] );
+    ( "gpusim.occupancy",
+      [
+        Alcotest.test_case "thread limit" `Quick test_occupancy_thread_limit;
+        Alcotest.test_case "smem limit" `Quick test_occupancy_smem_limit;
+        Alcotest.test_case "unlaunchable" `Quick test_occupancy_unlaunchable;
+        Alcotest.test_case "latency hiding" `Quick test_occupancy_latency_hiding;
+        Alcotest.test_case "throughput bound" `Quick test_occupancy_throughput_bound;
+        Alcotest.test_case "full fill reaches issue width" `Quick
+          test_occupancy_full_fill_reaches_issue_width;
+        Alcotest.test_case "memory bound" `Quick test_occupancy_memory_bound;
+        Alcotest.test_case "monotone in blocks" `Quick test_occupancy_more_blocks_longer;
+      ] );
+    ( "gpusim.device",
+      [
+        Alcotest.test_case "end to end" `Quick test_device_launch_end_to_end;
+        Alcotest.test_case "counters merged" `Quick test_device_counters_merged;
+        Alcotest.test_case "trace" `Quick test_device_trace_records;
+        Alcotest.test_case "validation" `Quick test_device_validates;
+        Alcotest.test_case "trace export json" `Quick test_trace_export_json;
+        Alcotest.test_case "trace export file" `Quick test_trace_export_file;
+        Alcotest.test_case "barrier stress" `Quick test_engine_many_barrier_rounds;
+        Alcotest.test_case "non-warp-multiple block" `Quick
+          test_engine_non_warp_multiple;
+      ] );
+    ("gpusim.properties", List.map QCheck_alcotest.to_alcotest qcheck_cases);
+  ]

@@ -1,0 +1,73 @@
+(* Tests for the OpenACC facade: the §1 gang/worker/vector equivalence. *)
+
+module Memory = Gpusim.Memory
+module Acc = Openacc.Acc
+
+let cfg = Gpusim.Config.small
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+let check_bool = Alcotest.check Alcotest.bool
+
+let test_acc_three_levels () =
+  let space = Memory.space () in
+  let rows = 29 and len = 17 in
+  let out = Memory.falloc space (rows * len) in
+  List.iter
+    (fun (mode, vl) ->
+      Memory.fill out 0.0;
+      let (_ : Gpusim.Device.report) =
+        Acc.parallel ~cfg ~num_gangs:3 ~num_workers:4 ~vector_length:vl ~mode
+          (fun ctx ->
+            Acc.loop_gang_worker ctx ~trip:rows (fun r ->
+                Acc.loop_vector ctx ~trip:len (fun j ->
+                    Memory.fset out ctx.Omprt.Team.th
+                      ((r * len) + j)
+                      (float_of_int ((r * len) + j)))))
+      in
+      for idx = 0 to (rows * len) - 1 do
+        checkf "identity" (float_of_int idx) (Memory.host_get out idx)
+      done)
+    [ (Omprt.Mode.Spmd, 8); (Omprt.Mode.Generic, 8); (Omprt.Mode.Spmd, 32) ]
+
+let test_acc_gang_then_worker () =
+  (* separate gang and worker loops, the classic OpenACC nesting *)
+  let space = Memory.space () in
+  let rows = 12 and len = 21 in
+  let out = Memory.falloc space (rows * len) in
+  let (_ : Gpusim.Device.report) =
+    Acc.parallel ~cfg ~num_gangs:4 ~num_workers:8 ~vector_length:4
+      ~mode:Omprt.Mode.Generic (fun ctx ->
+        Acc.loop_gang ctx ~trip:rows (fun r ->
+            Acc.loop_worker ctx ~trip:len (fun j ->
+                Memory.fset out ctx.Omprt.Team.th ((r * len) + j) 1.0)))
+  in
+  for idx = 0 to (rows * len) - 1 do
+    checkf "covered" 1.0 (Memory.host_get out idx)
+  done
+
+let test_acc_vector_reduction () =
+  let total = ref 0.0 in
+  let (_ : Gpusim.Device.report) =
+    Acc.parallel ~cfg ~num_gangs:1 ~num_workers:1 ~vector_length:16
+      (fun ctx ->
+        if Acc.worker_num ctx = 0 then
+          total := Acc.loop_vector_sum ctx ~trip:64 (fun i -> float_of_int i))
+  in
+  checkf "sum" 2016.0 !total
+
+let test_acc_validation () =
+  check_bool "bad vector length" true
+    (try
+       ignore (Acc.parallel ~cfg ~vector_length:5 (fun _ -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    ( "openacc",
+      [
+        Alcotest.test_case "three levels" `Quick test_acc_three_levels;
+        Alcotest.test_case "gang then worker" `Quick test_acc_gang_then_worker;
+        Alcotest.test_case "vector reduction" `Quick test_acc_vector_reduction;
+        Alcotest.test_case "validation" `Quick test_acc_validation;
+      ] );
+  ]

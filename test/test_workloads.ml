@@ -1,0 +1,236 @@
+(* Integration tests: every workload, in its two-level and three-level
+   forms, must reproduce its sequential reference exactly. *)
+
+module Config = Gpusim.Config
+module Mode = Omprt.Mode
+module Harness = Workloads.Harness
+module Spmv = Workloads.Spmv
+module Su3 = Workloads.Su3
+module Ideal = Workloads.Ideal
+module Laplace3d = Workloads.Laplace3d
+module Muram = Workloads.Muram
+
+let cfg = Config.small
+let check_bool = Alcotest.check Alcotest.bool
+
+let ok name = function
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: %s" name msg
+
+let small_spmv profile =
+  Spmv.generate
+    { rows = 200; cols = 200; profile; band = 40; seed = 11 }
+
+let spmv_modes =
+  [
+    ("spmd/8", Harness.spmd_simd ~group_size:8);
+    ("generic/8", Harness.generic_simd ~group_size:8);
+    ("generic/32", Harness.generic_simd ~group_size:32);
+    ("spmd/1", Harness.spmd_simd ~group_size:1);
+  ]
+
+let test_spmv_two_level () =
+  let t = small_spmv (Spmv.Banded { mean = 12; spread = 8 }) in
+  let r = Spmv.run_two_level ~cfg ~num_teams:8 ~threads:32 t in
+  ok "two-level" (Spmv.verify t r.Harness.output)
+
+let test_spmv_simd_modes () =
+  let t = small_spmv (Spmv.Banded { mean = 12; spread = 8 }) in
+  List.iter
+    (fun (name, mode3) ->
+      let r = Spmv.run_simd ~cfg ~num_teams:8 ~threads:64 ~mode3 t in
+      ok name (Spmv.verify t r.Harness.output))
+    spmv_modes
+
+let test_spmv_profiles () =
+  List.iter
+    (fun profile ->
+      let t = small_spmv profile in
+      let r =
+        Spmv.run_simd ~cfg ~num_teams:4 ~threads:64
+          ~mode3:(Harness.generic_simd ~group_size:8) t
+      in
+      ok "profile" (Spmv.verify t r.Harness.output))
+    [
+      Spmv.Uniform 7;
+      Spmv.Banded { mean = 10; spread = 10 };
+      Spmv.Power_law { max_nnz = 64; s = 1.3 };
+    ]
+
+let test_spmv_empty_rows () =
+  (* Banded with spread = mean can generate zero-length rows. *)
+  let t = small_spmv (Spmv.Banded { mean = 4; spread = 4 }) in
+  check_bool "has an empty row" true
+    (Array.exists (fun l -> l = 0) (Spmv.row_lengths t));
+  let r =
+    Spmv.run_simd ~cfg ~num_teams:4 ~threads:64
+      ~mode3:(Harness.generic_simd ~group_size:8) t
+  in
+  ok "empty rows" (Spmv.verify t r.Harness.output)
+
+let test_spmv_reduction_variant () =
+  let t = small_spmv (Spmv.Banded { mean = 12; spread = 8 }) in
+  List.iter
+    (fun (name, mode3) ->
+      let r = Spmv.run_simd_reduction ~cfg ~num_teams:8 ~threads:64 ~mode3 t in
+      ok name (Spmv.verify t r.Harness.output))
+    spmv_modes
+
+let test_spmv_deterministic_generation () =
+  let a = small_spmv (Spmv.Power_law { max_nnz = 32; s = 1.2 }) in
+  let b = small_spmv (Spmv.Power_law { max_nnz = 32; s = 1.2 }) in
+  Alcotest.(check (array int)) "same lengths" (Spmv.row_lengths a)
+    (Spmv.row_lengths b);
+  Alcotest.(check int) "same nnz" (Spmv.nnz a) (Spmv.nnz b)
+
+let test_su3 () =
+  let t = Su3.generate { sites = 96; seed = 7 } in
+  let r = Su3.run_two_level ~cfg ~num_teams:4 ~threads:64 t in
+  ok "su3 baseline" (Su3.verify t r.Harness.output);
+  List.iter
+    (fun gs ->
+      List.iter
+        (fun mk ->
+          let r =
+            Su3.run ~cfg ~num_teams:4 ~threads:64 ~mode3:(mk ~group_size:gs) t
+          in
+          ok (Printf.sprintf "su3 gs=%d" gs) (Su3.verify t r.Harness.output))
+        [ Harness.spmd_simd; Harness.generic_simd ])
+    [ 2; 4; 8 ]
+
+let test_ideal () =
+  let t = Ideal.generate { rows = 128; inner = 32; flops_per_elem = 8; seed = 9 } in
+  let r = Ideal.run_two_level ~cfg ~num_teams:4 ~threads:64 t in
+  ok "ideal baseline" (Ideal.verify t r.Harness.output);
+  let r =
+    Ideal.run ~cfg ~num_teams:4 ~threads:64
+      ~mode3:(Harness.generic_simd ~group_size:32) t
+  in
+  ok "ideal simd" (Ideal.verify t r.Harness.output)
+
+let test_laplace3d () =
+  let t = Laplace3d.generate { n = 10; seed = 13 } in
+  let r = Laplace3d.run_no_simd ~cfg ~num_teams:4 ~threads:64 t in
+  ok "laplace no-simd" (Laplace3d.verify t r.Harness.output);
+  List.iter
+    (fun mode3 ->
+      let r = Laplace3d.run ~cfg ~num_teams:4 ~threads:64 ~mode3 t in
+      ok "laplace simd" (Laplace3d.verify t r.Harness.output))
+    [ Harness.spmd_simd ~group_size:8; Harness.generic_simd ~group_size:8 ]
+
+let test_muram_transpose () =
+  let t = Muram.generate { ni = 10; nj = 12; nk = 14; seed = 15 } in
+  List.iter
+    (fun mode3 ->
+      let r = Muram.run_transpose ~cfg ~num_teams:4 ~threads:64 ~mode3 t in
+      ok "transpose" (Muram.verify_transpose t r.Harness.output))
+    [
+      Harness.spmd_simd ~group_size:1;
+      Harness.spmd_simd ~group_size:8;
+      Harness.generic_simd ~group_size:8;
+    ]
+
+let test_muram_interpol () =
+  let t = Muram.generate { ni = 10; nj = 12; nk = 14; seed = 17 } in
+  List.iter
+    (fun mode3 ->
+      let r = Muram.run_interpol ~cfg ~num_teams:4 ~threads:64 ~mode3 t in
+      ok "interpol" (Muram.verify_interpol t r.Harness.output))
+    [
+      Harness.spmd_simd ~group_size:1;
+      Harness.spmd_simd ~group_size:8;
+      Harness.generic_simd ~group_size:8;
+    ]
+
+let test_amd_mode_workloads () =
+  (* Every workload must stay correct on the no-warp-barrier device. *)
+  let acfg = Config.amd_like in
+  let t = small_spmv (Spmv.Banded { mean = 8; spread = 6 }) in
+  let r =
+    Spmv.run_simd ~cfg:acfg ~num_teams:4 ~threads:64
+      ~mode3:(Harness.generic_simd ~group_size:8) t
+  in
+  ok "spmv amd" (Spmv.verify t r.Harness.output);
+  let lt = Laplace3d.generate { n = 8; seed = 19 } in
+  let lr =
+    Laplace3d.run ~cfg:acfg ~num_teams:2 ~threads:64
+      ~mode3:(Harness.generic_simd ~group_size:32) lt
+  in
+  ok "laplace amd" (Laplace3d.verify lt lr.Harness.output)
+
+let test_harness_verify () =
+  check_bool "accepts equal" true
+    (Harness.verify_close ~expected:[| 1.0; 2.0 |] [| 1.0; 2.0 |] = Ok ());
+  check_bool "rejects different" true
+    (Result.is_error (Harness.verify_close ~expected:[| 1.0 |] [| 1.5 |]));
+  check_bool "rejects length" true
+    (Result.is_error (Harness.verify_close ~expected:[| 1.0 |] [| 1.0; 2.0 |]))
+
+let qcheck_cases =
+  let open QCheck in
+  [
+    Test.make ~name:"spmv correct on random instances" ~count:15
+      (triple (int_range 10 80) (int_range 1 16) (int_range 0 3))
+      (fun (rows, mean, gs_idx) ->
+        let gs = List.nth [ 1; 2; 8; 32 ] gs_idx in
+        let t =
+          Spmv.generate
+            {
+              rows;
+              cols = rows;
+              profile = Spmv.Banded { mean; spread = mean / 2 };
+              band = max 1 (rows / 4);
+              seed = rows + mean;
+            }
+        in
+        let r =
+          Spmv.run_simd ~cfg ~num_teams:2 ~threads:64
+            ~mode3:(Harness.generic_simd ~group_size:gs) t
+        in
+        Spmv.verify t r.Harness.output = Ok ());
+    Test.make ~name:"two-level and simd agree" ~count:10
+      (int_range 10 60)
+      (fun rows ->
+        let t =
+          Spmv.generate
+            {
+              rows;
+              cols = rows;
+              profile = Spmv.Uniform 9;
+              band = max 1 (rows / 3);
+              seed = rows;
+            }
+        in
+        let a = Spmv.run_two_level ~cfg ~num_teams:2 ~threads:32 t in
+        let av = Array.copy a.Harness.output in
+        let b =
+          Spmv.run_simd ~cfg ~num_teams:2 ~threads:64
+            ~mode3:(Harness.spmd_simd ~group_size:4) t
+        in
+        Array.for_all2 (fun x y -> abs_float (x -. y) < 1e-6) av b.Harness.output);
+  ]
+
+let suite =
+  [
+    ( "workloads.spmv",
+      [
+        Alcotest.test_case "two-level" `Quick test_spmv_two_level;
+        Alcotest.test_case "simd modes" `Quick test_spmv_simd_modes;
+        Alcotest.test_case "profiles" `Quick test_spmv_profiles;
+        Alcotest.test_case "empty rows" `Quick test_spmv_empty_rows;
+        Alcotest.test_case "reduction variant" `Quick test_spmv_reduction_variant;
+        Alcotest.test_case "deterministic generation" `Quick
+          test_spmv_deterministic_generation;
+      ] );
+    ( "workloads.kernels",
+      [
+        Alcotest.test_case "su3" `Quick test_su3;
+        Alcotest.test_case "ideal" `Quick test_ideal;
+        Alcotest.test_case "laplace3d" `Quick test_laplace3d;
+        Alcotest.test_case "muram transpose" `Quick test_muram_transpose;
+        Alcotest.test_case "muram interpol" `Quick test_muram_interpol;
+        Alcotest.test_case "amd mode" `Quick test_amd_mode_workloads;
+        Alcotest.test_case "harness verify" `Quick test_harness_verify;
+      ] );
+    ("workloads.properties", List.map QCheck_alcotest.to_alcotest qcheck_cases);
+  ]

@@ -1,0 +1,20 @@
+# gnuplot script for the Fig 10 reproduction.
+#
+#   dune exec bin/ompsimd_run.exe -- fig10 --csv fig10.csv
+#   gnuplot -e "csv='fig10.csv'" tools/plot_fig10.gp
+
+if (!exists("csv")) csv = "fig10.csv"
+set terminal pngcairo size 900,540 enhanced
+set output "fig10.png"
+set datafile separator ","
+set title "Execution-mode relative speedup vs the No-SIMD configuration"
+set ylabel "relative speedup"
+set style data histogram
+set style histogram cluster gap 1
+set style fill solid 0.8 border -1
+set yrange [0:1.3]
+set grid ytics
+set key top right
+plot csv using ($2 eq "No SIMD" ? $4 : 1/0):xtic(1) title "No SIMD", \
+     csv using ($2 eq "SPMD SIMD" ? $4 : 1/0) title "SPMD SIMD", \
+     csv using ($2 eq "generic SIMD" ? $4 : 1/0) title "generic SIMD"

@@ -1,0 +1,23 @@
+# gnuplot script for the Fig 9 reproduction.
+#
+#   dune exec bin/ompsimd_run.exe -- fig9 --csv fig9.csv
+#   gnuplot -e "csv='fig9.csv'" tools/plot_fig9.gp
+#
+# Produces fig9.png: speedup over the two-level baseline per SIMD group
+# size, one line per kernel — the same series as the paper's figure.
+
+if (!exists("csv")) csv = "fig9.csv"
+set terminal pngcairo size 900,540 enhanced
+set output "fig9.png"
+set datafile separator ","
+set title "Three-level simd speedup over the two-level baseline"
+set xlabel "SIMD group size (simdlen)"
+set ylabel "speedup"
+set logscale x 2
+set xtics (2, 4, 8, 16, 32)
+set key top left
+set grid ytics
+plot csv using 2:($1 eq "sparse_matvec" ? $5 : 1/0) with linespoints lw 2 pt 7 title "sparse\\_matvec", \
+     csv using 2:($1 eq "su3_bench" ? $5 : 1/0) with linespoints lw 2 pt 5 title "su3\\_bench", \
+     csv using 2:($1 eq "ideal_kernel" ? $5 : 1/0) with linespoints lw 2 pt 9 title "ideal kernel", \
+     1 with lines dt 2 lc rgb "gray" notitle
