@@ -9,7 +9,17 @@
 
    Part 2 registers one Bechamel Test.make per experiment, measuring the
    host-side cost of regenerating it at a reduced scale — the number a
-   developer watches when optimizing the simulator. *)
+   developer watches when optimizing the simulator.
+
+   Block simulation fans out over OMPSIMD_DOMAINS host domains (0 =
+   sequential; unset = cores - 1, which also caps explicit requests),
+   and OMPSIMD_BENCH_DEDUP=0 disables
+   the homogeneous-grid dedup fast path on the uniform Fig 9 kernels
+   (default on); the reports are bit-identical under every combination.
+   OMPSIMD_BENCH_QUOTA overrides Bechamel's per-test second budget, and
+   OMPSIMD_BENCH_JSON=path additionally writes the ms/run estimates as
+   JSON, so runs under different settings can be diffed (see
+   tools/bench_smoke.sh and BENCH_gpusim.json). *)
 
 open Bechamel
 open Toolkit
@@ -28,90 +38,151 @@ let scale () =
   | Some s -> float_of_string s
   | None -> 1.0
 
-let print_experiments () =
+let quota () =
+  match Sys.getenv_opt "OMPSIMD_BENCH_QUOTA" with
+  | Some s -> float_of_string s
+  | None -> 1.0
+
+let dedup () =
+  match Sys.getenv_opt "OMPSIMD_BENCH_DEDUP" with
+  | Some "0" -> false
+  | Some _ | None -> true
+
+let print_experiments ~pool () =
   let cfg = device () in
   let scale = scale () in
-  Printf.printf "device: %s, scale: %.2f\n\n%!" cfg.Gpusim.Config.name scale;
-  Experiments.Fig9.print (Experiments.Fig9.run ~scale ~cfg ());
+  Printf.printf "device: %s, scale: %.2f, domains: %d, dedup: %b\n\n%!"
+    cfg.Gpusim.Config.name scale (Gpusim.Pool.size pool) (dedup ());
+  Experiments.Fig9.print
+    (Experiments.Fig9.run ~scale ~pool ~dedup:(dedup ()) ~cfg ());
   print_newline ();
-  Experiments.Fig10.print (Experiments.Fig10.run ~scale ~cfg ());
+  Experiments.Fig10.print (Experiments.Fig10.run ~scale ~pool ~cfg ());
   print_newline ();
   Experiments.Sharing_ablation.print
-    (Experiments.Sharing_ablation.run ~scale ~cfg ());
+    (Experiments.Sharing_ablation.run ~scale ~pool ~cfg ());
   print_newline ();
   Experiments.Dispatch_ablation.print
-    (Experiments.Dispatch_ablation.run ~scale ~cfg ());
+    (Experiments.Dispatch_ablation.run ~scale ~pool ~cfg ());
   print_newline ();
-  Experiments.Amd_mode.print (Experiments.Amd_mode.run ~scale:(scale /. 4.) ());
+  Experiments.Amd_mode.print
+    (Experiments.Amd_mode.run ~scale:(scale /. 4.) ~pool ());
   print_newline ();
   Experiments.Reduction_ablation.print
-    (Experiments.Reduction_ablation.run ~scale ~cfg ());
+    (Experiments.Reduction_ablation.run ~scale ~pool ~cfg ());
   print_newline ();
   Experiments.Teams_mode_ablation.print
-    (Experiments.Teams_mode_ablation.run ~scale ~cfg ());
+    (Experiments.Teams_mode_ablation.run ~scale ~pool ~cfg ());
   print_newline ();
   Experiments.Spmdization_ablation.print
-    (Experiments.Spmdization_ablation.run ~scale ~cfg ());
+    (Experiments.Spmdization_ablation.run ~scale ~pool ~cfg ());
   print_newline ();
   Experiments.Schedule_ablation.print
-    (Experiments.Schedule_ablation.run ~scale ~cfg ())
+    (Experiments.Schedule_ablation.run ~scale ~pool ~cfg ())
 
 (* --- Bechamel: host cost of regenerating each experiment -------------- *)
 
-let bench_tests () =
+let bench_tests ~pool () =
   let cfg = Gpusim.Config.small in
   let s = 0.25 in
   [
     Test.make ~name:"fig9 (E1)"
-      (Staged.stage (fun () -> ignore (Experiments.Fig9.run ~scale:s ~cfg ())));
+      (Staged.stage (fun () ->
+           ignore (Experiments.Fig9.run ~scale:s ~pool ~dedup:(dedup ()) ~cfg ())));
     Test.make ~name:"fig10 (E2)"
-      (Staged.stage (fun () -> ignore (Experiments.Fig10.run ~scale:s ~cfg ())));
+      (Staged.stage (fun () ->
+           ignore (Experiments.Fig10.run ~scale:s ~pool ~cfg ())));
     Test.make ~name:"sharing ablation (E3)"
       (Staged.stage (fun () ->
-           ignore (Experiments.Sharing_ablation.run ~scale:s ~cfg ())));
+           ignore (Experiments.Sharing_ablation.run ~scale:s ~pool ~cfg ())));
     Test.make ~name:"dispatch ablation (E4)"
       (Staged.stage (fun () ->
-           ignore (Experiments.Dispatch_ablation.run ~scale:s ~cfg ())));
+           ignore (Experiments.Dispatch_ablation.run ~scale:s ~pool ~cfg ())));
     Test.make ~name:"amd mode (E5)"
-      (Staged.stage (fun () -> ignore (Experiments.Amd_mode.run ~scale:0.02 ())));
+      (Staged.stage (fun () ->
+           ignore (Experiments.Amd_mode.run ~scale:0.02 ~pool ())));
     Test.make ~name:"reduction ablation (E6)"
       (Staged.stage (fun () ->
-           ignore (Experiments.Reduction_ablation.run ~scale:s ~cfg ())));
+           ignore (Experiments.Reduction_ablation.run ~scale:s ~pool ~cfg ())));
     Test.make ~name:"teams-mode ablation (E7)"
       (Staged.stage (fun () ->
-           ignore (Experiments.Teams_mode_ablation.run ~scale:s ~cfg ())));
+           ignore (Experiments.Teams_mode_ablation.run ~scale:s ~pool ~cfg ())));
     Test.make ~name:"spmdization ablation (E8)"
       (Staged.stage (fun () ->
-           ignore (Experiments.Spmdization_ablation.run ~scale:s ~cfg ())));
+           ignore (Experiments.Spmdization_ablation.run ~scale:s ~pool ~cfg ())));
     Test.make ~name:"schedule ablation (E9)"
       (Staged.stage (fun () ->
-           ignore (Experiments.Schedule_ablation.run ~scale:0.1 ~cfg ())));
+           ignore (Experiments.Schedule_ablation.run ~scale:0.1 ~pool ~cfg ())));
   ]
 
-let run_bechamel () =
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json ~pool path estimates =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"domains\": %d,\n  \"dedup\": %b,\n  \"ms_per_run\": {\n"
+    (Gpusim.Pool.size pool) (dedup ());
+  List.iteri
+    (fun i (name, ms) ->
+      Printf.fprintf oc "    \"%s\": %s%s\n" (json_escape name)
+        (match ms with Some v -> Printf.sprintf "%.3f" v | None -> "null")
+        (if i = List.length estimates - 1 then "" else ","))
+    estimates;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+let run_bechamel ~pool () =
   print_endline "Bechamel: host milliseconds to regenerate each experiment";
-  print_endline "(reduced scale, sim-small device)";
+  Printf.printf "(reduced scale, sim-small device, %d domains, dedup %b)\n"
+    (Gpusim.Pool.size pool) (dedup ());
   let benchmark_cfg =
-    Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~kde:None ()
+    Benchmark.cfg ~limit:50 ~quota:(Time.second (quota ())) ~kde:None ()
   in
-  List.iter
-    (fun test ->
-      let raw = Benchmark.all benchmark_cfg Instance.[ monotonic_clock ] test in
-      let ols =
-        Analyze.all
-          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
-          Instance.monotonic_clock raw
-      in
-      Hashtbl.iter
-        (fun name result ->
-          match Analyze.OLS.estimates result with
-          | Some [ est ] ->
-              Printf.printf "  %-28s %10.1f ms/run\n%!" name (est /. 1e6)
-          | Some _ | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
-        ols)
-    (bench_tests ())
+  let estimates =
+    List.map
+      (fun test ->
+        let raw =
+          Benchmark.all benchmark_cfg Instance.[ monotonic_clock ] test
+        in
+        let ols =
+          Analyze.all
+            (Analyze.ols ~bootstrap:0 ~r_square:false
+               ~predictors:[| Measure.run |])
+            Instance.monotonic_clock raw
+        in
+        (* one Test.make = one entry in the OLS table *)
+        let acc = ref [] in
+        Hashtbl.iter
+          (fun name result ->
+            match Analyze.OLS.estimates result with
+            | Some [ est ] ->
+                Printf.printf "  %-28s %10.1f ms/run\n%!" name (est /. 1e6);
+                acc := (name, Some (est /. 1e6)) :: !acc
+            | Some _ | None ->
+                Printf.printf "  %-28s (no estimate)\n%!" name;
+                acc := (name, None) :: !acc)
+          ols;
+        !acc)
+      (bench_tests ~pool ())
+    |> List.concat
+  in
+  match Sys.getenv_opt "OMPSIMD_BENCH_JSON" with
+  | Some path -> write_json ~pool path estimates
+  | None -> ()
 
 let () =
-  print_experiments ();
+  let pool = Gpusim.Pool.get_default () in
+  print_experiments ~pool ();
   print_newline ();
-  run_bechamel ()
+  run_bechamel ~pool ()

@@ -33,6 +33,10 @@ let with_device name f =
       exit 2
   | Ok cfg -> f cfg
 
+(* Block simulation fans out over OMPSIMD_DOMAINS host domains; reports
+   are bit-identical to the sequential path (see DESIGN.md). *)
+let pool () = Gpusim.Pool.get_default ()
+
 let csv_term =
   let doc = "Also write the series as CSV to this file." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
@@ -50,7 +54,7 @@ let write_csv path contents =
 let fig9_cmd =
   let run device scale csv =
     with_device device (fun cfg ->
-        let r = Experiments.Fig9.run ~scale ~cfg () in
+        let r = Experiments.Fig9.run ~scale ~pool:(pool ()) ~cfg () in
         Experiments.Fig9.print r;
         write_csv csv (Experiments.Fig9.to_csv r))
   in
@@ -61,7 +65,7 @@ let fig9_cmd =
 let fig10_cmd =
   let run device scale csv =
     with_device device (fun cfg ->
-        let r = Experiments.Fig10.run ~scale ~cfg () in
+        let r = Experiments.Fig10.run ~scale ~pool:(pool ()) ~cfg () in
         Experiments.Fig10.print r;
         write_csv csv (Experiments.Fig10.to_csv r))
   in
@@ -73,7 +77,7 @@ let sharing_cmd =
   let run device scale =
     with_device device (fun cfg ->
         Experiments.Sharing_ablation.print
-          (Experiments.Sharing_ablation.run ~scale ~cfg ()))
+          (Experiments.Sharing_ablation.run ~scale ~pool:(pool ()) ~cfg ()))
   in
   Cmd.v
     (Cmd.info "sharing" ~doc:"E3: sharing-space sizing ablation (S5.3.1)")
@@ -83,7 +87,7 @@ let dispatch_cmd =
   let run device scale =
     with_device device (fun cfg ->
         Experiments.Dispatch_ablation.print
-          (Experiments.Dispatch_ablation.run ~scale ~cfg ()))
+          (Experiments.Dispatch_ablation.run ~scale ~pool:(pool ()) ~cfg ()))
   in
   Cmd.v
     (Cmd.info "dispatch" ~doc:"E4: if-cascade vs indirect dispatch (S5.5)")
@@ -91,7 +95,7 @@ let dispatch_cmd =
 
 let amd_cmd =
   let run scale =
-    Experiments.Amd_mode.print (Experiments.Amd_mode.run ~scale ())
+    Experiments.Amd_mode.print (Experiments.Amd_mode.run ~scale ~pool:(pool ()) ())
   in
   Cmd.v
     (Cmd.info "amd" ~doc:"E5: AMD wavefront-barrier gap (S5.4.1)")
@@ -101,7 +105,7 @@ let reduction_cmd =
   let run device scale =
     with_device device (fun cfg ->
         Experiments.Reduction_ablation.print
-          (Experiments.Reduction_ablation.run ~scale ~cfg ()))
+          (Experiments.Reduction_ablation.run ~scale ~pool:(pool ()) ~cfg ()))
   in
   Cmd.v
     (Cmd.info "reduction" ~doc:"E6: simd reduction vs atomic update (S7)")
@@ -111,7 +115,7 @@ let teams_mode_cmd =
   let run device scale =
     with_device device (fun cfg ->
         Experiments.Teams_mode_ablation.print
-          (Experiments.Teams_mode_ablation.run ~scale ~cfg ()))
+          (Experiments.Teams_mode_ablation.run ~scale ~pool:(pool ()) ~cfg ()))
   in
   Cmd.v
     (Cmd.info "teamsmode" ~doc:"E7: teams generic vs SPMD occupancy cost")
@@ -121,7 +125,7 @@ let spmdize_cmd =
   let run device scale =
     with_device device (fun cfg ->
         Experiments.Spmdization_ablation.print
-          (Experiments.Spmdization_ablation.run ~scale ~cfg ()))
+          (Experiments.Spmdization_ablation.run ~scale ~pool:(pool ()) ~cfg ()))
   in
   Cmd.v
     (Cmd.info "spmdize"
@@ -132,7 +136,7 @@ let schedule_cmd =
   let run device scale =
     with_device device (fun cfg ->
         Experiments.Schedule_ablation.print
-          (Experiments.Schedule_ablation.run ~scale ~cfg ()))
+          (Experiments.Schedule_ablation.run ~scale ~pool:(pool ()) ~cfg ()))
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"E9: loop schedules under row imbalance")
@@ -180,12 +184,12 @@ let kernel_cmd =
                   { Workloads.Spmv.default_shape with
                     Workloads.Spmv.rows = sc 8192; cols = sc 8192 }
               in
-              let r = Workloads.Spmv.run_simd ~cfg ?trace ~num_teams:teams ~threads:128 ~mode3 t in
+              let r = Workloads.Spmv.run_simd ~cfg ~pool:(pool ()) ?trace ~num_teams:teams ~threads:128 ~mode3 t in
               H.check_or_fail (Workloads.Spmv.verify t r.H.output);
               r
           | "su3" ->
               let t = Workloads.Su3.generate { Workloads.Su3.sites = sc 8192; seed = 2 } in
-              let r = Workloads.Su3.run ~cfg ?trace ~num_teams:teams ~threads:128 ~mode3 t in
+              let r = Workloads.Su3.run ~cfg ~pool:(pool ()) ?trace ~num_teams:teams ~threads:128 ~mode3 t in
               H.check_or_fail (Workloads.Su3.verify t r.H.output);
               r
           | "ideal" ->
@@ -193,12 +197,12 @@ let kernel_cmd =
                 Workloads.Ideal.generate
                   { Workloads.Ideal.default_shape with Workloads.Ideal.rows = sc 4096 }
               in
-              let r = Workloads.Ideal.run ~cfg ?trace ~num_teams:teams ~threads:128 ~mode3 t in
+              let r = Workloads.Ideal.run ~cfg ~pool:(pool ()) ?trace ~num_teams:teams ~threads:128 ~mode3 t in
               H.check_or_fail (Workloads.Ideal.verify t r.H.output);
               r
           | "laplace3d" ->
               let t = Workloads.Laplace3d.generate { Workloads.Laplace3d.n = sc 50; seed = 4 } in
-              let r = Workloads.Laplace3d.run ~cfg ?trace ~num_teams:teams ~threads:128 ~mode3 t in
+              let r = Workloads.Laplace3d.run ~cfg ~pool:(pool ()) ?trace ~num_teams:teams ~threads:128 ~mode3 t in
               H.check_or_fail (Workloads.Laplace3d.verify t r.H.output);
               r
           | "transpose" ->
@@ -206,7 +210,7 @@ let kernel_cmd =
                 Workloads.Muram.generate
                   { Workloads.Muram.ni = sc 48; nj = sc 48; nk = 48; seed = 5 }
               in
-              let r = Workloads.Muram.run_transpose ~cfg ?trace ~num_teams:teams ~threads:128 ~mode3 t in
+              let r = Workloads.Muram.run_transpose ~cfg ~pool:(pool ()) ?trace ~num_teams:teams ~threads:128 ~mode3 t in
               H.check_or_fail (Workloads.Muram.verify_transpose t r.H.output);
               r
           | "interpol" ->
@@ -214,7 +218,7 @@ let kernel_cmd =
                 Workloads.Muram.generate
                   { Workloads.Muram.ni = sc 48; nj = sc 48; nk = 48; seed = 5 }
               in
-              let r = Workloads.Muram.run_interpol ~cfg ?trace ~num_teams:teams ~threads:128 ~mode3 t in
+              let r = Workloads.Muram.run_interpol ~cfg ~pool:(pool ()) ?trace ~num_teams:teams ~threads:128 ~mode3 t in
               H.check_or_fail (Workloads.Muram.verify_interpol t r.H.output);
               r
           | other ->
@@ -287,29 +291,29 @@ let info_cmd =
 let all_cmd =
   let run device scale =
     with_device device (fun cfg ->
-        Experiments.Fig9.print (Experiments.Fig9.run ~scale ~cfg ());
+        Experiments.Fig9.print (Experiments.Fig9.run ~scale ~pool:(pool ()) ~cfg ());
         print_newline ();
-        Experiments.Fig10.print (Experiments.Fig10.run ~scale ~cfg ());
+        Experiments.Fig10.print (Experiments.Fig10.run ~scale ~pool:(pool ()) ~cfg ());
         print_newline ();
         Experiments.Sharing_ablation.print
-          (Experiments.Sharing_ablation.run ~scale ~cfg ());
+          (Experiments.Sharing_ablation.run ~scale ~pool:(pool ()) ~cfg ());
         print_newline ();
         Experiments.Dispatch_ablation.print
-          (Experiments.Dispatch_ablation.run ~scale ~cfg ());
+          (Experiments.Dispatch_ablation.run ~scale ~pool:(pool ()) ~cfg ());
         print_newline ();
-        Experiments.Amd_mode.print (Experiments.Amd_mode.run ~scale ());
+        Experiments.Amd_mode.print (Experiments.Amd_mode.run ~scale ~pool:(pool ()) ());
         print_newline ();
         Experiments.Reduction_ablation.print
-          (Experiments.Reduction_ablation.run ~scale ~cfg ());
+          (Experiments.Reduction_ablation.run ~scale ~pool:(pool ()) ~cfg ());
         print_newline ();
         Experiments.Teams_mode_ablation.print
-          (Experiments.Teams_mode_ablation.run ~scale ~cfg ());
+          (Experiments.Teams_mode_ablation.run ~scale ~pool:(pool ()) ~cfg ());
         print_newline ();
         Experiments.Spmdization_ablation.print
-          (Experiments.Spmdization_ablation.run ~scale ~cfg ());
+          (Experiments.Spmdization_ablation.run ~scale ~pool:(pool ()) ~cfg ());
         print_newline ();
         Experiments.Schedule_ablation.print
-          (Experiments.Schedule_ablation.run ~scale ~cfg ()))
+          (Experiments.Schedule_ablation.run ~scale ~pool:(pool ()) ~cfg ()))
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment in EXPERIMENTS.md")

@@ -20,7 +20,13 @@ type row = {
 
 type t = { rows : row list }
 
-val run : ?scale:float -> ?group_size:int -> cfg:Gpusim.Config.t -> unit -> t
+val run :
+  ?scale:float ->
+  ?group_size:int ->
+  ?pool:Gpusim.Pool.t ->
+  cfg:Gpusim.Config.t ->
+  unit ->
+  t
 (** [group_size] defaults to 32, as in the paper. *)
 
 val relative : t -> kernel:string -> mode_kind -> float

@@ -35,7 +35,7 @@ let warm_measure run =
   let (_ : Harness.run) = run ~reset_l2:true in
   Harness.time (run ~reset_l2:false)
 
-let spmv_rows ~scale ~cfg =
+let spmv_rows ~pool ~scale ~cfg =
   (* the simd variants launch 8 blocks per SM (realistic occupancy for
      latency staggering); the 32-thread two-level teams are much smaller,
      so the original code launches proportionally more of them.  The
@@ -56,13 +56,13 @@ let spmv_rows ~scale ~cfg =
   let baseline_teams = min rows (3 * num_teams) in
   let baseline =
     warm_measure (fun ~reset_l2 ->
-        Spmv.run_two_level ~cfg ~reset_l2 ~num_teams:baseline_teams ~threads:32 t)
+        Spmv.run_two_level ~cfg ?pool ~reset_l2 ~num_teams:baseline_teams ~threads:32 t)
   in
   List.map
     (fun group_size ->
       let simd =
         warm_measure (fun ~reset_l2 ->
-            Spmv.run_simd ~cfg ~reset_l2 ~num_teams ~threads:128
+            Spmv.run_simd ~cfg ?pool ~reset_l2 ~num_teams ~threads:128
               ~mode3:(Harness.generic_simd ~group_size) t)
       in
       {
@@ -76,16 +76,16 @@ let spmv_rows ~scale ~cfg =
 
 (* su3_bench: teams and parallel both SPMD; baseline is the same kernel
    with the 36-iteration loop serial in each thread (group size 1). *)
-let su3_rows ~scale ~cfg =
+let su3_rows ~pool ~dedup ~scale ~cfg =
   let t = Su3.generate { Su3.sites = scaled scale (2 * lanes_of cfg); seed = 2 } in
   let num_teams = teams_of cfg in
   let baseline =
-    Harness.time (Su3.run_two_level ~cfg ~num_teams ~threads:128 t)
+    Harness.time (Su3.run_two_level ~cfg ?pool ~dedup ~num_teams ~threads:128 t)
   in
   List.map
     (fun group_size ->
       let r =
-        Su3.run ~cfg ~num_teams ~threads:128
+        Su3.run ~cfg ?pool ~dedup ~num_teams ~threads:128
           ~mode3:(Harness.spmd_simd ~group_size) t
       in
       let simd = Harness.time r in
@@ -102,7 +102,7 @@ let su3_rows ~scale ~cfg =
 (* The ideal kernel's outer loop is deliberately too small to fill the
    device two-level (the §1 "thread level does not provide enough
    parallelism" scenario): the third level is what recovers occupancy. *)
-let ideal_rows ~scale ~cfg =
+let ideal_rows ~pool ~dedup ~scale ~cfg =
   let t =
     Ideal.generate
       { Ideal.default_shape with Ideal.rows = scaled scale (lanes_of cfg / 4) }
@@ -110,14 +110,14 @@ let ideal_rows ~scale ~cfg =
   let num_teams = teams_of cfg in
   let baseline =
     warm_measure (fun ~reset_l2 ->
-        Ideal.run ~cfg ~reset_l2 ~num_teams ~threads:128
+        Ideal.run ~cfg ?pool ~dedup ~reset_l2 ~num_teams ~threads:128
           ~mode3:(Harness.spmd_simd ~group_size:1) t)
   in
   List.map
     (fun group_size ->
       let simd =
         warm_measure (fun ~reset_l2 ->
-            Ideal.run ~cfg ~reset_l2 ~num_teams ~threads:128
+            Ideal.run ~cfg ?pool ~dedup ~reset_l2 ~num_teams ~threads:128
               ~mode3:(Harness.generic_simd ~group_size) t)
       in
       {
@@ -129,11 +129,15 @@ let ideal_rows ~scale ~cfg =
       })
     group_sizes
 
-let run ?(scale = 1.0) ~cfg () =
+let run ?(scale = 1.0) ?pool ?(dedup = false) ~cfg () =
   {
     rows =
       List.concat
-        [ spmv_rows ~scale ~cfg; su3_rows ~scale ~cfg; ideal_rows ~scale ~cfg ];
+        [
+          spmv_rows ~pool ~scale ~cfg;
+          su3_rows ~pool ~dedup ~scale ~cfg;
+          ideal_rows ~pool ~dedup ~scale ~cfg;
+        ];
     group_sizes;
   }
 

@@ -23,9 +23,19 @@ type t = {
 val group_sizes : int list
 (** 2, 4, 8, 16, 32 — the sweep of Fig 9. *)
 
-val run : ?scale:float -> cfg:Gpusim.Config.t -> unit -> t
+val run :
+  ?scale:float ->
+  ?pool:Gpusim.Pool.t ->
+  ?dedup:bool ->
+  cfg:Gpusim.Config.t ->
+  unit ->
+  t
 (** Run the full experiment.  [scale] multiplies the problem sizes
-    (default 1.0; tests use small values). *)
+    (default 1.0; tests use small values); [pool] fans every launch's
+    block simulation over host domains; [dedup] (default false) applies
+    the homogeneous-grid fast path to the uniform su3 and ideal kernels.  Both
+    keep the rows bit-identical to the plain sequential run (the sweep
+    only reads reports, never kernel output). *)
 
 val best : t -> kernel:string -> row
 (** The row with the highest speedup for a kernel.

@@ -13,7 +13,7 @@ type t = { rows : row list }
 
 let scaled scale n = max 1 (int_of_float (float_of_int n *. scale))
 
-let run ?(scale = 1.0) ~cfg () =
+let run ?(scale = 1.0) ?pool ~cfg () =
   let shape =
     {
       Spmv.default_shape with
@@ -28,11 +28,11 @@ let run ?(scale = 1.0) ~cfg () =
       (fun group_size ->
         let mode3 = Harness.generic_simd ~group_size in
         let atomic =
-          Harness.time (Spmv.run_simd ~cfg ~num_teams ~threads:128 ~mode3 t)
+          Harness.time (Spmv.run_simd ~cfg ?pool ~num_teams ~threads:128 ~mode3 t)
         in
         let reduction =
           Harness.time
-            (Spmv.run_simd_reduction ~cfg ~num_teams ~threads:128 ~mode3 t)
+            (Spmv.run_simd_reduction ~cfg ?pool ~num_teams ~threads:128 ~mode3 t)
         in
         {
           group_size;

@@ -20,6 +20,7 @@ type row = {
 
 type t = { rows : row list; payload_args : int }
 
-val run : ?scale:float -> cfg:Gpusim.Config.t -> unit -> t
+val run :
+  ?scale:float -> ?pool:Gpusim.Pool.t -> cfg:Gpusim.Config.t -> unit -> t
 val to_table : t -> Ompsimd_util.Table.t
 val print : t -> unit

@@ -16,6 +16,7 @@ type row = {
 
 type t = { rows : row list }
 
-val run : ?scale:float -> cfg:Gpusim.Config.t -> unit -> t
+val run :
+  ?scale:float -> ?pool:Gpusim.Pool.t -> cfg:Gpusim.Config.t -> unit -> t
 val to_table : t -> Ompsimd_util.Table.t
 val print : t -> unit

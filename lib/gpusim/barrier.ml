@@ -4,16 +4,23 @@ type waiter = {
 }
 
 type t = {
+  id : int;
   name : string;
   expected : int;
   cost : float;
   mutable waiters : waiter list;
 }
 
+(* Process-unique ids; atomic because blocks simulate on several domains
+   and runtime layers create barriers mid-simulation.  Ids never reach
+   reports, so the allocation order does not affect determinism. *)
+let next_id = Atomic.make 0
+
 let create ?(name = "barrier") ~expected ~cost () =
   if expected <= 0 then invalid_arg "Barrier.create: expected must be positive";
-  { name; expected; cost; waiters = [] }
+  { id = Atomic.fetch_and_add next_id 1; name; expected; cost; waiters = [] }
 
+let id t = t.id
 let name t = t.name
 let expected t = t.expected
 let waiting t = List.length t.waiters

@@ -20,6 +20,12 @@ type t
 val create : ?name:string -> expected:int -> cost:float -> unit -> t
 (** @raise Invalid_argument if [expected <= 0]. *)
 
+val id : t -> int
+(** Process-unique identity, stable for the barrier's lifetime.  Two
+    distinct barriers never share an id even when they share a [name] —
+    bookkeeping (e.g. the engine's live-barrier table) must key on this,
+    not on the display name. *)
+
 val name : t -> string
 val expected : t -> int
 val waiting : t -> int

@@ -12,7 +12,7 @@ type t = {
   mutable warp_barriers : int;
   mutable block_barriers : int;
   mutable calls : int;
-  extras : (string, float) Hashtbl.t;
+  extras : (string, float ref) Hashtbl.t;
 }
 
 let create () =
@@ -33,11 +33,15 @@ let create () =
     extras = Hashtbl.create 8;
   }
 
+(* Hot path: one hash lookup per bump once a key exists (the cell is
+   mutated in place); only the first bump of a key pays the insert. *)
 let bump t key v =
-  let cur = try Hashtbl.find t.extras key with Not_found -> 0.0 in
-  Hashtbl.replace t.extras key (cur +. v)
+  match Hashtbl.find_opt t.extras key with
+  | Some cell -> cell := !cell +. v
+  | None -> Hashtbl.replace t.extras key (ref v)
 
-let get_extra t key = try Hashtbl.find t.extras key with Not_found -> 0.0
+let get_extra t key =
+  match Hashtbl.find_opt t.extras key with Some cell -> !cell | None -> 0.0
 
 let merge_into ~dst src =
   dst.lane_busy_cycles <- dst.lane_busy_cycles +. src.lane_busy_cycles;
@@ -53,7 +57,34 @@ let merge_into ~dst src =
   dst.warp_barriers <- dst.warp_barriers + src.warp_barriers;
   dst.block_barriers <- dst.block_barriers + src.block_barriers;
   dst.calls <- dst.calls + src.calls;
-  Hashtbl.iter (fun k v -> bump dst k v) src.extras
+  Hashtbl.iter (fun k v -> bump dst k !v) src.extras
+
+(* Bit-exact comparison (floats compared with [=], so 0.0 = -0.0 but no
+   tolerance): the determinism tests lean on this to assert that
+   sequential, pooled and deduplicated launches produce the same report. *)
+let equal a b =
+  let extras_subset x y =
+    Hashtbl.fold
+      (fun k v acc -> acc && match Hashtbl.find_opt y k with
+        | Some w -> !v = !w
+        | None -> !v = 0.0)
+      x true
+  in
+  a.lane_busy_cycles = b.lane_busy_cycles
+  && a.dram_bytes = b.dram_bytes
+  && a.smem_bytes = b.smem_bytes
+  && a.global_loads = b.global_loads
+  && a.global_stores = b.global_stores
+  && a.line_hits = b.line_hits
+  && a.line_misses = b.line_misses
+  && a.lsu_transactions = b.lsu_transactions
+  && a.l2_hits = b.l2_hits
+  && a.atomics = b.atomics
+  && a.warp_barriers = b.warp_barriers
+  && a.block_barriers = b.block_barriers
+  && a.calls = b.calls
+  && extras_subset a.extras b.extras
+  && extras_subset b.extras a.extras
 
 let copy t =
   let fresh = create () in

@@ -23,13 +23,19 @@ type t = {
   mutable warp_barriers : int;
   mutable block_barriers : int;
   mutable calls : int;
-  extras : (string, float) Hashtbl.t;
+  extras : (string, float ref) Hashtbl.t;
+      (** cells are mutated in place so [bump] costs one lookup on the
+          hot path; read through {!get_extra} *)
 }
 
 val create : unit -> t
 val bump : t -> string -> float -> unit
 val get_extra : t -> string -> float
 (** 0.0 when the key was never bumped. *)
+
+val equal : t -> t -> bool
+(** Bit-exact equality of every counter, including extras (a key bumped
+    to 0.0 on one side and absent on the other counts as equal). *)
 
 val merge_into : dst:t -> t -> unit
 (** Add every counter of the source into [dst]. *)

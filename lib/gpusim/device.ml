@@ -8,22 +8,76 @@ type report = {
   block_costs : Occupancy.block_cost array;
 }
 
-let launch ~cfg ?trace ~grid ~block ~init ~body () =
+(* One block's simulation, bracketed in a memory session so its L2
+   traffic is order-independent (see Memory).  Runs on whichever domain
+   the pool hands the index to; everything it touches is block-local. *)
+let simulate_block ~cfg ?trace ~block ~init ~body block_id =
+  Memory.session_begin ();
+  match
+    let arena = Shared.arena cfg in
+    let state = init ~block_id arena in
+    let result =
+      Engine.run_block ~cfg ?trace ~block_id ~num_threads:block (fun th ->
+          body state th)
+    in
+    (Occupancy.of_result result ~smem_bytes:(Shared.high_water arena),
+     result.Engine.counters)
+  with
+  | exception e ->
+      ignore (Memory.session_end ());
+      raise e
+  | cost, counters -> (cost, counters, Memory.session_end ())
+
+let launch ~cfg ?pool ?trace ?block_class ~grid ~block ~init ~body () =
   if grid <= 0 then invalid_arg "Device.launch: grid must be positive";
   if block <= 0 then invalid_arg "Device.launch: block must be positive";
   if block > cfg.Config.max_threads_per_block then
     invalid_arg "Device.launch: block exceeds device limit";
+  let tracing = Option.is_some trace in
+  (* Tracing forces the full sequential path: Trace.t is one shared
+     mutable log, and a deduplicated trace would misrepresent the grid. *)
+  let class_of =
+    match block_class with Some f when not tracing -> f | _ -> fun b -> b
+  in
+  (* Representative of each equivalence class = its lowest block_id. *)
+  let rep_index = Hashtbl.create 16 in
+  let rep_of = Array.make grid 0 in
+  let rev_reps = ref [] in
+  let nreps = ref 0 in
+  for b = 0 to grid - 1 do
+    let key = class_of b in
+    match Hashtbl.find_opt rep_index key with
+    | Some ri -> rep_of.(b) <- ri
+    | None ->
+        Hashtbl.add rep_index key !nreps;
+        rep_of.(b) <- !nreps;
+        rev_reps := b :: !rev_reps;
+        incr nreps
+  done;
+  let reps = Array.of_list (List.rev !rev_reps) in
+  let simulate = simulate_block ~cfg ?trace ~block ~init ~body in
+  let results =
+    match pool with
+    | Some p when not tracing ->
+        Pool.parallel_init p (Array.length reps) (fun i -> simulate reps.(i))
+    | _ -> Array.init (Array.length reps) (fun i -> simulate reps.(i))
+  in
+  (* Deterministic epilogue, in ascending block_id order regardless of
+     which domain simulated what: commit the per-block L2 logs, then
+     merge counters (float sums are order-sensitive, so the order is part
+     of the determinism contract).  A class's counters are merged once
+     per member block, which keeps the merged report bit-identical to a
+     full simulation of a truly homogeneous grid. *)
+  Array.iter (fun (_, _, session) -> Memory.session_commit session) results;
   let merged = Counters.create () in
+  for b = 0 to grid - 1 do
+    let _, counters, _ = results.(rep_of.(b)) in
+    Counters.merge_into ~dst:merged counters
+  done;
   let block_costs =
-    Array.init grid (fun block_id ->
-        let arena = Shared.arena cfg in
-        let state = init ~block_id arena in
-        let result =
-          Engine.run_block ~cfg ?trace ~block_id ~num_threads:block
-            (fun th -> body state th)
-        in
-        Counters.merge_into ~dst:merged result.Engine.counters;
-        Occupancy.of_result result ~smem_bytes:(Shared.high_water arena))
+    Array.init grid (fun b ->
+        let cost, _, _ = results.(rep_of.(b)) in
+        cost)
   in
   let breakdown = Occupancy.kernel_time cfg block_costs in
   {

@@ -1,9 +1,17 @@
 (** Kernel launcher: ties the fiber engine, shared-memory arenas and the
     occupancy model together.
 
-    Thread blocks only interact through global atomics, so they are
-    simulated one at a time (keeping simulation cost linear in total work)
-    and composed into a kernel time by {!Occupancy.kernel_time}. *)
+    Thread blocks only interact through global atomics, so each is
+    simulated in isolation — sequentially by default, or fanned out over
+    a {!Pool} of host domains — and composed into a kernel time by
+    {!Occupancy.kernel_time}.
+
+    {b Determinism contract.}  A launch produces a bit-identical [report]
+    whether it ran sequentially, on a pool of any size, or through the
+    homogeneous-grid fast path (for a grid whose blocks really are
+    uniform): every block simulates against the launch-start L2 snapshot
+    (see {!Memory} sessions), and per-block counters, costs and L2 logs
+    are combined in ascending block_id order after all blocks finish. *)
 
 type report = {
   cfg : Config.t;
@@ -11,13 +19,15 @@ type report = {
   block : int;  (** threads per block *)
   time_cycles : float;
   breakdown : Occupancy.breakdown;
-  counters : Counters.t;  (** merged over all blocks *)
+  counters : Counters.t;  (** merged over all blocks, ascending block_id *)
   block_costs : Occupancy.block_cost array;
 }
 
 val launch :
   cfg:Config.t ->
+  ?pool:Pool.t ->
   ?trace:Trace.t ->
+  ?block_class:(int -> int) ->
   grid:int ->
   block:int ->
   init:(block_id:int -> Shared.arena -> 'a) ->
@@ -27,6 +37,22 @@ val launch :
 (** [launch ~cfg ~grid ~block ~init ~body ()] runs [grid] blocks of [block]
     threads.  [init] runs once per block (e.g. building the team state and
     reserving static shared memory); [body] runs in every thread fiber.
+
+    [pool] fans block simulation out across the pool's domains; the
+    report is bit-identical to the sequential run.  When [trace] is set
+    the launch always simulates every block sequentially on the calling
+    domain ([Trace.t] is a single shared log).
+
+    [block_class] is the opt-in homogeneous-grid fast path: blocks whose
+    keys are equal are declared {e equivalent} (same per-block cost and
+    counters), only the lowest block_id of each class is simulated, and
+    its cost/counters stand in for the whole class — turning O(grid)
+    simulation into O(classes).  The caller is responsible for the
+    declaration being true (uniform workloads keyed by e.g. the team's
+    chunk length; irregular grids should key by block_id, which disables
+    deduplication).  Skipped blocks do not execute, so their global-memory
+    writes do not happen and only representative L2 traffic is committed —
+    use it to regenerate timing sweeps, not to produce data.
     @raise Invalid_argument on non-positive [grid]/[block] or a block larger
     than the device allows. *)
 

@@ -35,7 +35,10 @@ let run_block ~cfg ?trace ~block_id ~num_threads body =
   in
   let ready : (unit -> unit) Queue.t = Queue.create () in
   let completed = ref 0 in
-  let live_barriers : (string, Barrier.t) Hashtbl.t = Hashtbl.create 8 in
+  (* keyed by unique barrier id: two live barriers may share a display
+     name (e.g. per-warp barriers created in a loop), and colliding on the
+     name used to drop one of them from the deadlock report *)
+  let live_barriers : (int, Barrier.t) Hashtbl.t = Hashtbl.create 8 in
   let release waiters =
     List.iter
       (fun (w : Barrier.waiter) -> Queue.add (fun () -> continue w.k ()) ready)
@@ -54,9 +57,9 @@ let run_block ~cfg ?trace ~block_id ~num_threads body =
                   (fun (k : (a, unit) continuation) ->
                     match Barrier.arrive bar arriving k with
                     | None ->
-                        Hashtbl.replace live_barriers (Barrier.name bar) bar
+                        Hashtbl.replace live_barriers (Barrier.id bar) bar
                     | Some waiters ->
-                        Hashtbl.remove live_barriers (Barrier.name bar);
+                        Hashtbl.remove live_barriers (Barrier.id bar);
                         release waiters)
             | _ -> None);
       }

@@ -4,6 +4,8 @@ type t = {
   capacity : int;
   coalesce_window : float;
   stamps : (int, stamp) Hashtbl.t;  (* line -> latest touch burst *)
+  base : (int, stamp) Hashtbl.t option;
+      (* frozen parent stamps a fork reads through to (never written) *)
   mutable misses : int;
   mutable max_vtime : float;
 }
@@ -20,8 +22,32 @@ let create ~capacity ~coalesce_window =
     capacity;
     coalesce_window;
     stamps = Hashtbl.create 64;
+    base = None;
     misses = 0;
     max_vtime = 0.0;
+  }
+
+(* A fork shares the parent's stamp table read-only and writes its own
+   overlay, seeded with the parent's residency statistics.  O(1) to
+   create, O(own touches) in memory — cheap enough to make one per
+   (block, space) pair per launch.  The parent must not be mutated while
+   forks of it are live; concurrent [find_opt] reads of the frozen parent
+   table from several domains are safe. *)
+let fork parent =
+  let base =
+    (* flatten chains so a fork of a fork still reads one level deep;
+       forks are created from the committed device L2 only *)
+    match parent.base with
+    | Some _ -> invalid_arg "Linebuf.fork: cannot fork a fork"
+    | None -> Some parent.stamps
+  in
+  {
+    capacity = parent.capacity;
+    coalesce_window = parent.coalesce_window;
+    stamps = Hashtbl.create 64;
+    base;
+    misses = parent.misses;
+    max_vtime = parent.max_vtime;
   }
 
 let window t =
@@ -61,8 +87,24 @@ let popcount m =
 let touch t ~vtime ~lane line =
   if vtime > t.max_vtime then t.max_vtime <- vtime;
   let lane_bit = 1 lsl (lane land 31) in
-  let result =
+  let resident =
     match Hashtbl.find_opt t.stamps line with
+    | Some _ as r -> r
+    | None -> (
+        (* copy-on-write read-through: promote the frozen base stamp into
+           the overlay so later touches see and mutate the private copy *)
+        match t.base with
+        | None -> None
+        | Some b -> (
+            match Hashtbl.find_opt b line with
+            | None -> None
+            | Some bst ->
+                let st = { vtime = bst.vtime; lanes = bst.lanes } in
+                Hashtbl.replace t.stamps line st;
+                Some st))
+  in
+  let result =
+    match resident with
     | None ->
         Hashtbl.replace t.stamps line { vtime; lanes = lane_bit };
         (Miss, 1.0)

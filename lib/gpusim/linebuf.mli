@@ -31,6 +31,15 @@ type outcome =
 val create : capacity:int -> coalesce_window:float -> t
 (** @raise Invalid_argument if capacity <= 0 or the window is negative. *)
 
+val fork : t -> t
+(** [fork parent] is a snapshot view of [parent]: touches consult the
+    parent's state as of the fork read-only and record updates privately,
+    so several forks of one parent can be touched from different domains
+    concurrently.  The parent must not be mutated (touched, cleared)
+    while forks of it are in use.  Used by {!Memory} to give every
+    simulated thread block its own launch-start view of the device L2.
+    @raise Invalid_argument when applied to a fork. *)
+
 val touch : t -> vtime:float -> lane:int -> int -> outcome * float
 (** [touch t ~vtime ~lane line] classifies the access and returns the
     transaction weight to charge: 1.0 for a lane touching alone, 0.0 for

@@ -64,6 +64,83 @@ let l2_reset space =
   (match space.l2 with Some l2 -> Linebuf.clear l2 | None -> ());
   space.l2_order <- 0.0
 
+(* --- per-block L2 sessions -------------------------------------------- *)
+
+(* The device L2 is the one piece of simulator state shared by all thread
+   blocks of a launch.  To make block simulation order-independent (and
+   therefore safe and deterministic to run on several domains), each block
+   runs inside a session: L2 lookups go to a per-block fork of the
+   committed L2 (its state as of launch start), and the block's touch
+   sequence is logged.  After every block has finished, the launcher
+   commits the logs into the real L2 in ascending block_id order, so the
+   post-launch L2 (what the next launch's forks see) is canonical.
+
+   A block therefore never observes L2 lines fetched by a concurrently
+   launched sibling block — the launch-start snapshot plus its own
+   traffic.  Warm-cache behaviour across launches is unchanged: anything
+   resident before the launch is resident in every fork. *)
+
+type l2_view = {
+  vspace : space;
+  vcfg : Config.t;  (* config to materialize the committed L2 on commit *)
+  vfork : Linebuf.t;
+  mutable vorder : float;  (* private continuation of the touch counter *)
+  mutable vlog : int list;  (* touched lines, reversed *)
+}
+
+type block_session = { mutable views : l2_view list (* reversed creation order *) }
+
+let session_slot : block_session option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let session_begin () =
+  let slot = Domain.DLS.get session_slot in
+  (match !slot with
+  | Some _ -> invalid_arg "Memory.session_begin: session already open"
+  | None -> ());
+  slot := Some { views = [] }
+
+let session_end () =
+  let slot = Domain.DLS.get session_slot in
+  match !slot with
+  | None -> invalid_arg "Memory.session_end: no open session"
+  | Some s ->
+      slot := None;
+      s
+
+let view_of session space (cfg : Config.t) =
+  let rec find = function
+    | [] -> None
+    | v :: rest -> if v.vspace == space then Some v else find rest
+  in
+  match find session.views with
+  | Some v -> v
+  | None ->
+      (* The committed L2 is frozen for the whole parallel phase, so
+         reading [space.l2] and forking it here is domain-safe. *)
+      let vfork =
+        match space.l2 with
+        | Some l2 -> Linebuf.fork l2
+        | None ->
+            Linebuf.create ~capacity:cfg.Config.l2_sectors ~coalesce_window:0.0
+      in
+      let v =
+        { vspace = space; vcfg = cfg; vfork; vorder = space.l2_order; vlog = [] }
+      in
+      session.views <- v :: session.views;
+      v
+
+let session_commit s =
+  List.iter
+    (fun v ->
+      let l2 = l2_of v.vspace v.vcfg in
+      List.iter
+        (fun line ->
+          v.vspace.l2_order <- v.vspace.l2_order +. 1.0;
+          ignore (Linebuf.touch l2 ~vtime:v.vspace.l2_order ~lane:0 line))
+        (List.rev v.vlog))
+    (List.rev s.views)
+
 let check name len i =
   if i < 0 || i >= len then
     invalid_arg (Printf.sprintf "Memory.%s: index %d out of bounds [0,%d)" name i len)
@@ -91,13 +168,25 @@ let account (th : Thread.t) ~space ~base ~index ~is_store =
       c.Counters.lsu_transactions <- c.Counters.lsu_transactions +. weight
   | Linebuf.Miss, weight ->
       c.Counters.lsu_transactions <- c.Counters.lsu_transactions +. weight;
-      let l2 = l2_of space cfg in
-      space.l2_order <- space.l2_order +. 1.0;
-      (match Linebuf.touch l2 ~vtime:space.l2_order ~lane:0 line with
-      | (Linebuf.Coalesced | Linebuf.Hit), _ ->
+      let l2_outcome =
+        match !(Domain.DLS.get session_slot) with
+        | Some s ->
+            let v = view_of s space cfg in
+            v.vorder <- v.vorder +. 1.0;
+            v.vlog <- line :: v.vlog;
+            fst (Linebuf.touch v.vfork ~vtime:v.vorder ~lane:0 line)
+        | None ->
+            (* no session (bare Engine.run_block): touch the committed L2
+               directly, the pre-session behaviour *)
+            let l2 = l2_of space cfg in
+            space.l2_order <- space.l2_order +. 1.0;
+            fst (Linebuf.touch l2 ~vtime:space.l2_order ~lane:0 line)
+      in
+      (match l2_outcome with
+      | Linebuf.Coalesced | Linebuf.Hit ->
           c.Counters.l2_hits <- c.Counters.l2_hits + 1;
           Thread.tick_wait th (cost.Config.mem_miss_latency /. 2.0)
-      | Linebuf.Miss, _ ->
+      | Linebuf.Miss ->
           c.Counters.line_misses <- c.Counters.line_misses + 1;
           c.Counters.dram_bytes <-
             c.Counters.dram_bytes +. float_of_int cfg.Config.line_bytes;
@@ -132,6 +221,15 @@ let iset a th i v =
   in
   a.idata.(i) <- v
 
+(* Device atomics may target the same cell from blocks running on
+   different domains; a host-side lock keeps the read-modify-write
+   atomic so no update is lost.  (The *order* of same-cell updates from
+   different blocks is unordered on real hardware too — kernels that
+   need a deterministic float sum must not reduce through a single cell
+   across blocks.)  Cost accounting stays outside the lock: it only
+   touches block-local state. *)
+let rmw_lock = Mutex.create ()
+
 let atomic_cost (th : Thread.t) line =
   let cost = th.cfg.Config.cost in
   let epoch = th.Thread.warp.Thread.atomic_epoch in
@@ -147,24 +245,30 @@ let atomic_fadd a th i v =
   check "atomic_fadd" (Array.length a.fdata) i;
   let line = account th ~space:a.fspace ~base:a.fbase ~index:i ~is_store:true in
   atomic_cost th line;
+  Mutex.lock rmw_lock;
   let prev = a.fdata.(i) in
   a.fdata.(i) <- prev +. v;
+  Mutex.unlock rmw_lock;
   prev
 
 let atomic_fmax a th i v =
   check "atomic_fmax" (Array.length a.fdata) i;
   let line = account th ~space:a.fspace ~base:a.fbase ~index:i ~is_store:true in
   atomic_cost th line;
+  Mutex.lock rmw_lock;
   let prev = a.fdata.(i) in
   if v > prev then a.fdata.(i) <- v;
+  Mutex.unlock rmw_lock;
   prev
 
 let atomic_iadd a th i v =
   check "atomic_iadd" (Array.length a.idata) i;
   let line = account th ~space:a.ispace ~base:a.ibase ~index:i ~is_store:true in
   atomic_cost th line;
+  Mutex.lock rmw_lock;
   let prev = a.idata.(i) in
   a.idata.(i) <- prev + v;
+  Mutex.unlock rmw_lock;
   prev
 
 let host_get a i =

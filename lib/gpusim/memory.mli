@@ -43,6 +43,33 @@ val l2_reset : space -> unit
     before each kernel launch so that back-to-back runs over the same
     data measure the same thing. *)
 
+(** {2 Per-block L2 sessions}
+
+    The device L2 is the only simulator state shared between thread
+    blocks.  {!Device.launch} brackets each block's simulation in a
+    session: while a session is open on the current domain, L2 lookups
+    hit a private fork of the committed L2 (its state as of launch
+    start) and the touch sequence is logged.  The launcher commits all
+    block logs in ascending block_id order once every block is done,
+    which makes block simulation order-independent — the prerequisite
+    for both multicore fan-out and the homogeneous-grid dedup fast path.
+    Without an open session (e.g. a bare {!Engine.run_block}) accesses
+    touch the committed L2 directly. *)
+
+type block_session
+
+val session_begin : unit -> unit
+(** Open a session on the calling domain.
+    @raise Invalid_argument if one is already open. *)
+
+val session_end : unit -> block_session
+(** Close the current domain's session and return it for a later
+    {!session_commit}.  @raise Invalid_argument if none is open. *)
+
+val session_commit : block_session -> unit
+(** Replay the session's L2 touches into the committed L2.  Call once
+    per session, from a single domain, in ascending block_id order. *)
+
 val fget : farray -> Thread.t -> int -> float
 (** Device load: charged issue cost, plus a transaction (line bytes +
     latency) when the warp had not touched the line recently.

@@ -1,0 +1,60 @@
+(** A small fixed pool of OCaml 5 domains for block-parallel simulation.
+
+    Thread blocks are independent by construction (each owns its
+    {!Shared.arena}, {!Counters.t} and warp caches), so {!Device.launch}
+    can fan their simulation out over host cores.  The pool keeps the
+    scheduling deterministic-by-construction: workers race only for
+    {e indices}; the result for index [i] always lands in slot [i], so the
+    caller sees the same array regardless of which domain ran what.
+
+    Worker count is configured explicitly or via the [OMPSIMD_DOMAINS]
+    environment variable ([0] = sequential; unset defaults to
+    [Domain.recommended_domain_count () - 1]; explicit values are capped
+    at the same quantity — see {!domains_of_env}). *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains] worker domains (default [0], a
+    sequential pool).  The submitting domain participates in
+    {!parallel_init} as well, but a zero-worker pool runs everything
+    inline with no synchronization at all.
+    @raise Invalid_argument on a negative [domains]. *)
+
+val size : t -> int
+(** Number of worker domains (0 for a sequential pool). *)
+
+val parallel_init : t -> int -> (int -> 'a) -> 'a array
+(** [parallel_init pool n f] is observably [Array.init n f]: slot [i]
+    holds [f i].  Indices are claimed by an atomic fetch-add, so any
+    domain may run any index, but all [n] tasks complete before the call
+    returns.  If one or more tasks raise, the exception with the {e
+    lowest} index is re-raised (matching what a sequential left-to-right
+    run would surface first); the remaining tasks still run to
+    completion.  Not reentrant: [f] must not call [parallel_init] on the
+    same pool. *)
+
+val shutdown : t -> unit
+(** Join all worker domains.  The pool must not be used afterwards.
+    Leaving a pool running at process exit is harmless (workers are
+    parked on a condition variable), but explicit shutdown keeps e.g.
+    benchmark harnesses tidy. *)
+
+val env_var : string
+(** ["OMPSIMD_DOMAINS"]. *)
+
+val domains_of_env : unit -> int
+(** Worker count requested by the environment: [OMPSIMD_DOMAINS] if set
+    (must parse as a non-negative integer), otherwise — and as an upper
+    cap on explicit values — [Domain.recommended_domain_count () - 1].
+    The cap exists because the simulation is compute-bound and
+    allocation-heavy: domains beyond the physical cores only add
+    stop-the-world GC coordination (on a single-core host every request
+    degrades to the sequential path).  Use {!create} directly to
+    oversubscribe deliberately.
+    @raise Invalid_argument on an unparsable value. *)
+
+val get_default : unit -> t
+(** The process-wide pool, created from {!domains_of_env} on first use.
+    Intended for entry points (benchmarks, experiment drivers); library
+    code takes an explicit pool argument instead. *)

@@ -403,7 +403,7 @@ and eval_stmt ctx statics outlined options scope (s : Ir.stmt) =
       Team.region_barrier_wait ctx;
       scope
 
-let run ~cfg ?trace ~options ~bindings (p : Outline.program) =
+let run ~cfg ?pool ?trace ~options ~bindings (p : Outline.program) =
   let statics =
     {
       farrays = Hashtbl.create 8;
@@ -434,7 +434,7 @@ let run ~cfg ?trace ~options ~bindings (p : Outline.program) =
       sharing_bytes = options.sharing_bytes;
     }
   in
-  Target.launch ~cfg ?trace ~params
+  Target.launch ~cfg ?pool ?trace ~params
     ~dispatch_table_size:(Outline.dispatch_table_size p) (fun ctx ->
       (* every executing thread owns a private copy of the region scope *)
       let scope = { frames = [ List.map (fun (n, c) -> (n, ref !c)) !root_frame ] } in

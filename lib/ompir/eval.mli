@@ -33,6 +33,7 @@ val default_options : options
 
 val run :
   cfg:Gpusim.Config.t ->
+  ?pool:Gpusim.Pool.t ->
   ?trace:Gpusim.Trace.t ->
   options:options ->
   bindings:(string * binding) list ->

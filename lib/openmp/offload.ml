@@ -70,7 +70,7 @@ let remarks c =
   in
   outlined @ globalized @ modes @ guards
 
-let run ~cfg ?trace ?(clauses = Clause.none) ~bindings c =
+let run ~cfg ?pool ?trace ?(clauses = Clause.none) ~bindings c =
   let params, _, simdlen = Clause.resolve ~cfg clauses in
   let parallel_mode =
     match clauses.Clause.parallel_mode with
@@ -87,4 +87,4 @@ let run ~cfg ?trace ?(clauses = Clause.none) ~bindings c =
       sharing_bytes = params.Omprt.Team.sharing_bytes;
     }
   in
-  Ompir.Eval.run ~cfg ?trace ~options ~bindings c.program
+  Ompir.Eval.run ~cfg ?pool ?trace ~options ~bindings c.program

@@ -33,6 +33,7 @@ val remarks : compiled -> string list
 
 val run :
   cfg:Gpusim.Config.t ->
+  ?pool:Gpusim.Pool.t ->
   ?trace:Gpusim.Trace.t ->
   ?clauses:Clause.t ->
   bindings:(string * Ompir.Eval.binding) list ->

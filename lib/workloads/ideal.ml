@@ -54,7 +54,8 @@ let reference t =
       let r = idx / t.shape.inner in
       poly ~steps (base_of_row r) input.(idx))
 
-let run ~cfg ?trace ?(reset_l2 = true) ?(num_teams = 256) ?(threads = 128) ~(mode3 : Harness.mode3) t =
+let run ~cfg ?pool ?trace ?(reset_l2 = true) ?(num_teams = 256)
+    ?(threads = 128) ?(dedup = false) ~(mode3 : Harness.mode3) t =
   if reset_l2 then Memory.l2_reset (Memory.space_of_farray t.output);
   Memory.fill t.output 0.0;
   let params =
@@ -68,9 +69,17 @@ let run ~cfg ?trace ?(reset_l2 = true) ?(num_teams = 256) ?(threads = 128) ~(mod
   let payload =
     Payload.of_list [ Payload.Farr t.input; Payload.Farr t.output ]
   in
+  (* Every row costs the same, so teams are distinguished only by how
+     many rows their distribute chunk holds. *)
+  let block_class =
+    if dedup then
+      Some (Workshare.distribute_extent ~trip:t.shape.rows ~num_teams)
+    else None
+  in
   let steps = t.shape.flops_per_elem / 2 in
   let report =
-    Target.launch ~cfg ?trace ~params ~dispatch_table_size:2 (fun ctx ->
+    Target.launch ~cfg ?pool ?trace ?block_class ~params
+      ~dispatch_table_size:2 (fun ctx ->
         Parallel.parallel ctx ~mode:mode3.Harness.parallel_mode
           ~simd_len:mode3.Harness.group_size ~payload ~fn_id:0 (fun ctx _ ->
             Workshare.distribute_parallel_for ctx ~trip:t.shape.rows
@@ -89,8 +98,9 @@ let run ~cfg ?trace ?(reset_l2 = true) ?(num_teams = 256) ?(threads = 128) ~(mod
   in
   { Harness.report; output = Memory.to_float_array t.output }
 
-let run_two_level ~cfg ?num_teams ?threads t =
-  run ~cfg ?num_teams ?threads ~mode3:(Harness.spmd_simd ~group_size:1) t
+let run_two_level ~cfg ?pool ?num_teams ?threads ?dedup t =
+  run ~cfg ?pool ?num_teams ?threads ?dedup
+    ~mode3:(Harness.spmd_simd ~group_size:1) t
 
 let verify t output =
   Harness.verify_close ~tolerance:1e-6 ~expected:(reference t) output

@@ -21,16 +21,29 @@ val reference : instance -> float array
 
 val run :
   cfg:Gpusim.Config.t ->
+  ?pool:Gpusim.Pool.t ->
   ?trace:Gpusim.Trace.t ->
   ?reset_l2:bool ->
   ?num_teams:int ->
   ?threads:int ->
+  ?dedup:bool ->
   mode3:Harness.mode3 ->
   instance ->
   Harness.run
+(** [pool] simulates teams on several host domains; [dedup] (default
+    false) additionally declares the grid homogeneous — every row costs
+    the same, so teams are classed by their distribute-chunk length
+    ({!Omprt.Workshare.distribute_extent}).  Neither changes the report;
+    [dedup] skips redundant blocks, so use it for timing sweeps only
+    (the skipped teams' output rows stay unwritten). *)
 
 val run_two_level :
-  cfg:Gpusim.Config.t -> ?num_teams:int -> ?threads:int -> instance ->
+  cfg:Gpusim.Config.t ->
+  ?pool:Gpusim.Pool.t ->
+  ?num_teams:int ->
+  ?threads:int ->
+  ?dedup:bool ->
+  instance ->
   Harness.run
 (** Serial inner loop (group size 1) — the paper's two-level baseline. *)
 

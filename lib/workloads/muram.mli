@@ -20,6 +20,7 @@ val reference_interpol : instance -> float array
 
 val run_transpose :
   cfg:Gpusim.Config.t ->
+  ?pool:Gpusim.Pool.t ->
   ?trace:Gpusim.Trace.t ->
   ?reset_l2:bool ->
   ?num_teams:int ->
@@ -30,6 +31,7 @@ val run_transpose :
 
 val run_interpol :
   cfg:Gpusim.Config.t ->
+  ?pool:Gpusim.Pool.t ->
   ?trace:Gpusim.Trace.t ->
   ?reset_l2:bool ->
   ?num_teams:int ->

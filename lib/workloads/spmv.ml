@@ -129,7 +129,7 @@ let element ctx ~k ~row t =
 let result t report =
   { Harness.report; output = Memory.to_float_array t.y }
 
-let run_two_level ~cfg ?trace ?(reset_l2 = true) ?(num_teams = 256) ?(threads = 32) t =
+let run_two_level ~cfg ?pool ?trace ?(reset_l2 = true) ?(num_teams = 256) ?(threads = 32) t =
   if reset_l2 then Memory.l2_reset (Memory.space_of_farray t.y);
   Memory.fill t.y 0.0;
   let params =
@@ -142,7 +142,7 @@ let run_two_level ~cfg ?trace ?(reset_l2 = true) ?(num_teams = 256) ?(threads = 
   in
   let payload = payload_of t in
   let report =
-    Target.launch ~cfg ?trace ~params ~dispatch_table_size:2 (fun ctx ->
+    Target.launch ~cfg ?pool ?trace ~params ~dispatch_table_size:2 (fun ctx ->
         (* teams distribute over rows: the team main walks its rows and
            opens a parallel region per row (generic teams mode). *)
         Workshare.distribute ctx ~trip:t.shape.rows (fun row ->
@@ -156,7 +156,7 @@ let run_two_level ~cfg ?trace ?(reset_l2 = true) ?(num_teams = 256) ?(threads = 
   in
   result t report
 
-let run_simd ~cfg ?trace ?(reset_l2 = true) ?(num_teams = 256) ?(threads = 128)
+let run_simd ~cfg ?pool ?trace ?(reset_l2 = true) ?(num_teams = 256) ?(threads = 128)
     ?(schedule = Workshare.Static) ~(mode3 : Harness.mode3) t =
   if reset_l2 then Memory.l2_reset (Memory.space_of_farray t.y);
   Memory.fill t.y 0.0;
@@ -170,7 +170,7 @@ let run_simd ~cfg ?trace ?(reset_l2 = true) ?(num_teams = 256) ?(threads = 128)
   in
   let payload = payload_of t in
   let report =
-    Target.launch ~cfg ?trace ~params ~dispatch_table_size:2 (fun ctx ->
+    Target.launch ~cfg ?pool ?trace ~params ~dispatch_table_size:2 (fun ctx ->
         Parallel.parallel ctx ~mode:mode3.Harness.parallel_mode
           ~simd_len:mode3.Harness.group_size ~payload ~fn_id:0 (fun ctx _ ->
             Workshare.distribute_parallel_for ctx ~schedule ~trip:t.shape.rows
@@ -183,7 +183,7 @@ let run_simd ~cfg ?trace ?(reset_l2 = true) ?(num_teams = 256) ?(threads = 128)
   in
   result t report
 
-let run_simd_reduction ~cfg ?trace ?(reset_l2 = true) ?(num_teams = 256) ?(threads = 128)
+let run_simd_reduction ~cfg ?pool ?trace ?(reset_l2 = true) ?(num_teams = 256) ?(threads = 128)
     ~(mode3 : Harness.mode3) t =
   if reset_l2 then Memory.l2_reset (Memory.space_of_farray t.y);
   Memory.fill t.y 0.0;
@@ -197,7 +197,7 @@ let run_simd_reduction ~cfg ?trace ?(reset_l2 = true) ?(num_teams = 256) ?(threa
   in
   let payload = payload_of t in
   let report =
-    Target.launch ~cfg ?trace ~params ~dispatch_table_size:2 (fun ctx ->
+    Target.launch ~cfg ?pool ?trace ~params ~dispatch_table_size:2 (fun ctx ->
         Parallel.parallel ctx ~mode:mode3.Harness.parallel_mode
           ~simd_len:mode3.Harness.group_size ~payload ~fn_id:0 (fun ctx _ ->
             Workshare.distribute_parallel_for ctx ~trip:t.shape.rows

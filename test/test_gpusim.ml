@@ -11,6 +11,7 @@ module Shared = Gpusim.Shared
 module Occupancy = Gpusim.Occupancy
 module Device = Gpusim.Device
 module Trace = Gpusim.Trace
+module Pool = Gpusim.Pool
 
 let cfg = Config.small
 let checkf = Alcotest.check (Alcotest.float 1e-6)
@@ -106,6 +107,23 @@ let test_counters_coalescing_ratio () =
   c.Counters.line_hits <- 3;
   c.Counters.line_misses <- 1;
   checkf "3/4" 0.75 (Counters.coalescing_ratio c)
+
+let test_counters_equal () =
+  let a = Counters.create () and b = Counters.create () in
+  check_bool "fresh equal" true (Counters.equal a b);
+  a.Counters.global_loads <- 2;
+  check_bool "fixed field differs" false (Counters.equal a b);
+  b.Counters.global_loads <- 2;
+  check_bool "fixed field matches" true (Counters.equal a b);
+  Counters.bump a "x" 1.5;
+  check_bool "extra differs" false (Counters.equal a b);
+  check_bool "extra differs (sym)" false (Counters.equal b a);
+  Counters.bump b "x" 1.5;
+  check_bool "extras match" true (Counters.equal a b);
+  (* an explicit zero entry is the same as no entry *)
+  Counters.bump a "zero" 0.0;
+  check_bool "absent extra reads as 0" true (Counters.equal a b);
+  check_bool "absent extra reads as 0 (sym)" true (Counters.equal b a)
 
 (* --- Engine / Barrier ------------------------------------------------- *)
 
@@ -508,6 +526,145 @@ let test_engine_many_barrier_rounds () =
   check_int "all finished" 64 r.Engine.num_threads;
   check_bool "time accumulated" true (r.Engine.critical_cycles >= 200.0)
 
+let count_substring s sub =
+  let n = String.length sub in
+  let rec go i acc =
+    if n = 0 || i + n > String.length s then acc
+    else if String.sub s i n = sub then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let test_deadlock_reports_same_name_barriers () =
+  (* Two live barriers sharing a display name (per-warp barriers made in
+     a loop): the deadlock report must list both, which requires keying
+     the live set by unique id, not name. *)
+  let b0 = Barrier.create ~name:"w" ~expected:2 ~cost:0.0 () in
+  let b1 = Barrier.create ~name:"w" ~expected:2 ~cost:0.0 () in
+  check_bool "ids distinct" true (Barrier.id b0 <> Barrier.id b1);
+  match
+    Engine.run_block ~cfg ~block_id:0 ~num_threads:4 (fun th ->
+        if th.Thread.tid = 0 then Engine.barrier_wait b0 th
+        else if th.Thread.tid = 2 then Engine.barrier_wait b1 th)
+  with
+  | _ -> Alcotest.fail "expected Deadlock"
+  | exception Engine.Deadlock msg ->
+      check_int "both stuck barriers reported" 2
+        (count_substring msg "[w 1/2]")
+
+(* --- Pool / parallel determinism -------------------------------------- *)
+
+let test_pool_parallel_init () =
+  check_int "env var name is stable" 0
+    (String.compare Pool.env_var "OMPSIMD_DOMAINS");
+  let seq = Pool.create () in
+  check_int "default is sequential" 0 (Pool.size seq);
+  let r = Pool.parallel_init seq 10 (fun i -> 2 * i) in
+  Array.iteri (fun i v -> check_int "inline slot" (2 * i) v) r;
+  Pool.shutdown seq;
+  let pool = Pool.create ~domains:3 () in
+  check_int "workers" 3 (Pool.size pool);
+  let r = Pool.parallel_init pool 100 (fun i -> i * i) in
+  Array.iteri (fun i v -> check_int "slot" (i * i) v) r;
+  (* repeated jobs reuse the same workers *)
+  let r2 = Pool.parallel_init pool 5 string_of_int in
+  Alcotest.(check (array string))
+    "second job" [| "0"; "1"; "2"; "3"; "4" |] r2;
+  (* the lowest-index exception is the one re-raised, as in a
+     left-to-right sequential run *)
+  check_bool "lowest-index exception" true
+    (try
+       ignore
+         (Pool.parallel_init pool 10 (fun i ->
+              if i >= 4 then failwith (string_of_int i) else i));
+       false
+     with Failure msg -> msg = "4");
+  (* the pool survives a failed job *)
+  let r3 = Pool.parallel_init pool 8 (fun i -> i + 1) in
+  check_int "after failure" 8 r3.(7);
+  Pool.shutdown pool
+
+let check_reports_identical label (a : Device.report) (b : Device.report) =
+  check_int (label ^ ": grid") a.Device.grid b.Device.grid;
+  check_bool
+    (label ^ ": time bit-identical")
+    true
+    (Float.equal a.Device.time_cycles b.Device.time_cycles);
+  check_bool (label ^ ": breakdown identical") true
+    (a.Device.breakdown = b.Device.breakdown);
+  check_bool (label ^ ": merged counters identical") true
+    (Counters.equal a.Device.counters b.Device.counters);
+  check_bool (label ^ ": block costs identical") true
+    (a.Device.block_costs = b.Device.block_costs)
+
+(* Uniform grid (the ideal kernel: every row costs the same), 7 teams so
+   the trailing team gets a short chunk — two equivalence classes. *)
+let test_determinism_uniform_grid () =
+  let t =
+    Workloads.Ideal.generate
+      { Workloads.Ideal.rows = 100; inner = 32; flops_per_elem = 16; seed = 3 }
+  in
+  let mode3 = Workloads.Harness.spmd_simd ~group_size:4 in
+  let run ?pool ?dedup () =
+    (Workloads.Ideal.run ~cfg ?pool ?dedup ~num_teams:7 ~threads:32 ~mode3 t)
+      .Workloads.Harness.report
+  in
+  let seq = run () in
+  let pool0 = Pool.create ~domains:0 () in
+  let r0 = run ~pool:pool0 () in
+  Pool.shutdown pool0;
+  let pool4 = Pool.create ~domains:4 () in
+  let r4 = run ~pool:pool4 () in
+  let rdedup = run ~pool:pool4 ~dedup:true () in
+  let rdedup_seq = run ~dedup:true () in
+  Pool.shutdown pool4;
+  check_reports_identical "no pool vs domains=0" seq r0;
+  check_reports_identical "no pool vs domains=4" seq r4;
+  check_reports_identical "no pool vs dedup+domains=4" seq rdedup;
+  check_reports_identical "no pool vs dedup" seq rdedup_seq
+
+(* Irregular grid (banded spmv: data-dependent row lengths) — no
+   block_class, but pooled simulation must still match bit-for-bit. *)
+let test_determinism_irregular_grid () =
+  let t =
+    Workloads.Spmv.generate
+      {
+        Workloads.Spmv.rows = 80;
+        cols = 80;
+        profile = Workloads.Spmv.Banded { mean = 8; spread = 6 };
+        band = 16;
+        seed = 1;
+      }
+  in
+  let mode3 = Workloads.Harness.generic_simd ~group_size:4 in
+  let run ?pool () =
+    (Workloads.Spmv.run_simd ~cfg ?pool ~num_teams:7 ~threads:32 ~mode3 t)
+      .Workloads.Harness.report
+  in
+  let seq = run () in
+  let pool0 = Pool.create ~domains:0 () in
+  let r0 = run ~pool:pool0 () in
+  Pool.shutdown pool0;
+  let pool4 = Pool.create ~domains:4 () in
+  let r4 = run ~pool:pool4 () in
+  Pool.shutdown pool4;
+  check_reports_identical "no pool vs domains=0" seq r0;
+  check_reports_identical "no pool vs domains=4" seq r4
+
+let test_pool_trace_stays_sequential () =
+  (* A trace forces the sequential path even when a pool is supplied: the
+     full grid is simulated and every event lands in the one log. *)
+  let pool = Pool.create ~domains:4 () in
+  let trace = Trace.create () in
+  ignore
+    (Device.launch ~cfg ~pool ~trace ~grid:3 ~block:4
+       ~block_class:(fun _ -> 0)
+       ~init:(fun ~block_id _ -> block_id)
+       ~body:(fun _ th -> Thread.trace th ~tag:"evt" "x")
+       ());
+  Pool.shutdown pool;
+  check_int "all threads traced" 12 (Trace.count trace ~tag:"evt")
+
 (* --- qcheck properties ------------------------------------------------ *)
 
 let qcheck_cases =
@@ -570,6 +727,7 @@ let suite =
       [
         Alcotest.test_case "merge" `Quick test_counters_merge;
         Alcotest.test_case "coalescing ratio" `Quick test_counters_coalescing_ratio;
+        Alcotest.test_case "equal" `Quick test_counters_equal;
       ] );
     ( "gpusim.engine",
       [
@@ -623,6 +781,18 @@ let suite =
         Alcotest.test_case "barrier stress" `Quick test_engine_many_barrier_rounds;
         Alcotest.test_case "non-warp-multiple block" `Quick
           test_engine_non_warp_multiple;
+        Alcotest.test_case "same-name barriers in deadlock report" `Quick
+          test_deadlock_reports_same_name_barriers;
+      ] );
+    ( "gpusim.pool",
+      [
+        Alcotest.test_case "parallel_init" `Quick test_pool_parallel_init;
+        Alcotest.test_case "uniform grid determinism" `Quick
+          test_determinism_uniform_grid;
+        Alcotest.test_case "irregular grid determinism" `Quick
+          test_determinism_irregular_grid;
+        Alcotest.test_case "trace stays sequential" `Quick
+          test_pool_trace_stays_sequential;
       ] );
     ("gpusim.properties", List.map QCheck_alcotest.to_alcotest qcheck_cases);
   ]

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Smoke-test the bench harness under both pool settings at tiny scale.
+#
+# Runs bench/main.exe twice — sequential (OMPSIMD_DOMAINS=0) and with a
+# two-domain pool — each writing its Bechamel estimates to JSON, and
+# checks both runs complete and produce the JSON.  This is a harness
+# check (does the pool path survive a full bench sweep?), not a
+# performance measurement: use BENCH_gpusim.json and a full-quota run
+# for numbers.
+#
+# Usage: tools/bench_smoke.sh   (from the repo root)
+set -eu
+
+scale="${OMPSIMD_BENCH_SCALE:-0.05}"
+quota="${OMPSIMD_BENCH_QUOTA:-0.1}"
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+dune build bench/main.exe
+
+for domains in 0 2; do
+  json="$out/bench_domains_$domains.json"
+  echo "== OMPSIMD_DOMAINS=$domains (scale $scale, quota ${quota}s) =="
+  OMPSIMD_DOMAINS="$domains" \
+  OMPSIMD_BENCH_SCALE="$scale" \
+  OMPSIMD_BENCH_QUOTA="$quota" \
+  OMPSIMD_BENCH_JSON="$json" \
+    dune exec bench/main.exe > "$out/bench_domains_$domains.log" 2>&1
+  test -s "$json" || { echo "FAIL: $json missing or empty"; exit 1; }
+  grep -q '"ms_per_run"' "$json" || { echo "FAIL: $json malformed"; exit 1; }
+  tail -n 12 "$out/bench_domains_$domains.log"
+done
+
+echo "bench smoke OK: both domain settings completed"
