@@ -17,8 +17,9 @@ let show name (r : Harness.run) =
     b.Gpusim.Occupancy.memory_bound b.Gpusim.Occupancy.lsu_bound
     b.Gpusim.Occupancy.latency_bound b.Gpusim.Occupancy.resident_blocks
     c.Gpusim.Counters.atomics c.Gpusim.Counters.warp_barriers
-    c.Gpusim.Counters.block_barriers c.Gpusim.Counters.dram_bytes
-    c.Gpusim.Counters.lsu_transactions
+    c.Gpusim.Counters.block_barriers
+    (Gpusim.Counters.dram_bytes c)
+    (Gpusim.Counters.lsu_transactions c)
 
 let () =
   let sms = try int_of_string Sys.argv.(1) with _ -> 12 in

@@ -9,6 +9,12 @@ type t = {
   expected : int;
   cost : float;
   mutable waiters : waiter list;
+  mutable nwaiters : int;  (* = List.length waiters, kept O(1) *)
+  mutable live_mark : bool;
+      (* set when the engine registers the barrier in its live table, so
+         re-registration (every round of a reused barrier) is a flag
+         check instead of a hash insert.  Never cleared: a barrier is
+         only ever driven by one engine run. *)
 }
 
 (* Process-unique ids; atomic because blocks simulate on several domains
@@ -18,32 +24,61 @@ let next_id = Atomic.make 0
 
 let create ?(name = "barrier") ~expected ~cost () =
   if expected <= 0 then invalid_arg "Barrier.create: expected must be positive";
-  { id = Atomic.fetch_and_add next_id 1; name; expected; cost; waiters = [] }
+  {
+    id = Atomic.fetch_and_add next_id 1;
+    name;
+    expected;
+    cost;
+    waiters = [];
+    nwaiters = 0;
+    live_mark = false;
+  }
 
 let id t = t.id
 let name t = t.name
 let expected t = t.expected
-let waiting t = List.length t.waiters
+let waiting t = t.nwaiters
+let live_mark t = t.live_mark
+let set_live_mark t = t.live_mark <- true
+
+(* The release: clocks of all participants are aligned to the max arrival
+   clock and advanced by [cost].  The barrier instruction itself issues (a
+   cycle or two); the rest of the cost is pipeline-drain stall, which
+   occupies no issue slots and can be hidden by other resident blocks. *)
+let release t last parked =
+  let tmax =
+    List.fold_left
+      (fun acc w -> Float.max acc (Thread.clock w.th))
+      (Thread.clock last) parked
+  in
+  let charge th =
+    Thread.align_clock th tmax;
+    if t.cost > 0.0 then begin
+      let busy_part = Float.min t.cost 2.0 in
+      Thread.tick th busy_part;
+      Thread.tick_wait th (t.cost -. busy_part)
+    end
+  in
+  charge last;
+  List.iter (fun w -> charge w.th) parked
+
+let park t th k =
+  t.waiters <- { th; k } :: t.waiters;
+  t.nwaiters <- t.nwaiters + 1
+
+let try_complete t th =
+  if t.nwaiters + 1 < t.expected then None
+  else begin
+    let parked = t.waiters in
+    t.waiters <- [];
+    t.nwaiters <- 0;
+    release t th parked;
+    Some parked
+  end
 
 let arrive t th k =
-  let me = { th; k } in
-  if List.length t.waiters + 1 < t.expected then begin
-    t.waiters <- me :: t.waiters;
-    None
-  end
-  else begin
-    let all = me :: t.waiters in
-    t.waiters <- [];
-    let tmax = List.fold_left (fun acc w -> Float.max acc w.th.Thread.clock) 0.0 all in
-    (* The barrier instruction itself issues (a cycle or two); the rest of
-       the cost is pipeline-drain stall, which occupies no issue slots and
-       can be hidden by other resident blocks. *)
-    List.iter
-      (fun w ->
-        Thread.align_clock w.th tmax;
-        let busy_part = Float.min t.cost 2.0 in
-        Thread.tick w.th busy_part;
-        Thread.tick_wait w.th (t.cost -. busy_part))
-      all;
-    Some all
-  end
+  match try_complete t th with
+  | Some parked -> Some ({ th; k } :: parked)
+  | None ->
+      park t th k;
+      None

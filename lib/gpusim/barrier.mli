@@ -31,10 +31,30 @@ val expected : t -> int
 val waiting : t -> int
 (** Threads currently parked. *)
 
+val try_complete : t -> Thread.t -> waiter list option
+(** [try_complete t th] checks whether [th]'s arrival is the last one
+    expected.  If so it performs the release — every participant's clock
+    (including [th]'s) is aligned to the max and advanced by [cost], the
+    barrier resets — and returns the parked waiters for rescheduling;
+    [th] itself was never suspended and simply continues.  Otherwise
+    returns [None] without touching the barrier: the caller must park
+    [th]'s continuation with {!park}.  Letting the last arriver skip the
+    suspend/capture round-trip entirely is the engine's barrier fast
+    path. *)
+
+val live_mark : t -> bool
+val set_live_mark : t -> unit
+(** One-shot registration flag for the engine's live-barrier table (the
+    deadlock report).  Set once, never cleared — a barrier is only ever
+    driven by one engine run. *)
+
+val park : t -> Thread.t -> (unit, unit) Effect.Deep.continuation -> unit
+(** Park a thread's continuation (an arrival that did not complete the
+    barrier). *)
+
 val arrive :
   t -> Thread.t -> (unit, unit) Effect.Deep.continuation -> waiter list option
 (** [arrive t th k] parks the thread ([None]) or — when it is the last
-    expected participant — performs the release: clocks of all participants
-    (including [th]) are aligned to the max and advanced by [cost] (counted
-    as busy time, a real synchronization instruction), the barrier resets,
-    and all waiters including [th]'s are returned for rescheduling. *)
+    expected participant — performs the release and returns all waiters
+    including [th]'s for rescheduling.  Kept for direct engine-level
+    tests; the engine itself uses {!try_complete}/{!park}. *)

@@ -14,11 +14,58 @@ type block_result = {
 
 type _ Effect.t += Wait : Barrier.t * Thread.t -> unit Effect.t
 
+(* Per-block scheduler state.  Released waiters are queued as the lists
+   the barrier produced (one cons per release, not per waiter) and
+   consumed FIFO; [live] tracks barriers with parked threads for the
+   deadlock report.  The state is published in domain-local storage so
+   that [barrier_wait]'s fast path — the last arriver completing the
+   barrier inline, without performing an effect — can reschedule the
+   released waiters. *)
+type sched = {
+  mutable cur : Barrier.waiter list;  (* list being consumed *)
+  mutable front : Barrier.waiter list list;
+  mutable back : Barrier.waiter list list;  (* reversed *)
+  live : (int, Barrier.t) Hashtbl.t;
+}
+
+let sched_slot : sched option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let sched_push s ws = if ws <> [] then s.back <- ws :: s.back
+
+let rec sched_pop s =
+  match s.cur with
+  | w :: tl ->
+      s.cur <- tl;
+      Some w
+  | [] -> (
+      match s.front with
+      | l :: tl ->
+          s.front <- tl;
+          s.cur <- l;
+          sched_pop s
+      | [] -> (
+          match s.back with
+          | [] -> None
+          | b ->
+              s.front <- List.rev b;
+              s.back <- [];
+              sched_pop s))
+
 let barrier_wait bar th =
   (* Any synchronization orders the warp's outstanding atomics: contention
-     is only counted between consecutive sync points. *)
-  Hashtbl.reset th.Thread.warp.Thread.atomic_epoch;
-  perform (Wait (bar, th))
+     is only counted between consecutive sync points.  Bumping the
+     generation invalidates every per-line count in O(1). *)
+  let warp = th.Thread.warp in
+  warp.Thread.atomic_gen <- warp.Thread.atomic_gen + 1;
+  match !(Domain.DLS.get sched_slot) with
+  | Some s -> (
+      (* fast path: the last expected arriver releases the barrier and
+         keeps running — no continuation capture, no queue round-trip *)
+      match Barrier.try_complete bar th with
+      | Some waiters -> sched_push s waiters
+      | None -> perform (Wait (bar, th)))
+  | None -> perform (Wait (bar, th))
 
 let run_block ~cfg ?trace ~block_id ~num_threads body =
   if num_threads <= 0 then
@@ -33,17 +80,14 @@ let run_block ~cfg ?trace ~block_id ~num_threads body =
     Array.init num_threads (fun tid ->
         Thread.create ~cfg ~counters ?trace ~block_id ~tid ~warp:warps.(tid / ws) ())
   in
-  let ready : (unit -> unit) Queue.t = Queue.create () in
-  let completed = ref 0 in
   (* keyed by unique barrier id: two live barriers may share a display
      name (e.g. per-warp barriers created in a loop), and colliding on the
      name used to drop one of them from the deadlock report *)
-  let live_barriers : (int, Barrier.t) Hashtbl.t = Hashtbl.create 8 in
-  let release waiters =
-    List.iter
-      (fun (w : Barrier.waiter) -> Queue.add (fun () -> continue w.k ()) ready)
-      waiters
-  in
+  let s = { cur = []; front = []; back = []; live = Hashtbl.create 8 } in
+  let slot = Domain.DLS.get sched_slot in
+  let saved_slot = !slot in
+  slot := Some s;
+  let completed = ref 0 in
   let run_fiber th =
     match_with body th
       {
@@ -55,24 +99,32 @@ let run_block ~cfg ?trace ~block_id ~num_threads body =
             | Wait (bar, arriving) ->
                 Some
                   (fun (k : (a, unit) continuation) ->
-                    match Barrier.arrive bar arriving k with
-                    | None ->
-                        Hashtbl.replace live_barriers (Barrier.id bar) bar
-                    | Some waiters ->
-                        Hashtbl.remove live_barriers (Barrier.id bar);
-                        release waiters)
+                    (* [barrier_wait] already tried to complete: this
+                       arrival cannot be the last, so it always parks *)
+                    Barrier.park bar arriving k;
+                    if not (Barrier.live_mark bar) then begin
+                      Barrier.set_live_mark bar;
+                      Hashtbl.replace s.live (Barrier.id bar) bar
+                    end)
             | _ -> None);
       }
   in
-  Array.iter (fun th -> Queue.add (fun () -> run_fiber th) ready) threads;
-  let rec drain () =
-    match Queue.take_opt ready with
-    | Some job ->
-        job ();
-        drain ()
-    | None -> ()
-  in
-  drain ();
+  let finally () = slot := saved_slot in
+  (try
+     (* initial fibers run in tid order; resumptions queue behind them *)
+     Array.iter run_fiber threads;
+     let rec drain () =
+       match sched_pop s with
+       | Some w ->
+           continue w.Barrier.k ();
+           drain ()
+       | None -> ()
+     in
+     drain ()
+   with e ->
+     finally ();
+     raise e);
+  finally ();
   if !completed <> num_threads then begin
     let buf = Buffer.create 128 in
     Buffer.add_string buf
@@ -84,22 +136,22 @@ let run_block ~cfg ?trace ~block_id ~num_threads body =
           Buffer.add_string buf
             (Printf.sprintf " [%s %d/%d]" (Barrier.name bar)
                (Barrier.waiting bar) (Barrier.expected bar)))
-      live_barriers;
+      s.live;
     raise (Deadlock (Buffer.contents buf))
   end;
   let critical =
-    Array.fold_left (fun acc th -> Float.max acc th.Thread.clock) 0.0 threads
+    Array.fold_left (fun acc th -> Float.max acc (Thread.clock th)) 0.0 threads
   in
   let active_lanes =
     Array.fold_left
-      (fun acc th -> if th.Thread.busy > 0.0 then acc + 1 else acc)
+      (fun acc th -> if Thread.busy th > 0.0 then acc + 1 else acc)
       0 threads
   in
   {
     block_id;
     num_threads;
     critical_cycles = critical;
-    busy_cycles = counters.Counters.lane_busy_cycles;
+    busy_cycles = Counters.busy_cycles counters;
     active_lanes;
     counters;
   }

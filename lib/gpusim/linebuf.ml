@@ -1,14 +1,102 @@
-type stamp = { mutable vtime : float; mutable lanes : int (* bitmask *) }
+(* Stamp storage is an open-addressing hash table over flat arrays
+   (keys as line+1 with 0 = empty, linear probing over a power-of-two
+   size, vtimes in an unboxed floatarray).  The former
+   [(int, stamp) Hashtbl.t] of mixed int/float records paid a bucket
+   walk plus a boxed-float write per touch — the single hottest
+   allocation site of the simulator.  Line numbers are dense (arrays
+   are line-aligned and walked with small strides), so the identity
+   hash [line land mask] probes are near-collision-free. *)
+
+type tbl = {
+  mutable keys : int array;  (* line + 1; 0 = empty *)
+  mutable vtimes : floatarray;
+  mutable lanes : int array;  (* bitmask *)
+  mutable mask : int;  (* size - 1, size a power of two *)
+  mutable count : int;
+}
+
+let tbl_make size =
+  {
+    keys = Array.make size 0;
+    vtimes = Float.Array.make size 0.0;
+    lanes = Array.make size 0;
+    mask = size - 1;
+    count = 0;
+  }
+
+(* Fibonacci-style multiplicative mix.  Line numbers come in contiguous
+   runs (one per array), so an identity hash would fill contiguous slot
+   runs that merge into huge probe clusters as soon as two arrays' ranges
+   alias mod the table size; the odd-constant multiply spreads a run
+   across the whole table. *)
+let hash line mask =
+  let h = line * 0x9E3779B97F4A7C1 in
+  (h lxor (h lsr 29)) land mask
+
+(* Slot holding the key, or the empty slot where it would go.  The load
+   factor is kept under 3/4, so a run of occupied slots always ends. *)
+let tbl_slot t line =
+  let key = line + 1 in
+  let mask = t.mask in
+  let keys = t.keys in
+  let i = ref (hash line mask) in
+  let k = ref keys.(!i) in
+  while !k <> 0 && !k <> key do
+    i := (!i + 1) land mask;
+    k := keys.(!i)
+  done;
+  !i
+
+let tbl_put t line vtime lanes =
+  let s = tbl_slot t line in
+  if t.keys.(s) = 0 then begin
+    t.keys.(s) <- line + 1;
+    t.count <- t.count + 1
+  end;
+  Float.Array.set t.vtimes s vtime;
+  t.lanes.(s) <- lanes
+
+let tbl_grow t =
+  let old_keys = t.keys and old_v = t.vtimes and old_l = t.lanes in
+  let size = 2 * (t.mask + 1) in
+  t.keys <- Array.make size 0;
+  t.vtimes <- Float.Array.make size 0.0;
+  t.lanes <- Array.make size 0;
+  t.mask <- size - 1;
+  t.count <- 0;
+  Array.iteri
+    (fun i k ->
+      if k <> 0 then tbl_put t (k - 1) (Float.Array.get old_v i) old_l.(i))
+    old_keys
+
+let tbl_ensure_room t =
+  if 4 * (t.count + 1) > 3 * (t.mask + 1) then tbl_grow t
 
 type t = {
   capacity : int;
   coalesce_window : float;
-  stamps : (int, stamp) Hashtbl.t;  (* line -> latest touch burst *)
-  base : (int, stamp) Hashtbl.t option;
+  isz : int;
+      (* floor table size (power of two, derived from capacity): starting
+         and compacting to this avoids rebuild chains 64 -> ... -> 2K on
+         every grow/compact cycle of a warp-sized buffer *)
+  tbl : tbl;  (* line -> latest touch burst *)
+  base : tbl option;
       (* frozen parent stamps a fork reads through to (never written) *)
   mutable misses : int;
   mutable max_vtime : float;
 }
+
+(* The cap keeps warp-sized buffers small; a device L2 with hundreds of
+   thousands of sectors still starts large enough that a launch's
+   footprint does not drag it through a 4K -> 8K -> ... rebuild chain on
+   every reset/commit cycle. *)
+let floor_size capacity =
+  let target = Int.min 65536 (Int.max 64 (2 * capacity)) in
+  let s = ref 64 in
+  while !s < target do
+    s := 2 * !s
+  done;
+  !s
 
 type outcome = Coalesced | Hit | Miss
 
@@ -18,10 +106,12 @@ let create ~capacity ~coalesce_window =
   if capacity <= 0 then invalid_arg "Linebuf.create: capacity must be positive";
   if coalesce_window < 0.0 then
     invalid_arg "Linebuf.create: coalesce_window must be non-negative";
+  let isz = floor_size capacity in
   {
     capacity;
     coalesce_window;
-    stamps = Hashtbl.create 64;
+    isz;
+    tbl = tbl_make isz;
     base = None;
     misses = 0;
     max_vtime = 0.0;
@@ -31,20 +121,24 @@ let create ~capacity ~coalesce_window =
    overlay, seeded with the parent's residency statistics.  O(1) to
    create, O(own touches) in memory — cheap enough to make one per
    (block, space) pair per launch.  The parent must not be mutated while
-   forks of it are live; concurrent [find_opt] reads of the frozen parent
-   table from several domains are safe. *)
+   forks of it are live; concurrent reads of the frozen parent table
+   from several domains are safe. *)
 let fork parent =
   let base =
     (* flatten chains so a fork of a fork still reads one level deep;
        forks are created from the committed device L2 only *)
     match parent.base with
     | Some _ -> invalid_arg "Linebuf.fork: cannot fork a fork"
-    | None -> Some parent.stamps
+    | None -> Some parent.tbl
   in
+  (* the overlay holds only this fork's own traffic — one block's, not
+     the whole device's — so clamp it well below the parent's floor *)
+  let isz = Int.max 64 (Int.min 4096 (parent.isz / 4)) in
   {
     capacity = parent.capacity;
     coalesce_window = parent.coalesce_window;
-    stamps = Hashtbl.create 64;
+    isz;
+    tbl = tbl_make isz;
     base;
     misses = parent.misses;
     max_vtime = parent.max_vtime;
@@ -61,15 +155,32 @@ let window t =
 (* Bound the table: when it grows far past capacity, drop entries that
    fell out of the residency window (they can only miss anyway). *)
 let compact t =
-  if Hashtbl.length t.stamps > 8 * t.capacity then begin
+  let tb = t.tbl in
+  if tb.count > 8 * t.capacity then begin
     let w = window t in
     let horizon = t.max_vtime -. w in
-    let stale =
-      Hashtbl.fold
-        (fun line st acc -> if st.vtime < horizon then line :: acc else acc)
-        t.stamps []
-    in
-    List.iter (Hashtbl.remove t.stamps) stale
+    let old_keys = tb.keys and old_v = tb.vtimes and old_l = tb.lanes in
+    let kept = ref 0 in
+    Array.iteri
+      (fun i k ->
+        if k <> 0 && Float.Array.get old_v i >= horizon then incr kept)
+      old_keys;
+    (* never shrink: re-using the current size avoids an immediate
+       regrow chain when the kept set expands back toward the threshold *)
+    let size = ref (Int.max t.isz (tb.mask + 1)) in
+    while 2 * !kept >= !size do
+      size := 2 * !size
+    done;
+    tb.keys <- Array.make !size 0;
+    tb.vtimes <- Float.Array.make !size 0.0;
+    tb.lanes <- Array.make !size 0;
+    tb.mask <- !size - 1;
+    tb.count <- 0;
+    Array.iteri
+      (fun i k ->
+        if k <> 0 && Float.Array.get old_v i >= horizon then
+          tbl_put tb (k - 1) (Float.Array.get old_v i) old_l.(i))
+      old_keys
   end
 
 let popcount m =
@@ -84,62 +195,101 @@ let popcount m =
    transaction is shared by every lane of the burst, so it is charged
    1/|burst|.  A lane running alone therefore pays full price per touch,
    which is exactly the uncoalesced baseline pattern. *)
-let touch t ~vtime ~lane line =
+(* Integer-coded classification — the hot path returns an immediate
+   instead of an (outcome * float) tuple with a boxed weight:
+   0 = Coalesced (weight 0), 1 = Hit weight 1, 2 = Miss weight 1,
+   k >= 3 = burst re-touch Hit of a (k-2)-lane burst, weight 1/(k-2). *)
+let code_coalesced = 0
+let code_hit = 1
+let code_miss = 2
+
+let touch_code t ~vtime ~lane line =
   if vtime > t.max_vtime then t.max_vtime <- vtime;
   let lane_bit = 1 lsl (lane land 31) in
-  let resident =
-    match Hashtbl.find_opt t.stamps line with
-    | Some _ as r -> r
-    | None -> (
-        (* copy-on-write read-through: promote the frozen base stamp into
-           the overlay so later touches see and mutate the private copy *)
+  let tb = t.tbl in
+  let s = tbl_slot tb line in
+  let code =
+    if tb.keys.(s) <> 0 then begin
+      (* resident in the overlay: classify and mutate in place *)
+      let st_vtime = Float.Array.get tb.vtimes s in
+      let st_lanes = tb.lanes.(s) in
+      let gap = vtime -. st_vtime in
+      let code =
+        if Float.abs gap <= t.coalesce_window then
+          if st_lanes land lane_bit <> 0 then popcount st_lanes + 2
+          else begin
+            tb.lanes.(s) <- st_lanes lor lane_bit;
+            code_coalesced
+          end
+        else begin
+          tb.lanes.(s) <- lane_bit;
+          if gap <= window t then code_hit else code_miss
+        end
+      in
+      if vtime > st_vtime then Float.Array.set tb.vtimes s vtime;
+      code
+    end
+    else begin
+      (* copy-on-write read-through: classify against the frozen base
+         stamp if there is one, then write the private copy *)
+      let based =
         match t.base with
         | None -> None
-        | Some b -> (
-            match Hashtbl.find_opt b line with
-            | None -> None
-            | Some bst ->
-                let st = { vtime = bst.vtime; lanes = bst.lanes } in
-                Hashtbl.replace t.stamps line st;
-                Some st))
+        | Some b ->
+            let bs = tbl_slot b line in
+            if b.keys.(bs) = 0 then None
+            else Some (Float.Array.get b.vtimes bs, b.lanes.(bs))
+      in
+      match based with
+      | None ->
+          tbl_ensure_room tb;
+          tbl_put tb line vtime lane_bit;
+          code_miss
+      | Some (bvt, blanes) ->
+          let gap = vtime -. bvt in
+          let code, lanes' =
+            if Float.abs gap <= t.coalesce_window then
+              if blanes land lane_bit <> 0 then (popcount blanes + 2, blanes)
+              else (code_coalesced, blanes lor lane_bit)
+            else if gap <= window t then (code_hit, lane_bit)
+            else (code_miss, lane_bit)
+          in
+          tbl_ensure_room tb;
+          tbl_put tb line (Float.max bvt vtime) lanes';
+          code
+    end
   in
-  let result =
-    match resident with
-    | None ->
-        Hashtbl.replace t.stamps line { vtime; lanes = lane_bit };
-        (Miss, 1.0)
-    | Some st ->
-        let gap = vtime -. st.vtime in
-        let in_burst = Float.abs gap <= t.coalesce_window in
-        let outcome_weight =
-          if in_burst then
-            if st.lanes land lane_bit <> 0 then
-              (Hit, 1.0 /. float_of_int (popcount st.lanes))
-            else begin
-              st.lanes <- st.lanes lor lane_bit;
-              (Coalesced, 0.0)
-            end
-          else begin
-            st.lanes <- lane_bit;
-            if gap <= window t then (Hit, 1.0) else (Miss, 1.0)
-          end
-        in
-        if vtime > st.vtime then st.vtime <- vtime;
-        outcome_weight
-  in
-  (match result with
-  | Miss, _ ->
-      t.misses <- t.misses + 1;
-      compact t
-  | (Coalesced | Hit), _ -> ());
-  result
+  if code = code_miss then begin
+    t.misses <- t.misses + 1;
+    compact t
+  end;
+  code
+
+let[@inline] code_outcome code =
+  if code = code_coalesced then Coalesced
+  else if code = code_miss then Miss
+  else Hit
+
+let[@inline] code_weight code =
+  if code = code_coalesced then 0.0
+  else if code <= code_miss then 1.0
+  else 1.0 /. float_of_int (code - 2)
+
+let touch t ~vtime ~lane line =
+  let code = touch_code t ~vtime ~lane line in
+  (code_outcome code, code_weight code)
 
 let misses t = t.misses
 
 let clear t =
-  Hashtbl.reset t.stamps;
+  let tb = t.tbl in
+  tb.keys <- Array.make t.isz 0;
+  tb.vtimes <- Float.Array.make t.isz 0.0;
+  tb.lanes <- Array.make t.isz 0;
+  tb.mask <- t.isz - 1;
+  tb.count <- 0;
   t.misses <- 0;
   t.max_vtime <- 0.0
 
-let size t = Hashtbl.length t.stamps
+let size t = t.tbl.count
 let capacity t = t.capacity

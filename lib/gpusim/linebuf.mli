@@ -40,6 +40,17 @@ val fork : t -> t
     simulated thread block its own launch-start view of the device L2.
     @raise Invalid_argument when applied to a fork. *)
 
+val touch_code : t -> vtime:float -> lane:int -> int -> int
+(** Allocation-free variant of {!touch}: returns an integer code —
+    0 = [Coalesced] (weight 0), 1 = [Hit] weight 1, 2 = [Miss] weight 1,
+    and [k >= 3] a burst re-touch [Hit] of a [(k-2)]-lane burst, weight
+    [1/(k-2)].  Decode with {!code_outcome} / {!code_weight}.  The hot
+    accounting path uses this directly to avoid a tuple + boxed-float
+    allocation per memory access. *)
+
+val code_outcome : int -> outcome
+val code_weight : int -> float
+
 val touch : t -> vtime:float -> lane:int -> int -> outcome * float
 (** [touch t ~vtime ~lane line] classifies the access and returns the
     transaction weight to charge: 1.0 for a lane touching alone, 0.0 for

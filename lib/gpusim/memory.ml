@@ -85,8 +85,22 @@ type l2_view = {
   vcfg : Config.t;  (* config to materialize the committed L2 on commit *)
   vfork : Linebuf.t;
   mutable vorder : float;  (* private continuation of the touch counter *)
-  mutable vlog : int list;  (* touched lines, reversed *)
+  (* touch log as a growable int array: the commit replay walks millions
+     of entries on the big experiments, and a cons per touch plus a full
+     List.rev per commit was measurable GC traffic *)
+  mutable vlog : int array;
+  mutable vlen : int;
 }
+
+let vlog_push v line =
+  let cap = Array.length v.vlog in
+  if v.vlen = cap then begin
+    let bigger = Array.make (Int.max 256 (2 * cap)) 0 in
+    Array.blit v.vlog 0 bigger 0 cap;
+    v.vlog <- bigger
+  end;
+  v.vlog.(v.vlen) <- line;
+  v.vlen <- v.vlen + 1
 
 type block_session = { mutable views : l2_view list (* reversed creation order *) }
 
@@ -125,7 +139,14 @@ let view_of session space (cfg : Config.t) =
             Linebuf.create ~capacity:cfg.Config.l2_sectors ~coalesce_window:0.0
       in
       let v =
-        { vspace = space; vcfg = cfg; vfork; vorder = space.l2_order; vlog = [] }
+        {
+          vspace = space;
+          vcfg = cfg;
+          vfork;
+          vorder = space.l2_order;
+          vlog = [||];
+          vlen = 0;
+        }
       in
       session.views <- v :: session.views;
       v
@@ -134,16 +155,62 @@ let session_commit s =
   List.iter
     (fun v ->
       let l2 = l2_of v.vspace v.vcfg in
-      List.iter
-        (fun line ->
-          v.vspace.l2_order <- v.vspace.l2_order +. 1.0;
-          ignore (Linebuf.touch l2 ~vtime:v.vspace.l2_order ~lane:0 line))
-        (List.rev v.vlog))
+      let log = v.vlog in
+      for i = 0 to v.vlen - 1 do
+        v.vspace.l2_order <- v.vspace.l2_order +. 1.0;
+        ignore
+          (Linebuf.touch_code l2 ~vtime:v.vspace.l2_order ~lane:0 log.(i))
+      done)
     (List.rev s.views)
 
 let check name len i =
   if i < 0 || i >= len then
     invalid_arg (Printf.sprintf "Memory.%s: index %d out of bounds [0,%d)" name i len)
+
+(* The address → line (coalescing key) computation.  Strided accesses in
+   a burst revisit the same few (base, line) pairs, so a 4-slot LRU on
+   the warp (one slot per recently seen base, round-robin replacement)
+   answers most of them with a compare instead of the division chain.
+   [line_memo_enabled] exists for the unit test that shows counters are
+   identical with the memo off. *)
+let line_memo_enabled = ref true
+
+let line_of (th : Thread.t) ~base ~index =
+  let lb = th.cfg.Config.line_bytes in
+  let addr = base + (index * element_bytes) in
+  if not !line_memo_enabled then addr / lb
+  else begin
+    let w = th.Thread.warp in
+    let mb = w.Thread.memo_base in
+    (* unrolled 4-slot scan: a local rec function here would be a real
+       closure allocation per call in classic (non-flambda) ocamlopt *)
+    let k =
+      if mb.(0) = base then 0
+      else if mb.(1) = base then 1
+      else if mb.(2) = base then 2
+      else if mb.(3) = base then 3
+      else -1
+    in
+    if k < 0 then begin
+      let line = addr / lb in
+      let k = w.Thread.memo_next in
+      w.Thread.memo_next <- (k + 1) land 3;
+      mb.(k) <- base;
+      w.Thread.memo_line.(k) <- line;
+      w.Thread.memo_lo.(k) <- line * lb;
+      line
+    end
+    else begin
+      let off = addr - w.Thread.memo_lo.(k) in
+      if off >= 0 && off < lb then w.Thread.memo_line.(k)
+      else begin
+        let line = addr / lb in
+        w.Thread.memo_line.(k) <- line;
+        w.Thread.memo_lo.(k) <- line * lb;
+        line
+      end
+    end
+  end
 
 (* Charge a global access.  Issue cost always; then the warp-level cache
    decides whether the access coalesces, hits, or opens a transaction —
@@ -153,44 +220,45 @@ let account (th : Thread.t) ~space ~base ~index ~is_store =
   let cfg = th.cfg in
   let cost = cfg.Config.cost in
   let c = th.counters in
-  let addr = base + (index * element_bytes) in
-  let line = addr / cfg.Config.line_bytes in
+  let line = line_of th ~base ~index in
   if is_store then c.Counters.global_stores <- c.Counters.global_stores + 1
   else c.Counters.global_loads <- c.Counters.global_loads + 1;
   Thread.tick th cost.Config.mem_issue;
-  (match
-     Linebuf.touch th.Thread.warp.Thread.lines ~vtime:th.Thread.clock
-       ~lane:th.Thread.lane line
-   with
-  | Linebuf.Coalesced, _ -> c.Counters.line_hits <- c.Counters.line_hits + 1
-  | Linebuf.Hit, weight ->
-      c.Counters.line_hits <- c.Counters.line_hits + 1;
-      c.Counters.lsu_transactions <- c.Counters.lsu_transactions +. weight
-  | Linebuf.Miss, weight ->
-      c.Counters.lsu_transactions <- c.Counters.lsu_transactions +. weight;
-      let l2_outcome =
-        match !(Domain.DLS.get session_slot) with
-        | Some s ->
-            let v = view_of s space cfg in
-            v.vorder <- v.vorder +. 1.0;
-            v.vlog <- line :: v.vlog;
-            fst (Linebuf.touch v.vfork ~vtime:v.vorder ~lane:0 line)
-        | None ->
-            (* no session (bare Engine.run_block): touch the committed L2
-               directly, the pre-session behaviour *)
-            let l2 = l2_of space cfg in
-            space.l2_order <- space.l2_order +. 1.0;
-            fst (Linebuf.touch l2 ~vtime:space.l2_order ~lane:0 line)
-      in
-      (match l2_outcome with
-      | Linebuf.Coalesced | Linebuf.Hit ->
-          c.Counters.l2_hits <- c.Counters.l2_hits + 1;
-          Thread.tick_wait th (cost.Config.mem_miss_latency /. 2.0)
-      | Linebuf.Miss ->
-          c.Counters.line_misses <- c.Counters.line_misses + 1;
-          c.Counters.dram_bytes <-
-            c.Counters.dram_bytes +. float_of_int cfg.Config.line_bytes;
-          Thread.tick_wait th cost.Config.mem_miss_latency));
+  let code =
+    Linebuf.touch_code th.Thread.warp.Thread.lines ~vtime:(Thread.clock th)
+      ~lane:th.Thread.lane line
+  in
+  (* codes: 0 coalesced, 1 hit w=1, 2 miss, k>=3 burst hit w=1/(k-2) *)
+  if code <> 2 then begin
+    c.Counters.line_hits <- c.Counters.line_hits + 1;
+    if code <> 0 then Counters.add_lsu c (Linebuf.code_weight code)
+  end
+  else begin
+    Counters.add_lsu c 1.0;
+    let l2_resident =
+      match !(Domain.DLS.get session_slot) with
+      | Some s ->
+          let v = view_of s space cfg in
+          v.vorder <- v.vorder +. 1.0;
+          vlog_push v line;
+          Linebuf.touch_code v.vfork ~vtime:v.vorder ~lane:0 line <> 2
+      | None ->
+          (* no session (bare Engine.run_block): touch the committed L2
+             directly, the pre-session behaviour *)
+          let l2 = l2_of space cfg in
+          space.l2_order <- space.l2_order +. 1.0;
+          Linebuf.touch_code l2 ~vtime:space.l2_order ~lane:0 line <> 2
+    in
+    if l2_resident then begin
+      c.Counters.l2_hits <- c.Counters.l2_hits + 1;
+      Thread.tick_wait th (cost.Config.mem_miss_latency /. 2.0)
+    end
+    else begin
+      c.Counters.line_misses <- c.Counters.line_misses + 1;
+      Counters.add_dram c (float_of_int cfg.Config.line_bytes);
+      Thread.tick_wait th cost.Config.mem_miss_latency
+    end
+  end;
   line
 
 let fget a th i =
@@ -232,9 +300,7 @@ let rmw_lock = Mutex.create ()
 
 let atomic_cost (th : Thread.t) line =
   let cost = th.cfg.Config.cost in
-  let epoch = th.Thread.warp.Thread.atomic_epoch in
-  let prior = try Hashtbl.find epoch line with Not_found -> 0 in
-  Hashtbl.replace epoch line (prior + 1);
+  let prior = Thread.ae_bump th.Thread.warp line in
   th.counters.Counters.atomics <- th.counters.Counters.atomics + 1;
   (* The RMW itself issues; waiting behind other lanes' RMWs on the same
      line is serialization stall, not issue work. *)

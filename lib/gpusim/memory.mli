@@ -70,6 +70,12 @@ val session_commit : block_session -> unit
 (** Replay the session's L2 touches into the committed L2.  Call once
     per session, from a single domain, in ascending block_id order. *)
 
+val line_memo_enabled : bool ref
+(** The address→line (coalescing key) computation is memoized per warp
+    (small LRU keyed by array base, serving strided re-accesses within a
+    line).  The memo is exact — on by default; the flag exists so tests
+    can demonstrate counter equality against the unmemoized path. *)
+
 val fget : farray -> Thread.t -> int -> float
 (** Device load: charged issue cost, plus a transaction (line bytes +
     latency) when the warp had not touched the line recently.

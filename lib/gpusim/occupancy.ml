@@ -12,8 +12,8 @@ let of_result (r : Engine.block_result) ~smem_bytes =
   {
     critical = r.Engine.critical_cycles;
     busy = r.Engine.busy_cycles;
-    dram_bytes = r.Engine.counters.Counters.dram_bytes;
-    lsu_transactions = r.Engine.counters.Counters.lsu_transactions;
+    dram_bytes = Counters.dram_bytes r.Engine.counters;
+    lsu_transactions = Counters.lsu_transactions r.Engine.counters;
     active_lanes = r.Engine.active_lanes;
     threads = r.Engine.num_threads;
     smem_bytes;

@@ -29,6 +29,5 @@ let release a m =
 
 let touch (th : Thread.t) ~bytes =
   let cost = th.Thread.cfg.Config.cost in
-  th.Thread.counters.Counters.smem_bytes <-
-    th.Thread.counters.Counters.smem_bytes +. float_of_int bytes;
+  Counters.add_smem th.Thread.counters (float_of_int bytes);
   Thread.tick th cost.Config.smem_access

@@ -9,10 +9,38 @@
 type warp_state = {
   warp_index : int;
   lines : Linebuf.t;  (** coalescing window shared by the warp's lanes *)
-  atomic_epoch : (int, int) Hashtbl.t;
-      (** atomics per line since the last block barrier; models RMW
-          serialization contention *)
+  mutable ae_keys : int array;
+  mutable ae_gen : int array;
+  mutable ae_cnt : int array;
+  mutable ae_mask : int;
+  mutable ae_filled : int;
+      (** atomics per line since the last sync point (models RMW
+          serialization contention), as an open-addressing table keyed
+          by line+1 (0 = empty); entries are valid only while their
+          [ae_gen] slot matches [atomic_gen], so bumping the generation
+          at a barrier clears the table in O(1) *)
+  mutable atomic_gen : int;
+  memo_base : int array;
+  memo_lo : int array;
+  memo_line : int array;
+  mutable memo_next : int;
+      (** small LRU memoizing the address→line (coalescing key)
+          computation for strided re-accesses; see {!Memory} *)
 }
+
+type state = {
+  mutable clock : float;
+  mutable busy : float;
+  mutable simt_factor : float;
+}
+(** Timing state, nested in an all-float record so mutating it on the
+    per-instruction hot path does not allocate.  [simt_factor] is the
+    issue-slot inflation for divergent execution: a warp instruction
+    occupies the whole warp's issue slots no matter how many lanes are
+    active, so a thread running code that only 1-in-N of its warp's
+    lanes executes (a SIMD main in a generic region, the team main
+    alone in its warp) is charged N lane-cycles of throughput per cycle
+    of latency.  1.0 when the warp is fully converged. *)
 
 type t = {
   block_id : int;
@@ -22,18 +50,15 @@ type t = {
   cfg : Config.t;
   counters : Counters.t;
   trace : Trace.t option;
-  mutable clock : float;
-  mutable busy : float;
-  mutable simt_factor : float;
-      (** Issue-slot inflation for divergent execution.  A warp instruction
-          occupies the whole warp's issue slots no matter how many lanes are
-          active, so a thread running code that only 1-in-N of its warp's
-          lanes executes (a SIMD main in a generic region, the team main
-          alone in its warp) is charged N lane-cycles of throughput per
-          cycle of latency.  1.0 when the warp is fully converged. *)
+  st : state;
 }
 
 val make_warp : cfg:Config.t -> warp_index:int -> warp_state
+
+val ae_bump : warp_state -> int -> int
+(** [ae_bump w line] counts an atomic to [line] in the current epoch and
+    returns how many the warp had already issued to that line since the
+    last sync point (0 for the first). *)
 
 val create :
   cfg:Config.t ->
@@ -44,6 +69,15 @@ val create :
   warp:warp_state ->
   unit ->
   t
+
+val clock : t -> float
+(** Current virtual time (latency leg). *)
+
+val busy : t -> float
+(** Issue work so far (throughput leg; excludes barrier wait). *)
+
+val simt_factor : t -> float
+(** Current divergence factor. *)
 
 val tick : t -> float -> unit
 (** Advance clock and busy time by a compute cost; the busy (throughput)

@@ -18,6 +18,10 @@ type binding =
   | B_int of int
   | B_float of float
 
+type value = V_int of int | V_float of float
+(** Runtime scalar values, shared with the staged evaluator
+    ({!Compile}) so the two engines are differentially comparable. *)
+
 type options = {
   num_teams : int;
   num_threads : int;

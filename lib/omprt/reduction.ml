@@ -29,12 +29,26 @@ let simd_reduce ctx (op : Redop.t) v =
       (float_of_int (log2i gs) *. shuffle_step_cost ctx);
     let group = Simd_group.get_simd_group g ~tid in
     let base = group * gs in
-    let acc = ref op.Redop.identity in
-    for lane = 0 to gs - 1 do
-      acc := op.Redop.combine !acc scratch.(base + lane)
-    done;
+    let acc =
+      if op == sum then begin
+        (* same left fold from the same 0.0 identity, but the float
+           accumulator stays unboxed with no closure call per lane *)
+        let acc = ref 0.0 in
+        for lane = 0 to gs - 1 do
+          acc := !acc +. scratch.(base + lane)
+        done;
+        !acc
+      end
+      else begin
+        let acc = ref op.Redop.identity in
+        for lane = 0 to gs - 1 do
+          acc := op.Redop.combine !acc scratch.(base + lane)
+        done;
+        !acc
+      end
+    in
     Team.sync_warp ctx;
-    !acc
+    acc
   end
 
 let simd_sum ctx v = simd_reduce ctx sum v

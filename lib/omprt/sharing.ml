@@ -74,11 +74,9 @@ let copy_cost ?(sharers = 1) t th location payload =
       in
       (* concurrent same-buffer copies by the group's lanes coalesce *)
       let share = float_of_int (max 1 sharers) in
-      c.Gpusim.Counters.dram_bytes <-
-        c.Gpusim.Counters.dram_bytes
-        +. (float_of_int (sectors * cfg.Gpusim.Config.line_bytes) /. share);
-      c.Gpusim.Counters.lsu_transactions <-
-        c.Gpusim.Counters.lsu_transactions +. (float_of_int sectors /. share);
+      Gpusim.Counters.add_dram c
+        (float_of_int (sectors * cfg.Gpusim.Config.line_bytes) /. share);
+      Gpusim.Counters.add_lsu c (float_of_int sectors /. share);
       Gpusim.Thread.tick th
         (float_of_int n *. cfg.Gpusim.Config.cost.Gpusim.Config.mem_issue);
       Gpusim.Thread.tick_wait th (float_of_int n *. global_access_cost th)

@@ -50,6 +50,18 @@ and t = {
   warp_barriers : (int, Gpusim.Barrier.t) Hashtbl.t;
   region_barriers : (int, Gpusim.Barrier.t) Hashtbl.t;
   lockstep_barriers : (int, Gpusim.Barrier.t) Hashtbl.t;
+  (* per-tid last-key memos over the two tables above, backed by a
+     per-warp layer: the 32 lanes of a warp share each (warp, mask)
+     barrier, so after the first lane's table lookup its siblings
+     resolve without touching the Hashtbl at all *)
+  wb_memo_key : int array;
+  wb_memo_bar : Gpusim.Barrier.t option array;
+  ls_memo_key : int array;
+  ls_memo_bar : Gpusim.Barrier.t option array;
+  wb_warp_key : int array;
+  wb_warp_bar : Gpusim.Barrier.t option array;
+  ls_warp_key : int array;
+  ls_warp_bar : Gpusim.Barrier.t option array;
   sharing : Sharing.t;
   simd_slots : simd_slot array;
   mutable parallel_signal : parallel_task option;
@@ -105,6 +117,14 @@ let create ~cfg ~arena ~params ~block_id =
     warp_barriers = Hashtbl.create 16;
     region_barriers = Hashtbl.create 4;
     lockstep_barriers = Hashtbl.create 16;
+    wb_memo_key = Array.make total min_int;
+    wb_memo_bar = Array.make total None;
+    ls_memo_key = Array.make total min_int;
+    ls_memo_bar = Array.make total None;
+    wb_warp_key = Array.make ((total + ws - 1) / ws) min_int;
+    wb_warp_bar = Array.make ((total + ws - 1) / ws) None;
+    ls_warp_key = Array.make ((total + ws - 1) / ws) min_int;
+    ls_warp_bar = Array.make ((total + ws - 1) / ws) None;
     sharing = Sharing.create ~arena ~bytes:params.sharing_bytes;
     simd_slots = Array.init num_workers (fun _ -> fresh_slot ());
     parallel_signal = None;
@@ -136,37 +156,73 @@ let slot t ~group =
   t.simd_slots.(group)
 
 let warp_barrier_for t (th : Gpusim.Thread.t) ~mask =
+  let tid = th.Gpusim.Thread.tid in
   let warp = th.Gpusim.Thread.warp.Gpusim.Thread.warp_index in
   let key = (warp * 0x1_0000_0000) lor mask in
-  match Hashtbl.find_opt t.warp_barriers key with
-  | Some b -> b
-  | None ->
+  match t.wb_memo_bar.(tid) with
+  | Some b when t.wb_memo_key.(tid) = key -> b
+  | _ ->
       let b =
-        Gpusim.Barrier.create
-          ~name:(Printf.sprintf "warp%d:%08x" warp mask)
-          ~expected:(Mask.popcount mask)
-          ~cost:t.cfg.Gpusim.Config.cost.Gpusim.Config.warp_barrier ()
+        match t.wb_warp_bar.(warp) with
+        | Some b when t.wb_warp_key.(warp) = key -> b
+        | _ ->
+            let b =
+              match Hashtbl.find_opt t.warp_barriers key with
+              | Some b -> b
+              | None ->
+                  let b =
+                    Gpusim.Barrier.create
+                      ~name:(Printf.sprintf "warp%d:%08x" warp mask)
+                      ~expected:(Mask.popcount mask)
+                      ~cost:
+                        t.cfg.Gpusim.Config.cost.Gpusim.Config.warp_barrier ()
+                  in
+                  Hashtbl.add t.warp_barriers key b;
+                  b
+            in
+            t.wb_warp_key.(warp) <- key;
+            t.wb_warp_bar.(warp) <- Some b;
+            b
       in
-      Hashtbl.add t.warp_barriers key b;
+      t.wb_memo_key.(tid) <- key;
+      t.wb_memo_bar.(tid) <- Some b;
       b
 
 let lockstep_align ctx =
   let g = geometry ctx.team in
   if Simd_group.get_simd_group_size g > 1 then begin
-    let mask = Simd_group.simdmask g ~tid:ctx.th.Gpusim.Thread.tid in
+    let t = ctx.team in
+    let tid = ctx.th.Gpusim.Thread.tid in
+    let mask = Simd_group.simdmask g ~tid in
     let warp = ctx.th.Gpusim.Thread.warp.Gpusim.Thread.warp_index in
     let key = (warp * 0x1_0000_0000) lor mask in
     let bar =
-      match Hashtbl.find_opt ctx.team.lockstep_barriers key with
-      | Some b -> b
-      | None ->
+      match t.ls_memo_bar.(tid) with
+      | Some b when t.ls_memo_key.(tid) = key -> b
+      | _ ->
           let b =
-            Gpusim.Barrier.create
-              ~name:(Printf.sprintf "lockstep%d:%08x" warp mask)
-              ~expected:(Ompsimd_util.Mask.popcount mask)
-              ~cost:0.0 ()
+            match t.ls_warp_bar.(warp) with
+            | Some b when t.ls_warp_key.(warp) = key -> b
+            | _ ->
+                let b =
+                  match Hashtbl.find_opt t.lockstep_barriers key with
+                  | Some b -> b
+                  | None ->
+                      let b =
+                        Gpusim.Barrier.create
+                          ~name:(Printf.sprintf "lockstep%d:%08x" warp mask)
+                          ~expected:(Ompsimd_util.Mask.popcount mask)
+                          ~cost:0.0 ()
+                      in
+                      Hashtbl.add t.lockstep_barriers key b;
+                      b
+                in
+                t.ls_warp_key.(warp) <- key;
+                t.ls_warp_bar.(warp) <- Some b;
+                b
           in
-          Hashtbl.add ctx.team.lockstep_barriers key b;
+          t.ls_memo_key.(tid) <- key;
+          t.ls_memo_bar.(tid) <- Some b;
           b
     in
     Gpusim.Engine.barrier_wait bar ctx.th

@@ -67,6 +67,17 @@ and t = {
   lockstep_barriers : (int, Gpusim.Barrier.t) Hashtbl.t;
       (** zero-cost alignment barriers modelling the implicit SIMT
           lockstep of a group's lanes inside a simd loop *)
+  wb_memo_key : int array;
+  wb_memo_bar : Gpusim.Barrier.t option array;
+  ls_memo_key : int array;
+  ls_memo_bar : Gpusim.Barrier.t option array;
+  wb_warp_key : int array;
+  wb_warp_bar : Gpusim.Barrier.t option array;
+  ls_warp_key : int array;
+  ls_warp_bar : Gpusim.Barrier.t option array;
+      (** per-tid last (warp, mask) → barrier memos for the two tables
+          above: a lane re-syncing on the same mask (every simd round)
+          skips the hash lookup *)
   sharing : Sharing.t;
   simd_slots : simd_slot array;  (** indexed by SIMD group *)
   mutable parallel_signal : parallel_task option;

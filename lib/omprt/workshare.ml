@@ -194,7 +194,7 @@ let simd_loop ctx ~trip f =
         if active = num then f iv
         else
           Gpusim.Thread.with_simt_factor ctx.Team.th
-            (ctx.Team.th.Gpusim.Thread.simt_factor
+            (Gpusim.Thread.simt_factor ctx.Team.th
             *. (float_of_int num /. float_of_int active))
             (fun () -> f iv)
       end;

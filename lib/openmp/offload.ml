@@ -87,4 +87,8 @@ let run ~cfg ?pool ?trace ?(clauses = Clause.none) ~bindings c =
       sharing_bytes = params.Omprt.Team.sharing_bytes;
     }
   in
-  Ompir.Eval.run ~cfg ?pool ?trace ~options ~bindings c.program
+  match Ompir.Compile.engine_of_env () with
+  | Ompir.Compile.Staged ->
+      Ompir.Compile.run ~cfg ?pool ?trace ~options ~bindings c.program
+  | Ompir.Compile.Walk ->
+      Ompir.Eval.run ~cfg ?pool ?trace ~options ~bindings c.program

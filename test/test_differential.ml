@@ -120,7 +120,23 @@ type case = {
   simd_len : int;
   parallel_mode : [ `Auto | `Force of Mode.t ];
   guardize : bool;
+  sched : Ir.schedule;
 }
+
+let gen_sched st =
+  List.nth
+    [
+      Ir.Sched_static;
+      Ir.Sched_chunked 2;
+      Ir.Sched_dynamic 1;
+      Ir.Sched_dynamic 3;
+    ]
+    (Gen.int_range 0 3 st)
+
+let sched_to_string = function
+  | Ir.Sched_static -> "static"
+  | Ir.Sched_chunked n -> Printf.sprintf "chunked(%d)" n
+  | Ir.Sched_dynamic n -> Printf.sprintf "dynamic(%d)" n
 
 let gen_case st =
   let width = List.nth [ 4; 8; 16; 32 ] (Gen.int_range 0 3 st) in
@@ -185,9 +201,10 @@ let gen_case st =
       ]
     else []
   in
+  let sched = gen_sched st in
   let body =
     [
-      Ir.distribute_parallel_for ~var:"r" ~lo:(Ir.Int_lit 0)
+      Ir.distribute_parallel_for ~sched ~var:"r" ~lo:(Ir.Int_lit 0)
         ~hi:(Ir.Var "rows")
         ((row_decl :: (seq_loop @ seq_store)) @ [ simd_loop ] @ reduction);
     ]
@@ -219,6 +236,7 @@ let gen_case st =
       List.nth [ `Auto; `Force Mode.Spmd; `Force Mode.Generic ]
         (Gen.int_range 0 2 st);
     guardize = Gen.bool st;
+    sched;
   }
 
 (* Forcing SPMD on a kernel with a sequential store would be a genuine
@@ -301,7 +319,7 @@ let case_arbitrary =
   QCheck.make
     ~print:(fun case ->
       Printf.sprintf
-        "rows=%d width=%d teams=%d threads=%d tmode=%s simdlen=%d mode=%s guardize=%b\n%s"
+        "rows=%d width=%d teams=%d threads=%d tmode=%s simdlen=%d mode=%s guardize=%b sched=%s\n%s"
         case.rows case.width case.teams case.threads
         (Mode.to_string case.teams_mode) case.simd_len
         (match case.parallel_mode with
@@ -309,13 +327,215 @@ let case_arbitrary =
         | `Force Mode.Spmd -> "spmd"
         | `Force Mode.Generic -> "generic")
         case.guardize
+        (sched_to_string case.sched)
         (Ompir.Printer.kernel_to_string case.kernel))
     gen_case
 
+(* --- staged evaluator vs tree walker ---------------------------------- *)
+
+(* The two engines must be bit-identical, not merely close: same output
+   bits, same merged counters (Counters.equal is bit-exact, extras
+   included), same simulated time — sequentially and on a domain pool. *)
+
+let options_of case =
+  {
+    Eval.num_teams = case.teams;
+    num_threads = case.threads;
+    teams_mode = case.teams_mode;
+    parallel_mode = case.parallel_mode;
+    simd_len = case.simd_len;
+    sharing_bytes = 2048;
+  }
+
+let engines_agree ~name ?pool ?(atomic_arrays = []) ~options ~bindings_of
+    ~out_arrays ~kernel program =
+  let _, walk_b = bindings_of () in
+  let rw = Eval.run ~cfg ?pool ~options ~bindings:walk_b program in
+  let _, staged_b = bindings_of () in
+  let rs = Ompir.Compile.run ~cfg ?pool ~options ~bindings:staged_b program in
+  List.iter
+    (fun arr ->
+      if array_of walk_b arr <> array_of staged_b arr then
+        Test.fail_reportf "%s: engines disagree on %s[]" name arr)
+    out_arrays;
+  (* pooled domains apply atomic float adds in a racy order, so even two
+     walker runs differ in the last ulp there — compare with a tolerance
+     under a pool, exactly otherwise *)
+  List.iter
+    (fun arr ->
+      let ok =
+        match pool with
+        | None -> array_of walk_b arr = array_of staged_b arr
+        | Some _ -> close (array_of walk_b arr) (array_of staged_b arr)
+      in
+      if not ok then
+        Test.fail_reportf "%s: engines disagree on atomic %s[]" name arr)
+    atomic_arrays;
+  if rw.Gpusim.Device.time_cycles <> rs.Gpusim.Device.time_cycles then
+    Test.fail_reportf "%s: simulated time differs (walk %.3f, staged %.3f)"
+      name rw.Gpusim.Device.time_cycles rs.Gpusim.Device.time_cycles;
+  if
+    not
+      (Gpusim.Counters.equal rw.Gpusim.Device.counters
+         rs.Gpusim.Device.counters)
+  then Test.fail_reportf "%s: counters differ between engines" name;
+  (* staged engine against the sequential host reference *)
+  let _, host_b = bindings_of () in
+  Hosteval.run ~bindings:host_b kernel;
+  List.for_all
+    (fun arr -> close (array_of host_b arr) (array_of staged_b arr))
+    (out_arrays @ atomic_arrays)
+
+let run_engine_differential ?pool case =
+  if not (sound case) then true
+  else begin
+    let kernel =
+      if case.guardize then fst (Ompir.Spmdize.guardize case.kernel)
+      else case.kernel
+    in
+    let program = Outline.run kernel in
+    engines_agree ~name:"random kernel" ?pool ~options:(options_of case)
+      ~bindings_of:(fun () -> make_bindings case)
+      ~out_arrays:[ "out"; "marks"; "red" ]
+      ~atomic_arrays:[ "acc_arr" ] ~kernel:case.kernel program
+  end
+
+(* --- collapse(2) ------------------------------------------------------- *)
+
+(* A collapsed distribute-parallel-for: the flat loop plus the div/mod
+   index-recovery decls the desugaring inserts — resolved to slots by the
+   staged engine. *)
+type collapse_case = {
+  crows : int;
+  cinner : int;
+  cwidth : int;
+  cteams : int;
+  cthreads : int;
+  csimd_len : int;
+  csched : Ir.schedule;
+}
+
+let gen_collapse_case st =
+  {
+    crows = Gen.int_range 1 12 st;
+    cinner = Gen.int_range 2 4 st;
+    cwidth = List.nth [ 4; 8; 16 ] (Gen.int_range 0 2 st);
+    cteams = Gen.int_range 1 3 st;
+    cthreads = List.nth [ 32; 64 ] (Gen.int_range 0 1 st);
+    csimd_len = List.nth [ 1; 4; 8 ] (Gen.int_range 0 2 st);
+    csched = gen_sched st;
+  }
+
+let collapse_kernel cc =
+  let open Ir in
+  let flat = Binop (Add, Binop (Mul, Var "r", Int_lit cc.cinner), Var "c") in
+  let body =
+    [
+      Decl { name = "f"; ty = Tint; init = flat };
+      Decl
+        {
+          name = "base";
+          ty = Tfloat;
+          init = Load ("src", Binop (Mod, Var "f", Var "n"));
+        };
+      simd ~var:"j" ~lo:(Int_lit 0) ~hi:(Int_lit cc.cwidth)
+        [
+          Store
+            ( "out",
+              Binop (Add, Binop (Mul, Var "f", Int_lit cc.cwidth), Var "j"),
+              Binop
+                ( Add,
+                  Var "base",
+                  Load
+                    ( "src",
+                      Binop (Mod, Binop (Add, Var "f", Var "j"), Var "n") ) )
+            );
+        ];
+      Decl { name = "total"; ty = Tfloat; init = Float_lit 0.0 };
+      simd_sum ~acc:"total" ~var:"k" ~lo:(Int_lit 0) ~hi:(Int_lit cc.cwidth)
+        ~value:
+          (Load ("src", Binop (Mod, Binop (Add, Var "f", Var "k"), Var "n")))
+        [];
+      Store ("red", Var "f", Var "total");
+    ]
+  in
+  kernel ~name:"collapse"
+    ~params:
+      [
+        { pname = "src"; pty = P_farray };
+        { pname = "out"; pty = P_farray };
+        { pname = "red"; pty = P_farray };
+        { pname = "rows"; pty = P_int };
+        { pname = "n"; pty = P_int };
+      ]
+    [
+      collapsed_distribute_parallel_for ~sched:cc.csched
+        ~vars:[ ("r", Var "rows"); ("c", Int_lit cc.cinner) ]
+        body;
+    ]
+
+let collapse_bindings cc =
+  let space = Memory.space () in
+  let flat = cc.crows * cc.cinner in
+  let n = flat * cc.cwidth in
+  let g = Ompsimd_util.Prng.create ~seed:(cc.crows + (cc.cinner * 977)) in
+  ( space,
+    [
+      ( "src",
+        Eval.B_farr
+          (Memory.of_float_array space
+             (Array.init n (fun _ -> Ompsimd_util.Prng.float g 2.0 -. 1.0)))
+      );
+      ("out", Eval.B_farr (Memory.falloc space n));
+      ("red", Eval.B_farr (Memory.falloc space flat));
+      ("rows", Eval.B_int cc.crows);
+      ("n", Eval.B_int n);
+    ] )
+
+let run_collapse_differential cc =
+  let kernel = collapse_kernel cc in
+  (match Check.kernel kernel with
+  | Ok () -> ()
+  | Error es ->
+      Test.fail_reportf "collapse kernel ill-formed: %s"
+        (String.concat "; "
+           (List.map (fun (e : Check.error) -> e.Check.what) es)));
+  let program = Outline.run kernel in
+  let options =
+    {
+      Eval.num_teams = cc.cteams;
+      num_threads = cc.cthreads;
+      teams_mode = Mode.Spmd;
+      parallel_mode = `Auto;
+      simd_len = cc.csimd_len;
+      sharing_bytes = 2048;
+    }
+  in
+  engines_agree ~name:"collapse kernel" ~options
+    ~bindings_of:(fun () -> collapse_bindings cc)
+    ~out_arrays:[ "out"; "red" ] ~kernel program
+
+let collapse_arbitrary =
+  QCheck.make
+    ~print:(fun cc ->
+      Printf.sprintf "rows=%d inner=%d width=%d teams=%d threads=%d simdlen=%d sched=%s"
+        cc.crows cc.cinner cc.cwidth cc.cteams cc.cthreads cc.csimd_len
+        (sched_to_string cc.csched))
+    gen_collapse_case
+
 let qcheck_cases =
+  let pool = Gpusim.Pool.create ~domains:3 () in
   [
     Test.make ~name:"random kernels: device matches host reference" ~count:120
       case_arbitrary run_differential;
+    Test.make ~name:"random kernels: staged engine == tree walker" ~count:120
+      case_arbitrary
+      (fun case -> run_engine_differential case);
+    Test.make ~name:"random kernels: engines agree on a domain pool" ~count:40
+      case_arbitrary
+      (fun case -> run_engine_differential ~pool case);
+    Test.make ~name:"collapse(2): staged engine == tree walker == host"
+      ~count:60 collapse_arbitrary run_collapse_differential;
   ]
 
 let suite =

@@ -145,7 +145,7 @@ let test_engine_barrier_aligns_clocks () =
     (run_block ~threads:4 (fun th ->
          Thread.tick th (float_of_int (th.Thread.tid * 100));
          Engine.barrier_wait bar th;
-         finals.(th.Thread.tid) <- th.Thread.clock));
+         finals.(th.Thread.tid) <- Thread.clock th));
   Array.iter (fun c -> checkf "aligned" 310.0 c) finals
 
 let test_engine_barrier_reusable () =
@@ -200,7 +200,7 @@ let test_engine_busy_excludes_wait () =
     (run_block ~threads:2 (fun th ->
          if th.Thread.tid = 1 then Thread.tick th 1000.0;
          Engine.barrier_wait bar th;
-         busy.(th.Thread.tid) <- th.Thread.busy));
+         busy.(th.Thread.tid) <- Thread.busy th));
   check_bool "fast thread not busy while waiting" true (busy.(0) < 10.0);
   check_bool "slow thread busy" true (busy.(1) >= 1000.0)
 
@@ -272,7 +272,7 @@ let test_memory_warp_lanes_share_lines () =
   in
   check_int "eight sectors" 8 r.Engine.counters.Counters.line_misses;
   check_int "rest coalesced" 24 r.Engine.counters.Counters.line_hits;
-  checkf "transactions = misses" 8.0 r.Engine.counters.Counters.lsu_transactions
+  checkf "transactions = misses" 8.0 (Counters.lsu_transactions r.Engine.counters)
 
 let test_memory_dram_bytes_accounting () =
   let sp = Memory.space () in
@@ -282,7 +282,7 @@ let test_memory_dram_bytes_accounting () =
   in
   checkf "one line of traffic"
     (float_of_int cfg.Config.line_bytes)
-    r.Engine.counters.Counters.dram_bytes
+    (Counters.dram_bytes r.Engine.counters)
 
 let test_memory_atomic_add () =
   let sp = Memory.space () in
@@ -651,6 +651,33 @@ let test_determinism_irregular_grid () =
   check_reports_identical "no pool vs domains=0" seq r0;
   check_reports_identical "no pool vs domains=4" seq r4
 
+(* The coalescing-key memo in Memory.line_of is exact: with the LRU
+   disabled every counter, cost and the simulated time must come out
+   bit-identical on a workload mixing strided and coalesced traffic. *)
+let test_line_memo_equivalence () =
+  let t =
+    Workloads.Spmv.generate
+      {
+        Workloads.Spmv.rows = 60;
+        cols = 60;
+        profile = Workloads.Spmv.Banded { mean = 7; spread = 5 };
+        band = 12;
+        seed = 9;
+      }
+  in
+  let mode3 = Workloads.Harness.spmd_simd ~group_size:4 in
+  let run () =
+    (Workloads.Spmv.run_simd ~cfg ~num_teams:5 ~threads:32 ~mode3 t)
+      .Workloads.Harness.report
+  in
+  check_bool "memo on by default" true !Memory.line_memo_enabled;
+  let with_memo = run () in
+  Memory.line_memo_enabled := false;
+  let without_memo =
+    Fun.protect ~finally:(fun () -> Memory.line_memo_enabled := true) run
+  in
+  check_reports_identical "line memo on vs off" with_memo without_memo
+
 let test_pool_trace_stays_sequential () =
   (* A trace forces the sequential path even when a pool is supplied: the
      full grid is simulated and every event lands in the one log. *)
@@ -680,7 +707,7 @@ let qcheck_cases =
           (Engine.run_block ~cfg ~block_id:0 ~num_threads:8 (fun th ->
                Thread.tick th ticks.(th.Thread.tid);
                Engine.barrier_wait bar th;
-               finals.(th.Thread.tid) <- th.Thread.clock));
+               finals.(th.Thread.tid) <- Thread.clock th));
         let expected = Array.fold_left Float.max 0.0 ticks +. 5.0 in
         Array.for_all (fun c -> abs_float (c -. expected) < 1e-6) finals);
     Test.make ~name:"linebuf hit implies prior touch" ~count:200
@@ -789,6 +816,8 @@ let suite =
         Alcotest.test_case "parallel_init" `Quick test_pool_parallel_init;
         Alcotest.test_case "uniform grid determinism" `Quick
           test_determinism_uniform_grid;
+        Alcotest.test_case "line memo on/off identical" `Quick
+          test_line_memo_equivalence;
         Alcotest.test_case "irregular grid determinism" `Quick
           test_determinism_irregular_grid;
         Alcotest.test_case "trace stays sequential" `Quick

@@ -113,7 +113,7 @@ let test_remainder_waste_grows_busy () =
                   Omprt.Simd.simd ctx ~trip:9 (fun ctx _ _ ->
                       Team.charge_flops ctx 50))))
     in
-    r.Device.counters.Gpusim.Counters.lane_busy_cycles
+    Gpusim.Counters.busy_cycles r.Device.counters
   in
   (* normalize per useful iteration: (32/gs) rows x 9 iterations each *)
   let per_iter gs = busy gs /. float_of_int (32 / gs * 9) in
@@ -152,7 +152,7 @@ let test_dispatch_depth_costs () =
       (Gpusim.Engine.run_block ~cfg ~block_id:0 ~num_threads:1 (fun th ->
            let ctx = { Team.th; team } in
            Team.invoke_microtask ctx ~fn_id (fun () -> ());
-           clock := th.Thread.clock));
+           clock := Thread.clock th));
     !clock
   in
   check_bool "entry 15 > entry 0" true (cost 15 > cost 0);

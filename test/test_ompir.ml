@@ -1006,6 +1006,116 @@ let test_run_verified () =
   | Ok _ -> ()
   | Error (name, _) -> Alcotest.failf "pipeline broke at %s" name
 
+(* Random kernels from the printable subset, for the printer ↔ parser
+   round-trip property.  Purely syntactic — the kernels are never run —
+   but literals stay quarter-valued and non-negative so their decimal
+   rendering re-reads to the same bits, and array loads/stores use the
+   declared parameter arrays so the parser can re-type them. *)
+let roundtrip_arbitrary =
+  let open QCheck in
+  let int_leaf st =
+    List.nth
+      [ Ir.Int_lit (Gen.int_range 0 9 st); Ir.Var "n"; Ir.Var "i"; Ir.Var "j" ]
+      (Gen.int_range 0 3 st)
+  in
+  let rec gen_iexpr depth st =
+    if depth = 0 then int_leaf st
+    else
+      match Gen.int_range 0 4 st with
+      | 0 -> int_leaf st
+      | 1 -> Ir.Binop (Ir.Add, gen_iexpr (depth - 1) st, gen_iexpr (depth - 1) st)
+      | 2 -> Ir.Binop (Ir.Mul, gen_iexpr (depth - 1) st, gen_iexpr (depth - 1) st)
+      | 3 -> Ir.Binop (Ir.Mod, gen_iexpr (depth - 1) st, Ir.Var "n")
+      | _ -> Ir.Binop (Ir.Min, gen_iexpr (depth - 1) st, gen_iexpr (depth - 1) st)
+  in
+  let float_leaf st =
+    match Gen.int_range 0 2 st with
+    | 0 -> Ir.Float_lit (float_of_int (Gen.int_range 0 12 st) /. 4.0)
+    | 1 -> Ir.Var "x"
+    | _ -> Ir.Load ("src", Ir.Binop (Ir.Mod, Ir.Var "i", Ir.Var "n"))
+  in
+  let rec gen_fexpr depth st =
+    if depth = 0 then float_leaf st
+    else
+      match Gen.int_range 0 5 st with
+      | 0 -> float_leaf st
+      | 1 -> Ir.Binop (Ir.Add, gen_fexpr (depth - 1) st, gen_fexpr (depth - 1) st)
+      | 2 -> Ir.Binop (Ir.Mul, gen_fexpr (depth - 1) st, gen_fexpr (depth - 1) st)
+      | 3 -> Ir.Unop (Ir.Abs, gen_fexpr (depth - 1) st)
+      | 4 -> Ir.Unop (Ir.Sqrt, gen_fexpr (depth - 1) st)
+      | _ -> Ir.Binop (Ir.Max, gen_fexpr (depth - 1) st, gen_fexpr (depth - 1) st)
+  in
+  let gen_cond st =
+    Ir.Binop
+      ( List.nth [ Ir.Lt; Ir.Le; Ir.Eq; Ir.Ne ] (Gen.int_range 0 3 st),
+        gen_iexpr 1 st,
+        gen_iexpr 1 st )
+  in
+  let gen_sched st =
+    List.nth
+      [ Ir.Sched_static; Ir.Sched_chunked 4; Ir.Sched_dynamic 2 ]
+      (Gen.int_range 0 2 st)
+  in
+  let rec gen_stmt depth st =
+    match Gen.int_range 0 (if depth = 0 then 4 else 9) st with
+    | 0 ->
+        Ir.Decl
+          {
+            name = Printf.sprintf "d%d" (Gen.int_range 0 3 st);
+            ty = Ir.Tfloat;
+            init = gen_fexpr 2 st;
+          }
+    | 1 -> Ir.Store ("out", gen_iexpr 2 st, gen_fexpr 2 st)
+    | 2 -> Ir.Atomic_add ("out", gen_iexpr 1 st, gen_fexpr 1 st)
+    | 3 -> Ir.Assign ("t", gen_fexpr 2 st)
+    | 4 -> Ir.Sync
+    | 5 ->
+        Ir.If
+          ( gen_cond st,
+            gen_block (depth - 1) st,
+            if Gen.bool st then gen_block (depth - 1) st else [] )
+    | 6 ->
+        Ir.For
+          {
+            var = "w";
+            lo = Ir.Int_lit 0;
+            hi = gen_iexpr 1 st;
+            body = gen_block (depth - 1) st;
+          }
+    | 7 ->
+        Ir.simd ~var:"j" ~lo:(Ir.Int_lit 0) ~hi:(Ir.Var "n")
+          (gen_block (depth - 1) st)
+    | 8 ->
+        Ir.simd_sum ~acc:"t" ~var:"j" ~lo:(Ir.Int_lit 0) ~hi:(Ir.Var "n")
+          ~value:(gen_fexpr 1 st)
+          (gen_block (depth - 1) st)
+    | _ -> Ir.Guarded (gen_block (depth - 1) st)
+  and gen_block depth st =
+    let k = Gen.int_range 1 3 st in
+    List.init k (fun _ -> gen_stmt depth st)
+  in
+  let gen_kernel st =
+    let body =
+      [
+        Ir.Decl { name = "t"; ty = Ir.Tfloat; init = Ir.Float_lit 0.0 };
+        Ir.distribute_parallel_for ~sched:(gen_sched st) ~var:"i"
+          ~lo:(Ir.Int_lit 0) ~hi:(Ir.Var "n") (gen_block 2 st);
+      ]
+    in
+    Ir.kernel ~name:"roundtrip"
+      ~params:
+        [
+          { Ir.pname = "src"; pty = Ir.P_farray };
+          { Ir.pname = "out"; pty = Ir.P_farray };
+          { Ir.pname = "n"; pty = Ir.P_int };
+          { Ir.pname = "x"; pty = Ir.P_float };
+        ]
+      body
+  in
+  QCheck.make
+    ~print:(fun k -> Ompir.Printer.kernel_to_string k)
+    gen_kernel
+
 let qcheck_cases =
   let open QCheck in
   (* random well-typed float expression over a small environment; Div/Mod
@@ -1079,6 +1189,8 @@ let qcheck_cases =
         let simd_len = List.nth [ 1; 2; 8; 16; 32 ] gs_idx in
         let got, expected = run_spmv_ir ~parallel_mode:`Auto ~simd_len rows in
         Array.for_all2 (fun a b -> abs_float (a -. b) < 1e-9) got expected);
+    Test.make ~name:"printer/parser round-trip" ~count:200 roundtrip_arbitrary
+      (fun k -> Ompir.Parse.kernel (Ompir.Printer.kernel_to_string k) = k);
   ]
 
 let suite =

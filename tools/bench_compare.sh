@@ -1,0 +1,89 @@
+#!/bin/sh
+# Compare a fresh bench run against the committed baseline, or record a
+# new one.
+#
+#   tools/bench_compare.sh            diff a fresh sequential run
+#                                     (OMPSIMD_DOMAINS=0, dedup off)
+#                                     against the matching entry in
+#                                     BENCH_gpusim.json; exit 1 if any
+#                                     row regressed by more than 25%
+#   tools/bench_compare.sh --record   regenerate BENCH_gpusim.json: the
+#                                     sequential baseline entry plus a
+#                                     pooled entry (OMPSIMD_DOMAINS=3,
+#                                     dedup on)
+#
+# The Bechamel stage always runs at its fixed reduced scale — that is
+# what the baseline records; OMPSIMD_BENCH_SCALE here only shrinks the
+# scientific-output pass that precedes it, which is not measured.
+# Machine noise on single Bechamel estimates is routinely ±10%, so the
+# 25% gate flags structural regressions, not jitter.
+set -eu
+
+cd "$(dirname "$0")/.."
+baseline=BENCH_gpusim.json
+threshold=1.25
+
+dune build bench/main.exe
+
+run_bench() {
+  # run_bench <domains> <dedup 0|1> <json-out>
+  OMPSIMD_DOMAINS="$1" \
+  OMPSIMD_BENCH_DEDUP="$2" \
+  OMPSIMD_BENCH_SCALE="${OMPSIMD_BENCH_SCALE:-0.05}" \
+  OMPSIMD_BENCH_QUOTA="${OMPSIMD_BENCH_QUOTA:-1.0}" \
+  OMPSIMD_BENCH_JSON="$3" \
+    dune exec bench/main.exe
+}
+
+if [ "${1:-}" = "--record" ]; then
+  out="$(mktemp -d)"
+  trap 'rm -rf "$out"' EXIT
+  echo "== recording sequential baseline (domains=0, dedup off) =="
+  run_bench 0 0 "$out/seq.json"
+  echo "== recording pooled entry (domains=3, dedup on) =="
+  run_bench 3 1 "$out/pool.json"
+  python3 - "$out/seq.json" "$out/pool.json" "$baseline" <<'EOF'
+import json, sys
+seq, pool, dst = sys.argv[1:4]
+entries = [json.load(open(seq)), json.load(open(pool))]
+with open(dst, "w") as f:
+    json.dump({"entries": entries}, f, indent=2)
+    f.write("\n")
+print("wrote", dst)
+EOF
+  exit 0
+fi
+
+fresh="$(mktemp)"
+trap 'rm -f "$fresh"' EXIT
+echo "== fresh sequential run (domains=0, dedup off) =="
+run_bench 0 0 "$fresh"
+
+python3 - "$baseline" "$fresh" "$threshold" <<'EOF'
+import json, sys
+baseline_path, fresh_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+committed = json.load(open(baseline_path))
+fresh = json.load(open(fresh_path))
+base = next(
+    (e for e in committed.get("entries", [committed])
+     if e.get("domains") == fresh["domains"] and e.get("dedup") == fresh["dedup"]),
+    None,
+)
+if base is None:
+    sys.exit(f"no committed entry matches domains={fresh['domains']} dedup={fresh['dedup']}")
+failed = []
+print(f"{'row':<30} {'committed':>10} {'fresh':>10}  ratio")
+for name, old in base["ms_per_run"].items():
+    new = fresh["ms_per_run"].get(name)
+    if old is None or new is None:
+        print(f"{name:<30} {'?':>10} {'?':>10}  (missing estimate)")
+        continue
+    ratio = new / old
+    flag = "  <-- REGRESSION" if ratio > threshold else ""
+    print(f"{name:<30} {old:>10.1f} {new:>10.1f}  {ratio:4.2f}x{flag}")
+    if ratio > threshold:
+        failed.append(name)
+if failed:
+    sys.exit(f"FAIL: {len(failed)} row(s) regressed beyond {threshold:.2f}x: " + ", ".join(failed))
+print("bench compare OK: no row regressed beyond %.2fx" % threshold)
+EOF
