@@ -82,7 +82,10 @@ let run_block ~cfg ?trace ~block_id ~num_threads body =
   in
   (* keyed by unique barrier id: two live barriers may share a display
      name (e.g. per-warp barriers created in a loop), and colliding on the
-     name used to drop one of them from the deadlock report *)
+     name used to drop one of them from the deadlock report.  Entries stay
+     registered after release (the live_mark is never cleared), so the
+     deadlock formatter below must skip barriers with zero parked waiters
+     to report only the actually-stuck ones. *)
   let s = { cur = []; front = []; back = []; live = Hashtbl.create 8 } in
   let slot = Domain.DLS.get sched_slot in
   let saved_slot = !slot in

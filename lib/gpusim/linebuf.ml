@@ -3,9 +3,10 @@
    size, vtimes in an unboxed floatarray).  The former
    [(int, stamp) Hashtbl.t] of mixed int/float records paid a bucket
    walk plus a boxed-float write per touch — the single hottest
-   allocation site of the simulator.  Line numbers are dense (arrays
-   are line-aligned and walked with small strides), so the identity
-   hash [line land mask] probes are near-collision-free. *)
+   allocation site of the simulator.  Slots are probed via a Fibonacci
+   multiplicative hash (see [hash] below): line numbers come in
+   contiguous per-array runs, which the multiply scatters across the
+   table instead of letting them clump into long probe clusters. *)
 
 type tbl = {
   mutable keys : int array;  (* line + 1; 0 = empty *)

@@ -83,7 +83,11 @@ let decl_count stmts =
 type statics = {
   farrays : (string, Memory.farray) Hashtbl.t;
   iarrays : (string, Memory.iarray) Hashtbl.t;
-  guard_broadcasts : (int * int, (string * value) list) Hashtbl.t;
+  guard_broadcasts : (int, (string * value) list) Hashtbl.t array;
+      (* indexed by block_id, group -> values a guarded block's SIMD main
+         published.  One table per block: a block simulates entirely on a
+         single domain (Device.simulate_block), so per-block tables keep
+         concurrent blocks from mutating a shared Hashtbl across domains. *)
 }
 
 let farray statics name =
@@ -578,7 +582,7 @@ and compile_stmt statics outlined options ~guard_extra senv (s : Ir.stmt) :
           else begin
             let tid = ctx.Team.th.Gpusim.Thread.tid in
             let group = Omprt.Simd_group.get_simd_group g ~tid in
-            let key = (team.Team.block_id, group) in
+            let bcasts = statics.guard_broadcasts.(team.Team.block_id) in
             let smem_cost entries =
               List.iter
                 (fun _ -> Gpusim.Shared.touch ctx.Team.th ~bytes:8)
@@ -591,7 +595,7 @@ and compile_stmt statics outlined options ~guard_extra senv (s : Ir.stmt) :
                 List.map (fun (n, slot) -> (n, !(frame.(slot)))) entry_slots
               in
               smem_cost entries;
-              Hashtbl.replace statics.guard_broadcasts key entries;
+              Hashtbl.replace bcasts group entries;
               Gpusim.Counters.bump ctx.Team.th.Gpusim.Thread.counters
                 "guard.blocks" 1.0;
               Team.sync_warp ctx;
@@ -603,8 +607,7 @@ and compile_stmt statics outlined options ~guard_extra senv (s : Ir.stmt) :
             else begin
               Team.sync_warp ctx;
               let entries =
-                try Hashtbl.find statics.guard_broadcasts key
-                with Not_found -> []
+                try Hashtbl.find bcasts group with Not_found -> []
               in
               smem_cost entries;
               Team.sync_warp ctx;
@@ -632,7 +635,8 @@ let run ~cfg ?pool ?trace ~(options : options) ~bindings (p : Outline.program)
     {
       farrays = Hashtbl.create 8;
       iarrays = Hashtbl.create 8;
-      guard_broadcasts = Hashtbl.create 32;
+      guard_broadcasts =
+        Array.init (max 0 options.Eval.num_teams) (fun _ -> Hashtbl.create 8);
     }
   in
   let root = ref [] in
