@@ -31,7 +31,11 @@ let with_device name f =
   | Error msg ->
       prerr_endline msg;
       exit 2
-  | Ok cfg -> f cfg
+  | Ok cfg ->
+      (* Workload subcommands launch on the device directly, without
+         going through Offload.run — honor OMPSIMD_SANITIZE here too. *)
+      Gpusim.Ompsan.refresh_from_env ();
+      f cfg
 
 (* Block simulation fans out over OMPSIMD_DOMAINS host domains; reports
    are bit-identical to the sequential path (see DESIGN.md). *)
@@ -253,13 +257,19 @@ let compile_cmd =
     let doc = "Skip constant folding." in
     Arg.(value & flag & info [ "no-fold" ] ~doc)
   in
-  let run file guardize no_fold =
+  let racecheck_term =
+    let doc = "Run the static ompsan may-race pass; findings print as remarks." in
+    Arg.(value & flag & info [ "racecheck" ] ~doc)
+  in
+  let run file guardize no_fold racecheck =
     match Ompir.Parse.kernel_of_file file with
     | exception Ompir.Parse.Syntax_error { line; message } ->
         Printf.eprintf "%s:%d: syntax error: %s\n" file line message;
         exit 1
     | kernel -> (
-        match Openmp.Offload.compile ~guardize ~fold:(not no_fold) kernel with
+        match
+          Openmp.Offload.compile ~guardize ~fold:(not no_fold) ~racecheck kernel
+        with
         | Error es ->
             List.iter
               (fun e -> Format.eprintf "%s: error: %a@." file Ompir.Check.pp_error e)
@@ -277,7 +287,7 @@ let compile_cmd =
   Cmd.v
     (Cmd.info "compile"
        ~doc:"Parse, check and lower a kernel source file; print remarks")
-    Term.(const run $ file_arg $ guardize_term $ no_fold_term)
+    Term.(const run $ file_arg $ guardize_term $ no_fold_term $ racecheck_term)
 
 let info_cmd =
   let run device =

@@ -6,13 +6,19 @@ type report = {
   breakdown : Occupancy.breakdown;
   counters : Counters.t;
   block_costs : Occupancy.block_cost array;
+  sanitizer : Ompsan.report option;
 }
 
 (* One block's simulation, bracketed in a memory session so its L2
    traffic is order-independent (see Memory).  Runs on whichever domain
-   the pool hands the index to; everything it touches is block-local. *)
+   the pool hands the index to; everything it touches is block-local.
+   The sanitizer's shadow state shares the bracket; on the exception
+   path its findings are stashed for [Ompsan.take_aborted] (a divergent
+   kernel deadlocks before the epilogue runs). *)
 let simulate_block ~cfg ?trace ~block ~init ~body block_id =
   Memory.session_begin ();
+  Ompsan.block_begin ~block_id ~num_threads:block
+    ~warp_size:cfg.Config.warp_size;
   match
     let arena = Shared.arena cfg in
     let state = init ~block_id arena in
@@ -24,9 +30,12 @@ let simulate_block ~cfg ?trace ~block ~init ~body block_id =
      result.Engine.counters)
   with
   | exception e ->
+      Ompsan.block_abort ();
       ignore (Memory.session_end ());
       raise e
-  | cost, counters -> (cost, counters, Memory.session_end ())
+  | cost, counters ->
+      let san = Ompsan.block_end () in
+      (cost, counters, Memory.session_end (), san)
 
 let launch ~cfg ?pool ?trace ?block_class ~grid ~block ~init ~body () =
   if grid <= 0 then invalid_arg "Device.launch: grid must be positive";
@@ -68,16 +77,30 @@ let launch ~cfg ?pool ?trace ?block_class ~grid ~block ~init ~body () =
      of the determinism contract).  A class's counters are merged once
      per member block, which keeps the merged report bit-identical to a
      full simulation of a truly homogeneous grid. *)
-  Array.iter (fun (_, _, session) -> Memory.session_commit session) results;
+  Array.iter (fun (_, _, session, _) -> Memory.session_commit session) results;
   let merged = Counters.create () in
   for b = 0 to grid - 1 do
-    let _, counters, _ = results.(rep_of.(b)) in
+    let _, counters, _, _ = results.(rep_of.(b)) in
     Counters.merge_into ~dst:merged counters
   done;
   let block_costs =
     Array.init grid (fun b ->
-        let cost, _, _ = results.(rep_of.(b)) in
+        let cost, _, _, _ = results.(rep_of.(b)) in
         cost)
+  in
+  (* Sanitizer composition follows the same determinism recipe as the
+     counters: per-block findings in ascending block_id, then the
+     cross-block pass over per-cell summaries (per class member, so a
+     deduplicated homogeneous grid still self-detects fixed-cell
+     writes). *)
+  let sanitizer =
+    if not !Ompsan.enabled then None
+    else
+      Some
+        (Ompsan.launch_report
+           (Array.init grid (fun b ->
+                let _, _, _, san = results.(rep_of.(b)) in
+                san)))
   in
   let breakdown = Occupancy.kernel_time cfg block_costs in
   {
@@ -88,13 +111,23 @@ let launch ~cfg ?pool ?trace ?block_class ~grid ~block ~init ~body () =
     breakdown;
     counters = merged;
     block_costs;
+    sanitizer;
   }
 
 let pp_report ppf r =
   let b = r.breakdown in
   Format.fprintf ppf
     "@[<v>kernel on %s: grid=%d block=%d time=%.0f cycles@ bounds: \
-     compute=%.0f memory=%.0f lsu=%.0f latency=%.0f resident=%d waves=%d@ %a@]"
+     compute=%.0f memory=%.0f lsu=%.0f latency=%.0f resident=%d waves=%d@ %a"
     r.cfg.Config.name r.grid r.block r.time_cycles b.Occupancy.compute_bound
     b.Occupancy.memory_bound b.Occupancy.lsu_bound b.Occupancy.latency_bound
-    b.Occupancy.resident_blocks b.Occupancy.num_waves Counters.pp r.counters
+    b.Occupancy.resident_blocks b.Occupancy.num_waves Counters.pp r.counters;
+  (match r.sanitizer with
+  | None -> ()
+  | Some san when Ompsan.is_clean san ->
+      Format.fprintf ppf "@ sanitizer: clean"
+  | Some san ->
+      List.iter
+        (fun line -> Format.fprintf ppf "@ sanitizer: %s" line)
+        (Ompsan.report_strings san));
+  Format.fprintf ppf "@]"

@@ -21,6 +21,11 @@ type report = {
   breakdown : Occupancy.breakdown;
   counters : Counters.t;  (** merged over all blocks, ascending block_id *)
   block_costs : Occupancy.block_cost array;
+  sanitizer : Ompsan.report option;
+      (** [Some] iff the sanitizer was enabled for this launch: findings
+          merged in ascending block_id plus cross-block conflicts.  Always
+          [None] when disabled — the report stays bit-identical to a build
+          without the sanitizer. *)
 }
 
 val launch :

@@ -137,8 +137,8 @@ let run_block ~cfg ?trace ~block_id ~num_threads body =
       (fun _ bar ->
         if Barrier.waiting bar > 0 then
           Buffer.add_string buf
-            (Printf.sprintf " [%s %d/%d]" (Barrier.name bar)
-               (Barrier.waiting bar) (Barrier.expected bar)))
+            (Printf.sprintf " [%s#%d %d/%d]" (Barrier.name bar)
+               (Barrier.id bar) (Barrier.waiting bar) (Barrier.expected bar)))
       s.live;
     raise (Deadlock (Buffer.contents buf))
   end;

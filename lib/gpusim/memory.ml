@@ -1,10 +1,21 @@
 type space = {
+  sid : int;  (* process-unique id: shadow-memory key for the sanitizer *)
   mutable next_addr : int;
   mutable l2 : Linebuf.t option;  (* created lazily from the first accessing device's config *)
   mutable l2_order : float;  (* monotonic touch counter: order-based LRU proxy *)
 }
 
-let space () = { next_addr = 0; l2 = None; l2_order = 0.0 }
+let next_sid = Atomic.make 0
+
+let space () =
+  {
+    sid = Atomic.fetch_and_add next_sid 1;
+    next_addr = 0;
+    l2 = None;
+    l2_order = 0.0;
+  }
+
+let space_id space = space.sid
 
 let l2_of space (cfg : Config.t) =
   match space.l2 with
@@ -261,11 +272,20 @@ let account (th : Thread.t) ~space ~base ~index ~is_store =
   end;
   line
 
+(* Sanitizer taps: one load-and-branch when disabled, never touching
+   clocks or counters, so reports stay bit-identical either way. *)
+let[@inline] sanitize th space ~base ~index ~kind =
+  if !Ompsan.enabled then
+    Ompsan.global_access th ~sid:space.sid
+      ~addr:(base + (index * element_bytes))
+      ~kind
+
 let fget a th i =
   check "fget" (Array.length a.fdata) i;
   let (_ : int) =
     account th ~space:a.fspace ~base:a.fbase ~index:i ~is_store:false
   in
+  sanitize th a.fspace ~base:a.fbase ~index:i ~kind:Ompsan.Read;
   a.fdata.(i)
 
 let fset a th i v =
@@ -273,6 +293,7 @@ let fset a th i v =
   let (_ : int) =
     account th ~space:a.fspace ~base:a.fbase ~index:i ~is_store:true
   in
+  sanitize th a.fspace ~base:a.fbase ~index:i ~kind:Ompsan.Write;
   a.fdata.(i) <- v
 
 let iget a th i =
@@ -280,6 +301,7 @@ let iget a th i =
   let (_ : int) =
     account th ~space:a.ispace ~base:a.ibase ~index:i ~is_store:false
   in
+  sanitize th a.ispace ~base:a.ibase ~index:i ~kind:Ompsan.Read;
   a.idata.(i)
 
 let iset a th i v =
@@ -287,6 +309,7 @@ let iset a th i v =
   let (_ : int) =
     account th ~space:a.ispace ~base:a.ibase ~index:i ~is_store:true
   in
+  sanitize th a.ispace ~base:a.ibase ~index:i ~kind:Ompsan.Write;
   a.idata.(i) <- v
 
 (* Device atomics may target the same cell from blocks running on
@@ -310,6 +333,7 @@ let atomic_cost (th : Thread.t) line =
 let atomic_fadd a th i v =
   check "atomic_fadd" (Array.length a.fdata) i;
   let line = account th ~space:a.fspace ~base:a.fbase ~index:i ~is_store:true in
+  sanitize th a.fspace ~base:a.fbase ~index:i ~kind:Ompsan.Atomic;
   atomic_cost th line;
   Mutex.lock rmw_lock;
   let prev = a.fdata.(i) in
@@ -320,6 +344,7 @@ let atomic_fadd a th i v =
 let atomic_fmax a th i v =
   check "atomic_fmax" (Array.length a.fdata) i;
   let line = account th ~space:a.fspace ~base:a.fbase ~index:i ~is_store:true in
+  sanitize th a.fspace ~base:a.fbase ~index:i ~kind:Ompsan.Atomic;
   atomic_cost th line;
   Mutex.lock rmw_lock;
   let prev = a.fdata.(i) in
@@ -330,6 +355,7 @@ let atomic_fmax a th i v =
 let atomic_iadd a th i v =
   check "atomic_iadd" (Array.length a.idata) i;
   let line = account th ~space:a.ispace ~base:a.ibase ~index:i ~is_store:true in
+  sanitize th a.ispace ~base:a.ibase ~index:i ~kind:Ompsan.Atomic;
   atomic_cost th line;
   Mutex.lock rmw_lock;
   let prev = a.idata.(i) in

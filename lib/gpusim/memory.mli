@@ -15,6 +15,9 @@ type space
 
 val space : unit -> space
 
+val space_id : space -> int
+(** Process-unique id; keys the sanitizer's shadow memory. *)
+
 val element_bytes : int
 (** 8 *)
 

@@ -1,12 +1,25 @@
-type arena = { capacity : int; mutable used : int; mutable high_water : int }
+type arena = {
+  aid : int;  (* process-unique id: shadow-memory key for the sanitizer *)
+  capacity : int;
+  mutable used : int;
+  mutable high_water : int;
+}
+
+let next_aid = Atomic.make 0
 
 let arena (cfg : Config.t) =
-  { capacity = cfg.Config.shared_mem_per_block; used = 0; high_water = 0 }
+  {
+    aid = Atomic.fetch_and_add next_aid 1;
+    capacity = cfg.Config.shared_mem_per_block;
+    used = 0;
+    high_water = 0;
+  }
 
 let arena_of_capacity capacity =
   if capacity <= 0 then invalid_arg "Shared.arena_of_capacity: capacity";
-  { capacity; used = 0; high_water = 0 }
+  { aid = Atomic.fetch_and_add next_aid 1; capacity; used = 0; high_water = 0 }
 
+let id a = a.aid
 let capacity a = a.capacity
 let used a = a.used
 let high_water a = a.high_water

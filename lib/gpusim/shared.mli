@@ -14,6 +14,9 @@ val arena : Config.t -> arena
 val arena_of_capacity : int -> arena
 (** For tests. *)
 
+val id : arena -> int
+(** Process-unique id; keys the sanitizer's shared-space shadow. *)
+
 val capacity : arena -> int
 val used : arena -> int
 val high_water : arena -> int

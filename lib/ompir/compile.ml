@@ -30,7 +30,9 @@ type engine = Walk | Staged
 let engine_of_env () =
   match Sys.getenv_opt "OMPSIMD_EVAL" with
   | Some "walk" -> Walk
-  | Some "compile" | Some "staged" | None -> Staged
+  (* an empty value is how a shell (or Unix.putenv, which cannot remove
+     a variable) spells "unset" *)
+  | Some "compile" | Some "staged" | Some "" | None -> Staged
   | Some other ->
       invalid_arg
         (Printf.sprintf "OMPSIMD_EVAL=%s (expected \"compile\" or \"walk\")"
@@ -143,14 +145,20 @@ let rec compile_expr statics senv (e : Ir.expr) : cexpr =
   | Ir.Load (arr, idx) ->
       let a = farray statics arr in
       let cidx = compile_expr statics senv idx in
+      (* site ids are interned once at compile time; the running closure
+         only pays a flag test when the sanitizer is off *)
+      let site = Sites.load arr idx in
       fun ctx env ->
         let i = as_int arr (cidx ctx env) in
+        if !Gpusim.Ompsan.enabled then Gpusim.Ompsan.set_site site;
         V_float (Memory.fget a ctx.Team.th i)
   | Ir.Load_int (arr, idx) ->
       let a = iarray statics arr in
       let cidx = compile_expr statics senv idx in
+      let site = Sites.load arr idx in
       fun ctx env ->
         let i = as_int arr (cidx ctx env) in
+        if !Gpusim.Ompsan.enabled then Gpusim.Ompsan.set_site site;
         V_int (Memory.iget a ctx.Team.th i)
   | Ir.Unop (op, a) -> (
       let ca = compile_expr statics senv a in
@@ -399,30 +407,36 @@ and compile_stmt statics outlined options ~guard_extra senv (s : Ir.stmt) :
       let a = farray statics arr in
       let cidx = compile_expr statics senv idx in
       let cval = compile_expr statics senv value in
+      let site = Sites.store arr idx in
       ( senv,
         fun ctx env ->
           let i = as_int arr (cidx ctx env) in
           let v = as_float arr (cval ctx env) in
+          if !Gpusim.Ompsan.enabled then Gpusim.Ompsan.set_site site;
           Memory.fset a ctx.Team.th i v;
           env )
   | Ir.Store_int (arr, idx, value) ->
       let a = iarray statics arr in
       let cidx = compile_expr statics senv idx in
       let cval = compile_expr statics senv value in
+      let site = Sites.store arr idx in
       ( senv,
         fun ctx env ->
           let i = as_int arr (cidx ctx env) in
           let v = as_int arr (cval ctx env) in
+          if !Gpusim.Ompsan.enabled then Gpusim.Ompsan.set_site site;
           Memory.iset a ctx.Team.th i v;
           env )
   | Ir.Atomic_add (arr, idx, value) ->
       let a = farray statics arr in
       let cidx = compile_expr statics senv idx in
       let cval = compile_expr statics senv value in
+      let site = Sites.atomic arr idx in
       ( senv,
         fun ctx env ->
           let i = as_int arr (cidx ctx env) in
           let v = as_float arr (cval ctx env) in
+          if !Gpusim.Ompsan.enabled then Gpusim.Ompsan.set_site site;
           ignore (Memory.atomic_fadd a ctx.Team.th i v);
           env )
   | Ir.If (cond, then_, else_) ->

@@ -1,0 +1,29 @@
+(** Static may-race analysis — the compile-time half of ompsan.
+
+    Flags plain (non-atomic) array stores that execute under parallel or
+    SIMD loops while their index is invariant in at least one enclosing
+    parallel induction variable: every lane of that loop then writes the
+    same element.  Dependence is traced through scalar declaration and
+    assignment chains, sequential loop bounds included.  Atomic updates
+    and reduction accumulators are exempt.
+
+    The analysis is conservative in the may-race direction — an index
+    that depends on each enclosing parallel induction variable in any
+    way is accepted — so it can miss overlapping-range stores, but it
+    never reports a properly lane-partitioned index.  The dynamic
+    sanitizer ({!Gpusim.Ompsan}) cross-validates it at runtime. *)
+
+type finding = {
+  array : string;  (** array written *)
+  site : string;  (** pretty-printed access, e.g. ["store out[0]"] *)
+  parallel_vars : string list;
+      (** enclosing parallel induction variables, outermost first *)
+  reason : string;  (** human-readable explanation *)
+}
+
+val pp_finding : Format.formatter -> finding -> unit
+val finding_to_string : finding -> string
+
+val check_kernel : Ir.kernel -> finding list
+(** Findings in source order; empty means no write the pass can prove
+    suspicious (not a race-freedom proof). *)

@@ -1,0 +1,21 @@
+(* Sanitizer site labels for IR memory accesses.
+
+   Both engines intern labels here so a given access site carries the
+   same provenance string whether the kernel runs under the walker or
+   the staged compiler — the differential suite compares formatted
+   sanitizer reports across engines, so the text must match exactly.
+   Labels render the index expression with {!Printer.pp_expr}; the
+   registry in {!Gpusim.Ompsan} dedups repeated registrations. *)
+
+let expr_str e = Format.asprintf "%a" Printer.pp_expr e
+
+let load arr idx =
+  Gpusim.Ompsan.register_site (Printf.sprintf "load %s[%s]" arr (expr_str idx))
+
+let store arr idx =
+  Gpusim.Ompsan.register_site
+    (Printf.sprintf "store %s[%s]" arr (expr_str idx))
+
+let atomic arr idx =
+  Gpusim.Ompsan.register_site
+    (Printf.sprintf "atomic %s[%s]" arr (expr_str idx))

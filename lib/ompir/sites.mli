@@ -1,0 +1,16 @@
+(** Sanitizer site labels for IR memory accesses.
+
+    Shared by both evaluation engines so that a given access site is
+    registered under an identical label string — sanitizer reports are
+    compared textually across engines.  Each function interns a label of
+    the form ["store a[i + 1]"] in {!Gpusim.Ompsan}'s site registry and
+    returns the site id. *)
+
+val load : string -> Ir.expr -> int
+(** [load arr idx] registers ["load arr[<idx>]"]. *)
+
+val store : string -> Ir.expr -> int
+(** [store arr idx] registers ["store arr[<idx>]"]. *)
+
+val atomic : string -> Ir.expr -> int
+(** [atomic arr idx] registers ["atomic arr[<idx>]"]. *)

@@ -9,6 +9,21 @@ let in_outlined_body ctx f =
     ~finally:(fun () -> team.Team.in_region.(tid) <- false)
     f
 
+(* Region code in SPMD mode is executed redundantly by every lane of a
+   SIMD group on behalf of one OpenMP thread; attribute those accesses
+   to the group leader so the sanitizer sees one logical lane. *)
+let with_region_actor ctx f =
+  if !Gpusim.Ompsan.enabled then begin
+    let th = ctx.Team.th in
+    let g = Team.geometry ctx.Team.team in
+    let group = Simd_group.get_simd_group g ~tid:th.Gpusim.Thread.tid in
+    let prev = Gpusim.Ompsan.set_actor th (Simd_group.leader_tid g ~group) in
+    Fun.protect
+      ~finally:(fun () -> ignore (Gpusim.Ompsan.set_actor th prev))
+      f
+  end
+  else f ()
+
 let exec_on_thread ctx (task : Team.parallel_task) =
   let team = ctx.Team.team in
   let tid = ctx.Team.th.Gpusim.Thread.tid in
@@ -16,19 +31,33 @@ let exec_on_thread ctx (task : Team.parallel_task) =
   | Mode.Spmd ->
       (* All threads execute the region in SPMD mode. *)
       in_outlined_body ctx (fun () ->
-          Team.invoke_microtask ctx ~fn_id:task.Team.fn_id (fun () ->
-              task.Team.fn ctx task.Team.payload))
+          with_region_actor ctx (fun () ->
+              Team.invoke_microtask ctx ~fn_id:task.Team.fn_id (fun () ->
+                  task.Team.fn ctx task.Team.payload)))
   | Mode.Generic ->
       let g = Team.geometry team in
       if Simd_group.is_simd_group_leader g ~tid then begin
         (* Only simd mains execute the region in generic mode; one active
            lane per [group_size] still costs a full warp's issue slots. *)
         Gpusim.Thread.trace ctx.Team.th ~tag:"parallel.leader" "";
-        in_outlined_body ctx (fun () ->
-            Gpusim.Thread.with_simt_factor ctx.Team.th
-              (float_of_int task.Team.group_size) (fun () ->
-                Team.invoke_microtask ctx ~fn_id:task.Team.fn_id (fun () ->
-                    task.Team.fn ctx task.Team.payload)));
+        (* A generic-mode leader acts alone for its group; undo any
+           enclosing SPMD attribution so distinct leaders stay distinct
+           actors. *)
+        let prev =
+          if !Gpusim.Ompsan.enabled then
+            Gpusim.Ompsan.set_actor ctx.Team.th tid
+          else tid
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            if !Gpusim.Ompsan.enabled then
+              ignore (Gpusim.Ompsan.set_actor ctx.Team.th prev))
+          (fun () ->
+            in_outlined_body ctx (fun () ->
+                Gpusim.Thread.with_simt_factor ctx.Team.th
+                  (float_of_int task.Team.group_size) (fun () ->
+                    Team.invoke_microtask ctx ~fn_id:task.Team.fn_id
+                      (fun () -> task.Team.fn ctx task.Team.payload))));
         (* Send the termination signal to the simd workers. *)
         Simd.signal_termination ctx
       end
@@ -106,7 +135,10 @@ let parallel ctx ~mode ~simd_len ?(payload = Payload.empty) ?(fn_id = -1) fn =
         Sharing.acquire team.Team.sharing ctx.Team.th
           ~nargs:(Payload.length payload)
       in
-      Sharing.publish team.Team.sharing ctx.Team.th location payload;
+      (* the team main publishes through its own slice, after the groups' *)
+      Sharing.publish
+        ~slice:(Team.geometry team).Simd_group.num_groups
+        team.Team.sharing ctx.Team.th location payload;
       task.Team.payload_location <- location;
       team.Team.parallel_signal <- Some task;
       Team.team_barrier_wait ctx;

@@ -1,6 +1,7 @@
 type location = Shared_space | Global_fallback
 
 type t = {
+  arena_id : int;  (* sanitizer shadow key for the backing arena *)
   total_bytes : int;
   mutable current_slice : int;
   mutable global_fallbacks : int;
@@ -18,6 +19,7 @@ let create ~arena ~bytes =
            bytes)
   | Some (_ : int) ->
       {
+        arena_id = Gpusim.Shared.id arena;
         total_bytes = bytes;
         current_slice = bytes;
         global_fallbacks = 0;
@@ -55,13 +57,21 @@ let acquire t th ~nargs =
     Global_fallback
   end
 
-let copy_cost ?(sharers = 1) t th location payload =
-  ignore t;
+let copy_cost ?(sharers = 1) ?(slice = 0) ~kind t th location payload =
   let n = Payload.length payload in
   match location with
   | Shared_space ->
-      for _ = 1 to n do
-        Gpusim.Shared.touch th ~bytes:8
+      (* Slot k of slice [slice] lives at a fixed arena offset: the
+         sanitizer's shared-space shadow sees publishes as writes and
+         fetches as reads of those cells.  Correctly configured slices
+         are disjoint per main, so legal runs stay clean. *)
+      let base = slice * t.current_slice in
+      for k = 0 to n - 1 do
+        Gpusim.Shared.touch th ~bytes:8;
+        if !Gpusim.Ompsan.enabled then
+          Gpusim.Ompsan.shared_access th ~aid:t.arena_id
+            ~addr:(base + (k * 8))
+            ~kind
       done
   | Global_fallback ->
       (* every slot is a real global-memory round trip, and the freshly
@@ -81,7 +91,10 @@ let copy_cost ?(sharers = 1) t th location payload =
         (float_of_int n *. cfg.Gpusim.Config.cost.Gpusim.Config.mem_issue);
       Gpusim.Thread.tick_wait th (float_of_int n *. global_access_cost th)
 
-let publish t th location payload = copy_cost t th location payload
-let fetch = copy_cost
+let publish ?slice t th location payload =
+  copy_cost ?slice ~kind:Gpusim.Ompsan.Write t th location payload
+
+let fetch ?sharers ?slice t th location payload =
+  copy_cost ?sharers ?slice ~kind:Gpusim.Ompsan.Read t th location payload
 let global_fallbacks t = t.global_fallbacks
 let shared_grants t = t.shared_grants

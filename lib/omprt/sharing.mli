@@ -35,15 +35,24 @@ val acquire : t -> Gpusim.Thread.t -> nargs:int -> location
 (** Decide where a payload of [nargs] pointer-sized slots lives.  A global
     fallback charges an allocation round-trip and is counted. *)
 
-val publish : t -> Gpusim.Thread.t -> location -> Payload.t -> unit
+val publish : ?slice:int -> t -> Gpusim.Thread.t -> location -> Payload.t -> unit
 (** Main-side copy of the payload into the sharing location (per-slot
-    shared-memory or global-memory store costs). *)
+    shared-memory or global-memory store costs).  [slice] identifies the
+    publisher's slice of the slab (its SIMD-group index, or the group
+    count for the team main) so the sanitizer's shared-space shadow sees
+    the slot cells each write lands in. *)
 
 val fetch :
-  ?sharers:int -> t -> Gpusim.Thread.t -> location -> Payload.t -> unit
+  ?sharers:int ->
+  ?slice:int ->
+  t ->
+  Gpusim.Thread.t ->
+  location ->
+  Payload.t ->
+  unit
 (** Worker-side fetch of a published payload.  [sharers] is how many
     threads fetch the same buffer concurrently — their global-memory
-    traffic coalesces. *)
+    traffic coalesces.  [slice] as in {!publish}. *)
 
 val global_fallbacks : t -> int
 (** How many acquires overflowed to global memory since creation. *)

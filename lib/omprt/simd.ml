@@ -74,7 +74,8 @@ let simd ctx ?(payload = Payload.empty) ?(fn_id = -1) ~trip body =
             ~nargs:(Payload.length payload)
         in
         slot.Team.simd_args_location <- location;
-        Sharing.publish team.Team.sharing ctx.Team.th location payload;
+        Sharing.publish ~slice:group team.Team.sharing ctx.Team.th location
+          payload;
         Team.sync_warp ctx;
         (* the SIMD main participates in the loop: its group id is 0 *)
         run_loop ctx ~dispatch:false ~fn_id ~trip body payload;
@@ -115,7 +116,8 @@ let simd_reduce ctx ?(payload = Payload.empty) ?(fn_id = -1) ~op ~trip red =
             ~nargs:(Payload.length payload)
         in
         slot.Team.simd_args_location <- location;
-        Sharing.publish team.Team.sharing ctx.Team.th location payload;
+        Sharing.publish ~slice:group team.Team.sharing ctx.Team.th location
+          payload;
         Team.sync_warp ctx;
         let acc = accumulate_loop ctx ~dispatch:false ~op ~fn_id ~trip red payload in
         let total = Reduction.simd_reduce ctx op acc in
@@ -132,7 +134,7 @@ let state_machine ctx =
   let g, _ = my_group ctx in
   let fetch_args () =
     let sharers = Simd_group.get_simd_group_size g - 1 in
-    Sharing.fetch ~sharers team.Team.sharing ctx.Team.th
+    Sharing.fetch ~sharers ~slice:group team.Team.sharing ctx.Team.th
       slot.Team.simd_args_location slot.Team.simd_args;
     Payload.unpack ctx.Team.th slot.Team.simd_args
   in
@@ -163,7 +165,27 @@ let state_machine ctx =
         Team.sync_warp ctx;
         wait_for_work ()
   in
-  wait_for_work ()
+  (* The hand-off waits below are the `__simd` state-machine rendezvous:
+     they advance the sanitizer's epochs like any warp barrier, but the
+     worker is exempted from the divergence check — its main legitimately
+     crosses block-scope barriers while the worker idles here. *)
+  let th = ctx.Team.th in
+  let prev_actor =
+    if !Gpusim.Ompsan.enabled then begin
+      Gpusim.Ompsan.enter_state_machine th;
+      (* Workers only ever run simd-loop bodies — their own lane's work;
+         undo any enclosing SPMD attribution. *)
+      Gpusim.Ompsan.set_actor th th.Gpusim.Thread.tid
+    end
+    else th.Gpusim.Thread.tid
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if !Gpusim.Ompsan.enabled then begin
+        ignore (Gpusim.Ompsan.set_actor th prev_actor);
+        Gpusim.Ompsan.leave_state_machine th
+      end)
+    wait_for_work
 
 let signal_termination ctx =
   Gpusim.Thread.trace ctx.Team.th ~tag:"simd.terminate" "";

@@ -15,7 +15,8 @@ let team_state_machine _body (ctx : Team.ctx) =
     | Some task ->
         Gpusim.Counters.bump ctx.Team.th.Gpusim.Thread.counters
           "target.state_machine_wakeups" 1.0;
-        Sharing.fetch ~sharers:team.Team.num_workers team.Team.sharing
+        Sharing.fetch ~sharers:team.Team.num_workers
+          ~slice:(Team.geometry team).Simd_group.num_groups team.Team.sharing
           ctx.Team.th task.Team.payload_location task.Team.payload;
         Payload.unpack ctx.Team.th task.Team.payload;
         Parallel.exec_on_thread ctx task;
@@ -39,7 +40,13 @@ let thread_main body team (th : Gpusim.Thread.t) =
   match Team.role team ~tid:th.Gpusim.Thread.tid with
   | Team.Worker -> (
       match team.Team.params.Team.teams_mode with
-      | Mode.Spmd -> body ctx
+      | Mode.Spmd ->
+          (* In teams-SPMD every worker redundantly runs the top-level
+             body as the (single logical) team main; attribute those
+             accesses to one actor so the sanitizer ignores the
+             redundancy. *)
+          if !Gpusim.Ompsan.enabled then ignore (Gpusim.Ompsan.set_actor th 0);
+          body ctx
       | Mode.Generic -> team_state_machine body ctx)
   | Team.Team_main ->
       (* The team main runs alone in the extra warp: every instruction it

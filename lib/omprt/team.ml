@@ -155,6 +155,30 @@ let slot t ~group =
     invalid_arg "Team.slot: group out of range";
   t.simd_slots.(group)
 
+(* Sanitizer taps: every rendezvous the runtime performs is reported to
+   Ompsan *before* the engine wait, with the participant set the barrier
+   expects, so the shadow epochs advance exactly where real
+   synchronization happens.  One load-and-branch when disabled. *)
+let san_warp_arrive (th : Gpusim.Thread.t) ~mask bar =
+  if !Gpusim.Ompsan.enabled then begin
+    let ws = th.Gpusim.Thread.cfg.Gpusim.Config.warp_size in
+    let warp = th.Gpusim.Thread.warp.Gpusim.Thread.warp_index in
+    let participants = List.map (fun l -> (warp * ws) + l) (Mask.to_list mask) in
+    Gpusim.Ompsan.barrier_arrive th ~block_scope:false ~mask
+      ~bar_id:(Gpusim.Barrier.id bar)
+      ~bar_name:(Gpusim.Barrier.name bar)
+      ~expected:(Gpusim.Barrier.expected bar)
+      ~participants
+  end
+
+let san_block_arrive (th : Gpusim.Thread.t) ~participants bar =
+  if !Gpusim.Ompsan.enabled then
+    Gpusim.Ompsan.barrier_arrive th ~block_scope:true ~mask:0
+      ~bar_id:(Gpusim.Barrier.id bar)
+      ~bar_name:(Gpusim.Barrier.name bar)
+      ~expected:(Gpusim.Barrier.expected bar)
+      ~participants:(participants ())
+
 let warp_barrier_for t (th : Gpusim.Thread.t) ~mask =
   let tid = th.Gpusim.Thread.tid in
   let warp = th.Gpusim.Thread.warp.Gpusim.Thread.warp_index in
@@ -225,6 +249,7 @@ let lockstep_align ctx =
           t.ls_memo_bar.(tid) <- Some b;
           b
     in
+    san_warp_arrive ctx.th ~mask bar;
     Gpusim.Engine.barrier_wait bar ctx.th
   end
 
@@ -236,6 +261,7 @@ let sync_warp ctx =
       let bar = warp_barrier_for ctx.team ctx.th ~mask in
       ctx.th.Gpusim.Thread.counters.Gpusim.Counters.warp_barriers <-
         ctx.th.Gpusim.Thread.counters.Gpusim.Counters.warp_barriers + 1;
+      san_warp_arrive ctx.th ~mask bar;
       Gpusim.Engine.barrier_wait bar ctx.th
     end
     else
@@ -248,6 +274,13 @@ let sync_warp ctx =
 let team_barrier_wait ctx =
   ctx.th.Gpusim.Thread.counters.Gpusim.Counters.block_barriers <-
     ctx.th.Gpusim.Thread.counters.Gpusim.Counters.block_barriers + 1;
+  san_block_arrive ctx.th
+    ~participants:(fun () ->
+      let workers = List.init ctx.team.num_workers Fun.id in
+      match ctx.team.main_tid with
+      | Some m -> workers @ [ m ]
+      | None -> workers)
+    ctx.team.team_barrier;
   Gpusim.Engine.barrier_wait ctx.team.team_barrier ctx.th
 
 let executing_threads t =
@@ -277,6 +310,15 @@ let region_barrier_wait ctx =
     in
     ctx.th.Gpusim.Thread.counters.Gpusim.Counters.block_barriers <-
       ctx.th.Gpusim.Thread.counters.Gpusim.Counters.block_barriers + 1;
+    san_block_arrive ctx.th
+      ~participants:(fun () ->
+        match (Option.get ctx.team.active_task).task_mode with
+        | Mode.Spmd -> List.init ctx.team.num_workers Fun.id
+        | Mode.Generic ->
+            let g = geometry ctx.team in
+            List.init g.Simd_group.num_groups (fun group ->
+                Simd_group.leader_tid g ~group))
+      bar;
     Gpusim.Engine.barrier_wait bar ctx.th
   end
 

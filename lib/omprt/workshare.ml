@@ -176,6 +176,13 @@ let simd_loop ctx ~trip f =
   if num = 1 then run_schedule ctx Static ~id:0 ~num:1 ~trip f
   else begin
     Team.sync_warp ctx;
+    (* Simd-loop iterations belong to the executing lane itself, not to
+       the SPMD region's logical thread: restore per-tid attribution so
+       the sanitizer can see lanes of one group racing on a cell. *)
+    let prev_actor =
+      if !Gpusim.Ompsan.enabled then Gpusim.Ompsan.set_actor ctx.Team.th tid
+      else tid
+    in
     (* Lockstep rounds: every lane steps through ceil(trip/num) rounds,
        masked off when its iteration number falls beyond the trip count —
        this is both how SIMT hardware executes the loop and what makes
@@ -200,6 +207,8 @@ let simd_loop ctx ~trip f =
       end;
       Team.lockstep_align ctx
     done;
+    if !Gpusim.Ompsan.enabled then
+      ignore (Gpusim.Ompsan.set_actor ctx.Team.th prev_actor);
     Gpusim.Thread.tick ctx.Team.th overhead
   end
 

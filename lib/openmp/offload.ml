@@ -3,9 +3,10 @@ type compiled = {
   globalization : Ompir.Globalize.report list;
   region_modes : (string * Omprt.Mode.t) list;
   guards_inserted : int;
+  may_races : Ompir.Racecheck.finding list;
 }
 
-let compile ?(guardize = false) ?(fold = true) kernel =
+let compile ?(guardize = false) ?(fold = true) ?(racecheck = false) kernel =
   match Ompir.Check.kernel kernel with
   | Error es -> Error es
   | Ok () ->
@@ -16,6 +17,11 @@ let compile ?(guardize = false) ?(fold = true) kernel =
       let kernel, guards =
         if guardize then Ompir.Spmdize.guardize kernel else (kernel, 0)
       in
+      (* the static ompsan layer analyzes the kernel the device will run:
+         after folding and guardization, before outlining *)
+      let may_races =
+        if racecheck then Ompir.Racecheck.check_kernel kernel else []
+      in
       let program = Ompir.Outline.run kernel in
       Ok
         {
@@ -23,6 +29,7 @@ let compile ?(guardize = false) ?(fold = true) kernel =
           globalization = Ompir.Globalize.run program;
           region_modes = Ompir.Spmdize.analyze kernel;
           guards_inserted = guards;
+          may_races;
         }
 
 let remarks c =
@@ -68,9 +75,15 @@ let remarks c =
       ]
     else []
   in
-  outlined @ globalized @ modes @ guards
+  let races =
+    List.map Ompir.Racecheck.finding_to_string c.may_races
+  in
+  outlined @ globalized @ modes @ guards @ races
 
 let run ~cfg ?pool ?trace ?(clauses = Clause.none) ~bindings c =
+  Gpusim.Ompsan.refresh_from_env ();
+  if !Gpusim.Ompsan.enabled then
+    Gpusim.Ompsan.set_kernel c.program.Ompir.Outline.kernel.Ompir.Ir.kname;
   let params, _, simdlen = Clause.resolve ~cfg clauses in
   let parallel_mode =
     match clauses.Clause.parallel_mode with

@@ -13,11 +13,15 @@ type compiled = {
       (** SPMD-ization verdict per parallel-level directive *)
   guards_inserted : int;
       (** guard blocks added by the [guardize] transform (0 without it) *)
+  may_races : Ompir.Racecheck.finding list;
+      (** static may-race findings (empty unless compiled with
+          [~racecheck:true]) *)
 }
 
 val compile :
   ?guardize:bool ->
   ?fold:bool ->
+  ?racecheck:bool ->
   Ompir.Ir.kernel ->
   (compiled, Ompir.Check.error list) result
 (** [guardize] (default false) applies {!Ompir.Spmdize.guardize} first:
@@ -25,7 +29,10 @@ val compile :
     guard blocks so the regions become SPMD-safe — the paper's §7 plan for
     SPMDizing parallel regions.  [fold] (default true) runs the
     default optimization pipeline ({!Ompir.Passes.default_pipeline}:
-    constant folding then dead-code elimination) before outlining. *)
+    constant folding then dead-code elimination) before outlining.
+    [racecheck] (default false) additionally runs the static ompsan
+    layer ({!Ompir.Racecheck}) on the post-fold, post-guardize kernel;
+    findings land in [may_races] and in {!remarks}. *)
 
 val remarks : compiled -> string list
 (** Human-readable optimization remarks: outlined regions, captured
@@ -41,4 +48,6 @@ val run :
   Gpusim.Device.report
 (** Execute on the device.  Unless the clauses force a parallel mode, each
     region uses its SPMD-ization verdict — SPMD when tightly nested,
-    generic otherwise (§3.2). *)
+    generic otherwise (§3.2).  Re-reads [OMPSIMD_SANITIZE] on entry: when
+    the sanitizer is enabled the returned report carries
+    [sanitizer = Some _] with any dynamic findings. *)

@@ -8,7 +8,14 @@
    - reads come only from the read-only [src] array and scalars;
    - atomics go to [acc_arr] with the (commutative) add, compared with a
      tolerance since float addition is not associative;
-   - all indices are [... mod n] with n > 0, so bounds always hold. *)
+   - all indices are [... mod n] with n > 0, so bounds always hold.
+
+   The sanitizer-certified fleet reuses the generator with an optional
+   race PLANT: a store whose index deliberately drops an induction
+   variable (lane plant) or a guarded fixed-cell store whose guard only
+   synchronizes one SIMD group (leader plant).  The certification
+   property is exact in both directions: a kernel is reported by the
+   static layer and by the dynamic sanitizer iff a race was planted. *)
 
 module Memory = Gpusim.Memory
 module Mode = Omprt.Mode
@@ -80,9 +87,26 @@ and float_leaf vars fvars st =
       | 1 -> Ir.Var (List.nth fvars (Gen.int_range 0 (List.length fvars - 1) st))
       | _ -> Ir.Load ("src", bounded_index vars st))
 
+(* Race plants for the sanitizer-certified fleet. *)
+type plant =
+  | No_plant
+  | Plant_lane  (** simd-body store whose index is invariant in [j] *)
+  | Plant_leader  (** guarded fixed-cell store: leaders of distinct groups race *)
+
+let plant_to_string = function
+  | No_plant -> "none"
+  | Plant_lane -> "lane"
+  | Plant_leader -> "leader"
+
+let gen_plant st =
+  match Gen.int_range 0 3 st with
+  | 0 -> Plant_lane
+  | 1 -> Plant_leader
+  | _ -> No_plant
+
 (* The simd body: a couple of declarations, then a store to the canonical
    disjoint slot and possibly an atomic. *)
-let gen_simd_body ~width vars st =
+let gen_simd_body ?(plant = No_plant) ~width vars st =
   let decl_count = Gen.int_range 0 2 st in
   let rec decls k fvars acc =
     if k = 0 then (List.rev acc, fvars)
@@ -107,7 +131,20 @@ let gen_simd_body ~width vars st =
       ]
     else []
   in
-  ds @ [ store ] @ atomic
+  (* lane plant: the index drops [j], so every active lane of the group
+     hits row r's cell — a true intra-group write-write race *)
+  let planted =
+    match plant with
+    | Plant_lane ->
+        [
+          Ir.Store
+            ( "out",
+              Ir.(Binop (Mul, Var "r", Int_lit width)),
+              gen_float_expr vars fvars 1 st );
+        ]
+    | No_plant | Plant_leader -> []
+  in
+  ds @ [ store ] @ atomic @ planted
 
 type case = {
   kernel : Ir.kernel;
@@ -121,6 +158,7 @@ type case = {
   parallel_mode : [ `Auto | `Force of Mode.t ];
   guardize : bool;
   sched : Ir.schedule;
+  plant : plant;
 }
 
 let gen_sched st =
@@ -138,9 +176,16 @@ let sched_to_string = function
   | Ir.Sched_chunked n -> Printf.sprintf "chunked(%d)" n
   | Ir.Sched_dynamic n -> Printf.sprintf "dynamic(%d)" n
 
-let gen_case st =
+let gen_case ?(plant = Gen.return No_plant) st =
+  let plant = plant st in
   let width = List.nth [ 4; 8; 16; 32 ] (Gen.int_range 0 3 st) in
-  let rows = Gen.int_range 1 40 st in
+  (* leader plants need rows spread over at least two SIMD groups of
+     every team for the race to be guaranteed reachable *)
+  let rows =
+    match plant with
+    | Plant_leader -> Gen.int_range 8 40 st
+    | No_plant | Plant_lane -> Gen.int_range 1 40 st
+  in
   let n = rows * width in
   (* region body: optional row-local decls, an optional guarded-able
      sequential store, the simd loop, optionally a reduction *)
@@ -157,6 +202,14 @@ let gen_case st =
       [ Ir.Store ("marks", Ir.Var "r", gen_float_expr [ "r" ] [ "base" ] 1 st) ]
     else []
   in
+  (* leader plant: the guard elects one leader per SIMD group, but
+     leaders of different groups (and teams) still race on marks[0] *)
+  let guarded_plant =
+    match plant with
+    | Plant_leader ->
+        [ Ir.Guarded [ Ir.Store ("marks", Ir.Int_lit 0, gen_float_expr [ "r" ] [] 1 st) ] ]
+    | No_plant | Plant_lane -> []
+  in
   (* a pure sequential loop refining a local: SPMD-safe region code *)
   let seq_loop =
     if Gen.bool st then
@@ -172,7 +225,7 @@ let gen_case st =
     else []
   in
   let simd_loop =
-    let body = gen_simd_body ~width [ "r"; "j" ] st in
+    let body = gen_simd_body ~plant ~width [ "r"; "j" ] st in
     let plain = Ir.simd ~var:"j" ~lo:(Ir.Int_lit 0) ~hi:(Ir.Int_lit width) body in
     if Gen.bool st then
       (* branch on the row parity: groups agree, so simd call counts stay
@@ -182,7 +235,7 @@ let gen_case st =
           [ plain ],
           [
             Ir.simd ~var:"j" ~lo:(Ir.Int_lit 0) ~hi:(Ir.Int_lit width)
-              (gen_simd_body ~width [ "r"; "j" ] st);
+              (gen_simd_body ~plant ~width [ "r"; "j" ] st);
           ] )
     else plain
   in
@@ -201,12 +254,19 @@ let gen_case st =
       ]
     else []
   in
-  let sched = gen_sched st in
+  let sched =
+    (* static distribution guarantees a leader plant lands on at least
+       two groups; lane plants race under any schedule *)
+    match plant with
+    | Plant_leader -> Ir.Sched_static
+    | No_plant | Plant_lane -> gen_sched st
+  in
   let body =
     [
       Ir.distribute_parallel_for ~sched ~var:"r" ~lo:(Ir.Int_lit 0)
         ~hi:(Ir.Var "rows")
-        ((row_decl :: (seq_loop @ seq_store)) @ [ simd_loop ] @ reduction);
+        ((row_decl :: (seq_loop @ seq_store @ guarded_plant))
+        @ [ simd_loop ] @ reduction);
     ]
   in
   let kernel =
@@ -231,12 +291,19 @@ let gen_case st =
     teams = Gen.int_range 1 3 st;
     threads = List.nth [ 32; 64; 128 ] (Gen.int_range 0 2 st);
     teams_mode = (if Gen.bool st then Mode.Spmd else Mode.Generic);
-    simd_len = List.nth [ 1; 2; 4; 8; 16; 32 ] (Gen.int_range 0 5 st);
+    simd_len =
+      (* a planted race needs real SIMD groups: >= 2 lanes per group and
+         (for the leader plant) >= 2 groups per warp *)
+      (match plant with
+      | No_plant -> List.nth [ 1; 2; 4; 8; 16; 32 ] (Gen.int_range 0 5 st)
+      | Plant_lane | Plant_leader ->
+          List.nth [ 2; 4; 8 ] (Gen.int_range 0 2 st));
     parallel_mode =
       List.nth [ `Auto; `Force Mode.Spmd; `Force Mode.Generic ]
         (Gen.int_range 0 2 st);
     guardize = Gen.bool st;
     sched;
+    plant;
   }
 
 (* Forcing SPMD on a kernel with a sequential store would be a genuine
@@ -315,21 +382,25 @@ let run_differential case =
       [ "out"; "marks"; "red"; "acc_arr" ]
   end
 
-let case_arbitrary =
-  QCheck.make
-    ~print:(fun case ->
-      Printf.sprintf
-        "rows=%d width=%d teams=%d threads=%d tmode=%s simdlen=%d mode=%s guardize=%b sched=%s\n%s"
-        case.rows case.width case.teams case.threads
-        (Mode.to_string case.teams_mode) case.simd_len
-        (match case.parallel_mode with
-        | `Auto -> "auto"
-        | `Force Mode.Spmd -> "spmd"
-        | `Force Mode.Generic -> "generic")
-        case.guardize
-        (sched_to_string case.sched)
-        (Ompir.Printer.kernel_to_string case.kernel))
-    gen_case
+let print_case case =
+  Printf.sprintf
+    "rows=%d width=%d teams=%d threads=%d tmode=%s simdlen=%d mode=%s guardize=%b sched=%s plant=%s\n%s"
+    case.rows case.width case.teams case.threads
+    (Mode.to_string case.teams_mode) case.simd_len
+    (match case.parallel_mode with
+    | `Auto -> "auto"
+    | `Force Mode.Spmd -> "spmd"
+    | `Force Mode.Generic -> "generic")
+    case.guardize
+    (sched_to_string case.sched)
+    (plant_to_string case.plant)
+    (Ompir.Printer.kernel_to_string case.kernel)
+
+let case_arbitrary = QCheck.make ~print:print_case gen_case
+
+(* Same geometry/mode matrix, but half the kernels carry a planted race. *)
+let certified_arbitrary =
+  QCheck.make ~print:print_case (gen_case ~plant:gen_plant)
 
 (* --- staged evaluator vs tree walker ---------------------------------- *)
 
@@ -400,6 +471,56 @@ let run_engine_differential ?pool case =
       ~atomic_arrays:[ "acc_arr" ] ~kernel:case.kernel program
   end
 
+(* --- sanitizer certification ------------------------------------------- *)
+
+(* The exact two-way property tying the layers together: a kernel is
+   flagged by the static may-race pass AND reported by the dynamic
+   sanitizer iff the generator planted a race.  No host comparison —
+   planted kernels genuinely race, so only the verdicts are compared.
+   Plants never steer control flow, so divergence/deadlock is impossible
+   and every run completes. *)
+let run_sanitizer_certification ?pool ~engine case =
+  let kernel =
+    if case.guardize then fst (Ompir.Spmdize.guardize case.kernel)
+    else case.kernel
+  in
+  let planted = case.plant <> No_plant in
+  let static_findings = Ompir.Racecheck.check_kernel kernel in
+  if static_findings <> [] <> planted then
+    Test.fail_reportf "static layer: %d finding(s) for plant=%s:\n%s"
+      (List.length static_findings)
+      (plant_to_string case.plant)
+      (String.concat "\n"
+         (List.map Ompir.Racecheck.finding_to_string static_findings));
+  let program = Outline.run kernel in
+  let _, bindings = make_bindings case in
+  Gpusim.Ompsan.enabled := true;
+  let report =
+    Fun.protect
+      ~finally:(fun () -> Gpusim.Ompsan.refresh_from_env ())
+      (fun () ->
+        match engine with
+        | `Staged ->
+            Ompir.Compile.run ~cfg ?pool ~options:(options_of case) ~bindings
+              program
+        | `Walk -> Eval.run ~cfg ?pool ~options:(options_of case) ~bindings program)
+  in
+  match report.Gpusim.Device.sanitizer with
+  | None -> Test.fail_reportf "sanitizer report missing from an enabled run"
+  | Some san ->
+      let dirty = not (Gpusim.Ompsan.is_clean san) in
+      if dirty <> planted then
+        Test.fail_reportf "dynamic layer: dirty=%b for plant=%s\n%s" dirty
+          (plant_to_string case.plant)
+          (String.concat "\n" (Gpusim.Ompsan.report_strings san));
+      true
+
+(* Both engines must also agree on the verdict itself. *)
+let run_sanitizer_engine_agreement case =
+  let a = run_sanitizer_certification ~engine:`Walk case in
+  let b = run_sanitizer_certification ~engine:`Staged case in
+  a && b
+
 (* --- collapse(2) ------------------------------------------------------- *)
 
 (* A collapsed distribute-parallel-for: the flat loop plus the div/mod
@@ -413,17 +534,22 @@ type collapse_case = {
   cthreads : int;
   csimd_len : int;
   csched : Ir.schedule;
+  cplant : bool;  (** plant a j-invariant store in the simd body *)
 }
 
-let gen_collapse_case st =
+let gen_collapse_case ?(plant = Gen.return false) st =
+  let cplant = plant st in
   {
     crows = Gen.int_range 1 12 st;
     cinner = Gen.int_range 2 4 st;
     cwidth = List.nth [ 4; 8; 16 ] (Gen.int_range 0 2 st);
     cteams = Gen.int_range 1 3 st;
     cthreads = List.nth [ 32; 64 ] (Gen.int_range 0 1 st);
-    csimd_len = List.nth [ 1; 4; 8 ] (Gen.int_range 0 2 st);
+    csimd_len =
+      (if cplant then List.nth [ 4; 8 ] (Gen.int_range 0 1 st)
+       else List.nth [ 1; 4; 8 ] (Gen.int_range 0 2 st));
     csched = gen_sched st;
+    cplant;
   }
 
 let collapse_kernel cc =
@@ -439,18 +565,22 @@ let collapse_kernel cc =
           init = Load ("src", Binop (Mod, Var "f", Var "n"));
         };
       simd ~var:"j" ~lo:(Int_lit 0) ~hi:(Int_lit cc.cwidth)
-        [
-          Store
-            ( "out",
-              Binop (Add, Binop (Mul, Var "f", Int_lit cc.cwidth), Var "j"),
-              Binop
-                ( Add,
-                  Var "base",
-                  Load
-                    ( "src",
-                      Binop (Mod, Binop (Add, Var "f", Var "j"), Var "n") ) )
-            );
-        ];
+        ([
+           Store
+             ( "out",
+               Binop (Add, Binop (Mul, Var "f", Int_lit cc.cwidth), Var "j"),
+               Binop
+                 ( Add,
+                   Var "base",
+                   Load
+                     ( "src",
+                       Binop (Mod, Binop (Add, Var "f", Var "j"), Var "n") ) )
+             );
+         ]
+        @
+        if cc.cplant then
+          [ Store ("out", Binop (Mul, Var "f", Int_lit cc.cwidth), Var "base") ]
+        else []);
       Decl { name = "total"; ty = Tfloat; init = Float_lit 0.0 };
       simd_sum ~acc:"total" ~var:"k" ~lo:(Int_lit 0) ~hi:(Int_lit cc.cwidth)
         ~value:
@@ -515,13 +645,51 @@ let run_collapse_differential cc =
     ~bindings_of:(fun () -> collapse_bindings cc)
     ~out_arrays:[ "out"; "red" ] ~kernel program
 
-let collapse_arbitrary =
-  QCheck.make
-    ~print:(fun cc ->
-      Printf.sprintf "rows=%d inner=%d width=%d teams=%d threads=%d simdlen=%d sched=%s"
-        cc.crows cc.cinner cc.cwidth cc.cteams cc.cthreads cc.csimd_len
-        (sched_to_string cc.csched))
-    gen_collapse_case
+let print_collapse cc =
+  Printf.sprintf
+    "rows=%d inner=%d width=%d teams=%d threads=%d simdlen=%d sched=%s plant=%b"
+    cc.crows cc.cinner cc.cwidth cc.cteams cc.cthreads cc.csimd_len
+    (sched_to_string cc.csched) cc.cplant
+
+let collapse_arbitrary = QCheck.make ~print:print_collapse gen_collapse_case
+
+let collapse_certified_arbitrary =
+  QCheck.make ~print:print_collapse (gen_collapse_case ~plant:Gen.bool)
+
+let collapse_options cc =
+  {
+    Eval.num_teams = cc.cteams;
+    num_threads = cc.cthreads;
+    teams_mode = Mode.Spmd;
+    parallel_mode = `Auto;
+    simd_len = cc.csimd_len;
+    sharing_bytes = 2048;
+  }
+
+let run_collapse_certification cc =
+  let kernel = collapse_kernel cc in
+  let static_findings = Ompir.Racecheck.check_kernel kernel in
+  if static_findings <> [] <> cc.cplant then
+    Test.fail_reportf "collapse static layer: %d finding(s) for plant=%b"
+      (List.length static_findings) cc.cplant;
+  let program = Outline.run kernel in
+  let _, bindings = collapse_bindings cc in
+  Gpusim.Ompsan.enabled := true;
+  let report =
+    Fun.protect
+      ~finally:(fun () -> Gpusim.Ompsan.refresh_from_env ())
+      (fun () ->
+        Ompir.Compile.run ~cfg ~options:(collapse_options cc) ~bindings program)
+  in
+  match report.Gpusim.Device.sanitizer with
+  | None -> Test.fail_reportf "sanitizer report missing from an enabled run"
+  | Some san ->
+      let dirty = not (Gpusim.Ompsan.is_clean san) in
+      if dirty <> cc.cplant then
+        Test.fail_reportf "collapse dynamic layer: dirty=%b for plant=%b\n%s"
+          dirty cc.cplant
+          (String.concat "\n" (Gpusim.Ompsan.report_strings san));
+      true
 
 let qcheck_cases =
   let pool = Gpusim.Pool.create ~domains:3 () in
@@ -536,7 +704,30 @@ let qcheck_cases =
       (fun case -> run_engine_differential ~pool case);
     Test.make ~name:"collapse(2): staged engine == tree walker == host"
       ~count:60 collapse_arbitrary run_collapse_differential;
+    (* certified fleet: racy iff planted, on both layers *)
+    Test.make ~name:"certified fleet: sanitizer verdict == plant (staged)"
+      ~count:120 certified_arbitrary
+      (run_sanitizer_certification ~engine:`Staged);
+    Test.make ~name:"certified fleet: both engines certify the verdict"
+      ~count:60 certified_arbitrary run_sanitizer_engine_agreement;
+    Test.make ~name:"certified fleet: verdicts hold on a domain pool"
+      ~count:30 certified_arbitrary
+      (fun case -> run_sanitizer_certification ~pool ~engine:`Staged case);
+    Test.make ~name:"certified fleet: collapse(2) verdict == plant" ~count:60
+      collapse_certified_arbitrary run_collapse_certification;
   ]
 
+(* A fixed seed makes every property run (and every shrink trace)
+   reproducible across machines and CI reruns. *)
+let qcheck_seed = 0x5eed
+
 let suite =
-  [ ("differential", List.map QCheck_alcotest.to_alcotest qcheck_cases) ]
+  [
+    ( "differential",
+      List.map
+        (fun t ->
+          QCheck_alcotest.to_alcotest
+            ~rand:(Random.State.make [| qcheck_seed |])
+            t)
+        qcheck_cases );
+  ]

@@ -549,8 +549,12 @@ let test_deadlock_reports_same_name_barriers () =
   with
   | _ -> Alcotest.fail "expected Deadlock"
   | exception Engine.Deadlock msg ->
-      check_int "both stuck barriers reported" 2
-        (count_substring msg "[w 1/2]")
+      (* the report carries each barrier's unique id (name#id), so two
+         same-name barriers stay distinguishable *)
+      check_int "first stuck barrier reported" 1
+        (count_substring msg (Printf.sprintf "[w#%d 1/2]" (Barrier.id b0)));
+      check_int "second stuck barrier reported" 1
+        (count_substring msg (Printf.sprintf "[w#%d 1/2]" (Barrier.id b1)))
 
 (* --- Pool / parallel determinism -------------------------------------- *)
 

@@ -27,6 +27,12 @@ dune build bench/main.exe
 
 run_bench() {
   # run_bench <domains> <dedup 0|1> <json-out>
+  # The sanitizer is pinned OFF: benchmarks measure the production path,
+  # and the baseline gate below doubles as the proof that carrying the
+  # (disabled) sanitizer hooks costs nothing — a hot-path regression in
+  # the instrumented loads/stores shows up as an E6 (or any other row)
+  # ratio past the threshold.
+  OMPSIMD_SANITIZE=0 \
   OMPSIMD_DOMAINS="$1" \
   OMPSIMD_BENCH_DEDUP="$2" \
   OMPSIMD_BENCH_SCALE="${OMPSIMD_BENCH_SCALE:-0.05}" \
@@ -72,6 +78,12 @@ base = next(
 if base is None:
     sys.exit(f"no committed entry matches domains={fresh['domains']} dedup={fresh['dedup']}")
 failed = []
+# E6 (the reduction ablation) is the sanitizer-sensitive row: its inner
+# loop is dominated by the instrumented loads/stores, so a fresh run
+# must produce an estimate for it — a silently missing row would let a
+# disabled-sanitizer slowdown ship ungated.
+if fresh["ms_per_run"].get("reduction ablation (E6)") is None:
+    sys.exit("FAIL: fresh run has no estimate for 'reduction ablation (E6)'")
 print(f"{'row':<30} {'committed':>10} {'fresh':>10}  ratio")
 for name, old in base["ms_per_run"].items():
     new = fresh["ms_per_run"].get(name)
