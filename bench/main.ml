@@ -24,8 +24,11 @@
 open Bechamel
 open Toolkit
 
+(* Knob reads go through Ompsimd_util.Env: blank values mean unset. *)
+module Env = Ompsimd_util.Env
+
 let device () =
-  match Sys.getenv_opt "OMPSIMD_BENCH_DEVICE" with
+  match Env.var "OMPSIMD_BENCH_DEVICE" with
   | Some "a100" -> Gpusim.Config.a100
   | Some "small" -> Gpusim.Config.small
   | Some "a100q" | None -> Gpusim.Config.a100_quarter
@@ -33,18 +36,11 @@ let device () =
       Printf.eprintf "unknown OMPSIMD_BENCH_DEVICE %S\n" other;
       exit 2
 
-let scale () =
-  match Sys.getenv_opt "OMPSIMD_BENCH_SCALE" with
-  | Some s -> float_of_string s
-  | None -> 1.0
-
-let quota () =
-  match Sys.getenv_opt "OMPSIMD_BENCH_QUOTA" with
-  | Some s -> float_of_string s
-  | None -> 1.0
+let scale () = Env.float "OMPSIMD_BENCH_SCALE" ~default:1.0
+let quota () = Env.float "OMPSIMD_BENCH_QUOTA" ~default:1.0
 
 let dedup () =
-  match Sys.getenv_opt "OMPSIMD_BENCH_DEDUP" with
+  match Env.var "OMPSIMD_BENCH_DEDUP" with
   | Some "0" -> false
   | Some _ | None -> true
 
@@ -81,6 +77,39 @@ let print_experiments ~pool () =
 
 (* --- Bechamel: host cost of regenerating each experiment -------------- *)
 
+(* Serve scenario: one compile-heavy trace (the deep-pipeline [chain]
+   template at three sizes, so three distinct digests over thirty
+   requests) replayed against a warm cache (three host compiles, the
+   rest hits) and a cold one (capacity 0 — every request recompiles).
+   The ratio of the two rows is the cache-warm speedup the service
+   buys on the host. *)
+let serve_trace =
+  List.init 30 (fun i ->
+      {
+        Serve.Request.id = i;
+        at = float_of_int i *. 1500.0;
+        kernel = "chain";
+        size = 256 + (256 * (i mod 3));
+        teams = 1;
+        threads = 32;
+        simdlen = 8;
+        guardize = false;
+        deadline = None;
+        priority = 0;
+        seed = 1 + (i mod 5);
+      })
+
+let serve_conf ~cache =
+  {
+    Serve.Scheduler.cfg = Gpusim.Config.small;
+    queue_bound = 16;
+    servers = 2;
+    cache_capacity = cache;
+    max_retries = 2;
+    backoff = 500.0;
+    knobs = Openmp.Offload.default_knobs;
+  }
+
 let bench_tests ~pool () =
   let cfg = Gpusim.Config.small in
   let s = 0.25 in
@@ -112,6 +141,12 @@ let bench_tests ~pool () =
     Test.make ~name:"schedule ablation (E9)"
       (Staged.stage (fun () ->
            ignore (Experiments.Schedule_ablation.run ~scale:0.1 ~pool ~cfg ())));
+    Test.make ~name:"serve warm cache"
+      (Staged.stage (fun () ->
+           ignore (Serve.Scheduler.run (serve_conf ~cache:32) ~pool serve_trace)));
+    Test.make ~name:"serve cold cache"
+      (Staged.stage (fun () ->
+           ignore (Serve.Scheduler.run (serve_conf ~cache:0) ~pool serve_trace)));
   ]
 
 let json_escape s =
@@ -177,7 +212,7 @@ let run_bechamel ~pool () =
       (bench_tests ~pool ())
     |> List.concat
   in
-  match Sys.getenv_opt "OMPSIMD_BENCH_JSON" with
+  match Env.var "OMPSIMD_BENCH_JSON" with
   | Some path -> write_json ~pool path estimates
   | None -> ()
 

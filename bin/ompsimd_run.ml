@@ -26,20 +26,23 @@ let scale_term =
   let doc = "Problem-size multiplier (use < 1.0 for quick runs)." in
   Arg.(value & opt float 1.0 & info [ "scale"; "s" ] ~docv:"SCALE" ~doc)
 
+(* The single place every subcommand reads its environment: arming the
+   sanitizer (workload subcommands launch on the device directly,
+   without going through Offload.run, so OMPSIMD_SANITIZE must be
+   honored here) and sizing the OMPSIMD_DOMAINS block-simulation pool
+   (bit-identical reports either way, see DESIGN.md).  New knob
+   families plug in here — `serve` reads its OMPSIMD_SERVE_* scheduler
+   knobs through {!Serve.Scheduler.config_of_env} from the same spot. *)
+let refresh_env_and_pool () =
+  Gpusim.Ompsan.refresh_from_env ();
+  Gpusim.Pool.get_default ()
+
 let with_device name f =
   match device_of_name name with
   | Error msg ->
       prerr_endline msg;
       exit 2
-  | Ok cfg ->
-      (* Workload subcommands launch on the device directly, without
-         going through Offload.run — honor OMPSIMD_SANITIZE here too. *)
-      Gpusim.Ompsan.refresh_from_env ();
-      f cfg
-
-(* Block simulation fans out over OMPSIMD_DOMAINS host domains; reports
-   are bit-identical to the sequential path (see DESIGN.md). *)
-let pool () = Gpusim.Pool.get_default ()
+  | Ok cfg -> f cfg (refresh_env_and_pool ())
 
 let csv_term =
   let doc = "Also write the series as CSV to this file." in
@@ -57,8 +60,8 @@ let write_csv path contents =
 
 let fig9_cmd =
   let run device scale csv =
-    with_device device (fun cfg ->
-        let r = Experiments.Fig9.run ~scale ~pool:(pool ()) ~cfg () in
+    with_device device (fun cfg pool ->
+        let r = Experiments.Fig9.run ~scale ~pool ~cfg () in
         Experiments.Fig9.print r;
         write_csv csv (Experiments.Fig9.to_csv r))
   in
@@ -68,8 +71,8 @@ let fig9_cmd =
 
 let fig10_cmd =
   let run device scale csv =
-    with_device device (fun cfg ->
-        let r = Experiments.Fig10.run ~scale ~pool:(pool ()) ~cfg () in
+    with_device device (fun cfg pool ->
+        let r = Experiments.Fig10.run ~scale ~pool ~cfg () in
         Experiments.Fig10.print r;
         write_csv csv (Experiments.Fig10.to_csv r))
   in
@@ -79,9 +82,9 @@ let fig10_cmd =
 
 let sharing_cmd =
   let run device scale =
-    with_device device (fun cfg ->
+    with_device device (fun cfg pool ->
         Experiments.Sharing_ablation.print
-          (Experiments.Sharing_ablation.run ~scale ~pool:(pool ()) ~cfg ()))
+          (Experiments.Sharing_ablation.run ~scale ~pool ~cfg ()))
   in
   Cmd.v
     (Cmd.info "sharing" ~doc:"E3: sharing-space sizing ablation (S5.3.1)")
@@ -89,9 +92,9 @@ let sharing_cmd =
 
 let dispatch_cmd =
   let run device scale =
-    with_device device (fun cfg ->
+    with_device device (fun cfg pool ->
         Experiments.Dispatch_ablation.print
-          (Experiments.Dispatch_ablation.run ~scale ~pool:(pool ()) ~cfg ()))
+          (Experiments.Dispatch_ablation.run ~scale ~pool ~cfg ()))
   in
   Cmd.v
     (Cmd.info "dispatch" ~doc:"E4: if-cascade vs indirect dispatch (S5.5)")
@@ -99,7 +102,8 @@ let dispatch_cmd =
 
 let amd_cmd =
   let run scale =
-    Experiments.Amd_mode.print (Experiments.Amd_mode.run ~scale ~pool:(pool ()) ())
+    let pool = refresh_env_and_pool () in
+    Experiments.Amd_mode.print (Experiments.Amd_mode.run ~scale ~pool ())
   in
   Cmd.v
     (Cmd.info "amd" ~doc:"E5: AMD wavefront-barrier gap (S5.4.1)")
@@ -107,9 +111,9 @@ let amd_cmd =
 
 let reduction_cmd =
   let run device scale =
-    with_device device (fun cfg ->
+    with_device device (fun cfg pool ->
         Experiments.Reduction_ablation.print
-          (Experiments.Reduction_ablation.run ~scale ~pool:(pool ()) ~cfg ()))
+          (Experiments.Reduction_ablation.run ~scale ~pool ~cfg ()))
   in
   Cmd.v
     (Cmd.info "reduction" ~doc:"E6: simd reduction vs atomic update (S7)")
@@ -117,9 +121,9 @@ let reduction_cmd =
 
 let teams_mode_cmd =
   let run device scale =
-    with_device device (fun cfg ->
+    with_device device (fun cfg pool ->
         Experiments.Teams_mode_ablation.print
-          (Experiments.Teams_mode_ablation.run ~scale ~pool:(pool ()) ~cfg ()))
+          (Experiments.Teams_mode_ablation.run ~scale ~pool ~cfg ()))
   in
   Cmd.v
     (Cmd.info "teamsmode" ~doc:"E7: teams generic vs SPMD occupancy cost")
@@ -127,9 +131,9 @@ let teams_mode_cmd =
 
 let spmdize_cmd =
   let run device scale =
-    with_device device (fun cfg ->
+    with_device device (fun cfg pool ->
         Experiments.Spmdization_ablation.print
-          (Experiments.Spmdization_ablation.run ~scale ~pool:(pool ()) ~cfg ()))
+          (Experiments.Spmdization_ablation.run ~scale ~pool ~cfg ()))
   in
   Cmd.v
     (Cmd.info "spmdize"
@@ -138,9 +142,9 @@ let spmdize_cmd =
 
 let schedule_cmd =
   let run device scale =
-    with_device device (fun cfg ->
+    with_device device (fun cfg pool ->
         Experiments.Schedule_ablation.print
-          (Experiments.Schedule_ablation.run ~scale ~pool:(pool ()) ~cfg ()))
+          (Experiments.Schedule_ablation.run ~scale ~pool ~cfg ()))
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"E9: loop schedules under row imbalance")
@@ -166,7 +170,7 @@ let kernel_cmd =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
   let run device scale kernel mode simdlen trace_path =
-    with_device device (fun cfg ->
+    with_device device (fun cfg pool ->
         let module H = Workloads.Harness in
         let mode3 =
           match mode with
@@ -188,12 +192,12 @@ let kernel_cmd =
                   { Workloads.Spmv.default_shape with
                     Workloads.Spmv.rows = sc 8192; cols = sc 8192 }
               in
-              let r = Workloads.Spmv.run_simd ~cfg ~pool:(pool ()) ?trace ~num_teams:teams ~threads:128 ~mode3 t in
+              let r = Workloads.Spmv.run_simd ~cfg ~pool ?trace ~num_teams:teams ~threads:128 ~mode3 t in
               H.check_or_fail (Workloads.Spmv.verify t r.H.output);
               r
           | "su3" ->
               let t = Workloads.Su3.generate { Workloads.Su3.sites = sc 8192; seed = 2 } in
-              let r = Workloads.Su3.run ~cfg ~pool:(pool ()) ?trace ~num_teams:teams ~threads:128 ~mode3 t in
+              let r = Workloads.Su3.run ~cfg ~pool ?trace ~num_teams:teams ~threads:128 ~mode3 t in
               H.check_or_fail (Workloads.Su3.verify t r.H.output);
               r
           | "ideal" ->
@@ -201,12 +205,12 @@ let kernel_cmd =
                 Workloads.Ideal.generate
                   { Workloads.Ideal.default_shape with Workloads.Ideal.rows = sc 4096 }
               in
-              let r = Workloads.Ideal.run ~cfg ~pool:(pool ()) ?trace ~num_teams:teams ~threads:128 ~mode3 t in
+              let r = Workloads.Ideal.run ~cfg ~pool ?trace ~num_teams:teams ~threads:128 ~mode3 t in
               H.check_or_fail (Workloads.Ideal.verify t r.H.output);
               r
           | "laplace3d" ->
               let t = Workloads.Laplace3d.generate { Workloads.Laplace3d.n = sc 50; seed = 4 } in
-              let r = Workloads.Laplace3d.run ~cfg ~pool:(pool ()) ?trace ~num_teams:teams ~threads:128 ~mode3 t in
+              let r = Workloads.Laplace3d.run ~cfg ~pool ?trace ~num_teams:teams ~threads:128 ~mode3 t in
               H.check_or_fail (Workloads.Laplace3d.verify t r.H.output);
               r
           | "transpose" ->
@@ -214,7 +218,7 @@ let kernel_cmd =
                 Workloads.Muram.generate
                   { Workloads.Muram.ni = sc 48; nj = sc 48; nk = 48; seed = 5 }
               in
-              let r = Workloads.Muram.run_transpose ~cfg ~pool:(pool ()) ?trace ~num_teams:teams ~threads:128 ~mode3 t in
+              let r = Workloads.Muram.run_transpose ~cfg ~pool ?trace ~num_teams:teams ~threads:128 ~mode3 t in
               H.check_or_fail (Workloads.Muram.verify_transpose t r.H.output);
               r
           | "interpol" ->
@@ -222,7 +226,7 @@ let kernel_cmd =
                 Workloads.Muram.generate
                   { Workloads.Muram.ni = sc 48; nj = sc 48; nk = 48; seed = 5 }
               in
-              let r = Workloads.Muram.run_interpol ~cfg ~pool:(pool ()) ?trace ~num_teams:teams ~threads:128 ~mode3 t in
+              let r = Workloads.Muram.run_interpol ~cfg ~pool ?trace ~num_teams:teams ~threads:128 ~mode3 t in
               H.check_or_fail (Workloads.Muram.verify_interpol t r.H.output);
               r
           | other ->
@@ -291,7 +295,7 @@ let compile_cmd =
 
 let info_cmd =
   let run device =
-    with_device device (fun cfg ->
+    with_device device (fun cfg pool ->
         Format.printf "%a@." Gpusim.Config.pp cfg)
   in
   Cmd.v
@@ -300,34 +304,105 @@ let info_cmd =
 
 let all_cmd =
   let run device scale =
-    with_device device (fun cfg ->
-        Experiments.Fig9.print (Experiments.Fig9.run ~scale ~pool:(pool ()) ~cfg ());
+    with_device device (fun cfg pool ->
+        Experiments.Fig9.print (Experiments.Fig9.run ~scale ~pool ~cfg ());
         print_newline ();
-        Experiments.Fig10.print (Experiments.Fig10.run ~scale ~pool:(pool ()) ~cfg ());
+        Experiments.Fig10.print (Experiments.Fig10.run ~scale ~pool ~cfg ());
         print_newline ();
         Experiments.Sharing_ablation.print
-          (Experiments.Sharing_ablation.run ~scale ~pool:(pool ()) ~cfg ());
+          (Experiments.Sharing_ablation.run ~scale ~pool ~cfg ());
         print_newline ();
         Experiments.Dispatch_ablation.print
-          (Experiments.Dispatch_ablation.run ~scale ~pool:(pool ()) ~cfg ());
+          (Experiments.Dispatch_ablation.run ~scale ~pool ~cfg ());
         print_newline ();
-        Experiments.Amd_mode.print (Experiments.Amd_mode.run ~scale ~pool:(pool ()) ());
+        Experiments.Amd_mode.print (Experiments.Amd_mode.run ~scale ~pool ());
         print_newline ();
         Experiments.Reduction_ablation.print
-          (Experiments.Reduction_ablation.run ~scale ~pool:(pool ()) ~cfg ());
+          (Experiments.Reduction_ablation.run ~scale ~pool ~cfg ());
         print_newline ();
         Experiments.Teams_mode_ablation.print
-          (Experiments.Teams_mode_ablation.run ~scale ~pool:(pool ()) ~cfg ());
+          (Experiments.Teams_mode_ablation.run ~scale ~pool ~cfg ());
         print_newline ();
         Experiments.Spmdization_ablation.print
-          (Experiments.Spmdization_ablation.run ~scale ~pool:(pool ()) ~cfg ());
+          (Experiments.Spmdization_ablation.run ~scale ~pool ~cfg ());
         print_newline ();
         Experiments.Schedule_ablation.print
-          (Experiments.Schedule_ablation.run ~scale ~pool:(pool ()) ~cfg ()))
+          (Experiments.Schedule_ablation.run ~scale ~pool ~cfg ()))
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment in EXPERIMENTS.md")
     Term.(const run $ device_term $ scale_term)
+
+let serve_cmd =
+  let requests_term =
+    let doc =
+      "Replay this request trace (key=value lines, see \
+       examples/serve.requests)."
+    in
+    Arg.(value & opt (some file) None & info [ "requests" ] ~docv:"FILE" ~doc)
+  in
+  let synthetic_term =
+    let doc = "Generate N synthetic requests instead of replaying a trace." in
+    Arg.(value & opt (some int) None & info [ "synthetic" ] ~docv:"N" ~doc)
+  in
+  let seed_term =
+    let doc = "Seed for the synthetic generator." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let gap_term =
+    let doc = "Mean inter-arrival gap of the synthetic generator, in ticks." in
+    Arg.(value & opt float 2000.0 & info [ "gap" ] ~docv:"TICKS" ~doc)
+  in
+  let json_term =
+    let doc = "Also write the full replay snapshot (config, per-request \
+               reports, metrics) as JSON to this file."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run device requests synthetic seed gap json_path =
+    with_device device (fun cfg pool ->
+        let specs =
+          match (requests, synthetic) with
+          | Some file, None -> (
+              try Serve.Request.load_trace file
+              with Failure msg ->
+                Printf.eprintf "%s: %s\n" file msg;
+                exit 1)
+          | None, Some n -> Serve.Request.synthetic ~n ~seed ~gap ()
+          | None, None ->
+              prerr_endline "serve: one of --requests or --synthetic is required";
+              exit 2
+          | Some _, Some _ ->
+              prerr_endline "serve: --requests and --synthetic are exclusive";
+              exit 2
+        in
+        let conf = Serve.Scheduler.config_of_env ~cfg () in
+        let reports, metrics = Serve.Scheduler.run conf ~pool specs in
+        List.iter
+          (fun r -> print_endline (Serve.Scheduler.report_line r))
+          reports;
+        print_newline ();
+        print_string (Serve.Metrics.to_text metrics);
+        match json_path with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                output_string oc
+                  (Serve.Scheduler.snapshot_json conf reports metrics);
+                output_char oc '\n');
+            Printf.printf "snapshot written to %s\n" path)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent kernel-launch service over a request trace \
+          (deterministic replay) or a seeded synthetic workload")
+    Term.(
+      const run $ device_term $ requests_term $ synthetic_term $ seed_term
+      $ gap_term $ json_term)
 
 let () =
   let info =
@@ -350,6 +425,7 @@ let () =
             spmdize_cmd;
             schedule_cmd;
             kernel_cmd;
+            serve_cmd;
             compile_cmd;
             info_cmd;
             all_cmd;

@@ -41,9 +41,11 @@ let kind_label = function Read -> "read" | Write -> "write" | Atomic -> "atomic"
 (* --- enable switch ---------------------------------------------------- *)
 
 let env_enabled () =
-  match Sys.getenv_opt "OMPSIMD_SANITIZE" with
+  (* blank = unset = off; anything else falls back to off as well — the
+     sanitizer is opt-in and must never arm by accident *)
+  match Ompsimd_util.Env.var "OMPSIMD_SANITIZE" with
   | Some ("1" | "on" | "true" | "yes") -> true
-  | _ -> false
+  | Some _ | None -> false
 
 let enabled = ref (env_enabled ())
 let refresh_from_env () = enabled := env_enabled ()

@@ -136,11 +136,12 @@ let domains_of_env () =
      beyond the physical cores only add stop-the-world GC coordination:
      the policy layer caps any request at cores - 1 (the submitting
      domain simulates too).  [create] itself stays exact for callers
-     that oversubscribe deliberately (tests). *)
+     that oversubscribe deliberately (tests).  A blank value means
+     unset ({!Ompsimd_util.Env}). *)
   let cap = max 0 (Domain.recommended_domain_count () - 1) in
-  match Sys.getenv_opt env_var with
+  match Ompsimd_util.Env.var env_var with
   | Some s -> (
-      match int_of_string_opt (String.trim s) with
+      match int_of_string_opt s with
       | Some d when d >= 0 -> min d cap
       | Some _ | None ->
           invalid_arg

@@ -28,11 +28,11 @@ let err fmt = Printf.ksprintf (fun s -> raise (Eval.Error s)) fmt
 type engine = Walk | Staged
 
 let engine_of_env () =
-  match Sys.getenv_opt "OMPSIMD_EVAL" with
+  (* blank = unset ({!Ompsimd_util.Env}), the shared convention for
+     every OMPSIMD_* knob *)
+  match Ompsimd_util.Env.var "OMPSIMD_EVAL" with
   | Some "walk" -> Walk
-  (* an empty value is how a shell (or Unix.putenv, which cannot remove
-     a variable) spells "unset" *)
-  | Some "compile" | Some "staged" | Some "" | None -> Staged
+  | Some "compile" | Some "staged" | None -> Staged
   | Some other ->
       invalid_arg
         (Printf.sprintf "OMPSIMD_EVAL=%s (expected \"compile\" or \"walk\")"

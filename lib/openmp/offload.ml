@@ -6,6 +6,27 @@ type compiled = {
   may_races : Ompir.Racecheck.finding list;
 }
 
+type knobs = { guardize : bool; fold : bool; racecheck : bool }
+
+let default_knobs = { guardize = false; fold = true; racecheck = false }
+
+(* The cache identity of a compilation: the content digest of the IR
+   plus every knob that changes what [compile] produces, plus the
+   evaluation engine (the staged evaluator and the walker are
+   bit-identical by contract, but a service replay pins the engine into
+   the key so switching OMPSIMD_EVAL can never alias a cached artifact
+   from the other engine). *)
+let cache_key ?(knobs = default_knobs) kernel =
+  let engine =
+    match Ompir.Compile.engine_of_env () with
+    | Ompir.Compile.Staged -> "staged"
+    | Ompir.Compile.Walk -> "walk"
+  in
+  Printf.sprintf "%s:g%db%dr%d:%s"
+    (Ompir.Kdigest.hex kernel)
+    (Bool.to_int knobs.guardize) (Bool.to_int knobs.fold)
+    (Bool.to_int knobs.racecheck) engine
+
 let compile ?(guardize = false) ?(fold = true) ?(racecheck = false) kernel =
   match Ompir.Check.kernel kernel with
   | Error es -> Error es
@@ -31,6 +52,10 @@ let compile ?(guardize = false) ?(fold = true) ?(racecheck = false) kernel =
           guards_inserted = guards;
           may_races;
         }
+
+let compile_with ~knobs kernel =
+  compile ~guardize:knobs.guardize ~fold:knobs.fold ~racecheck:knobs.racecheck
+    kernel
 
 let remarks c =
   let outlined =

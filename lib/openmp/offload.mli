@@ -18,6 +18,27 @@ type compiled = {
           [~racecheck:true]) *)
 }
 
+type knobs = { guardize : bool; fold : bool; racecheck : bool }
+(** The compile-relevant knobs, bundled so cache layers can key on
+    them; see {!cache_key}. *)
+
+val default_knobs : knobs
+(** [{ guardize = false; fold = true; racecheck = false }] — the
+    defaults of {!compile}. *)
+
+val cache_key : ?knobs:knobs -> Ompir.Ir.kernel -> string
+(** The identity of a compilation for caching: content digest of the
+    kernel ({!Ompir.Kdigest}), the knobs, and the engine selected by
+    [OMPSIMD_EVAL].  Two calls return equal keys iff [compile_with]
+    would produce an interchangeable artifact. *)
+
+val compile_with :
+  knobs:knobs ->
+  Ompir.Ir.kernel ->
+  (compiled, Ompir.Check.error list) result
+(** {!compile} with the knobs bundled — the entry point cache layers
+    use so key and compilation can never disagree. *)
+
 val compile :
   ?guardize:bool ->
   ?fold:bool ->

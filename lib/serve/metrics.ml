@@ -1,0 +1,100 @@
+(* Service metrics snapshot.  Everything here is derived from virtual
+   (simulated) time and deterministic counters — never the host clock —
+   so a replay of the same trace under the same seed produces a
+   bit-identical snapshot, pooled or sequential, either engine. *)
+
+module Stats = Ompsimd_util.Stats
+
+type t = {
+  requests : int;  (* trace length *)
+  completed : int;
+  rejected : int;  (* admission failure, no retry policy *)
+  shed : int;  (* dropped after exhausting retries *)
+  timed_out : int;
+  failed : int;  (* compile errors *)
+  retries : int;  (* re-arrivals scheduled by the backoff policy *)
+  queue_max : int;
+  inflight_max : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  cache_joins : int;
+  latency_mean : float;
+  latency_p50 : float;
+  latency_p95 : float;
+  latency_p99 : float;
+  makespan : float;  (* virtual ticks, first arrival to last event *)
+  sim_cycles : float;  (* total simulated device cycles across launches *)
+  launches : int;
+  blocks : int;  (* total blocks launched *)
+  global_loads : int;
+  global_stores : int;
+  atomics : int;
+}
+
+let cache_hit_rate m =
+  let total = m.cache_hits + m.cache_joins + m.cache_misses in
+  if total = 0 then 0.0
+  else float_of_int (m.cache_hits + m.cache_joins) /. float_of_int total
+
+let percentiles latencies =
+  match Array.length latencies with
+  | 0 -> (0.0, 0.0, 0.0, 0.0)
+  | _ ->
+      ( Stats.mean latencies,
+        Stats.percentile latencies 50.0,
+        Stats.percentile latencies 95.0,
+        Stats.percentile latencies 99.0 )
+
+let throughput m =
+  if m.makespan <= 0.0 then 0.0
+  else float_of_int m.completed /. (m.makespan /. 1.0e6)
+
+let to_text m =
+  let b = Buffer.create 512 in
+  let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  p "service metrics (virtual time)\n";
+  p "  requests    %6d  (completed %d, rejected %d, shed %d, timed-out %d, failed %d)\n"
+    m.requests m.completed m.rejected m.shed m.timed_out m.failed;
+  p "  retries     %6d   queue max %d   in-flight max %d\n" m.retries
+    m.queue_max m.inflight_max;
+  p "  cache       hits %d  joins %d  misses %d  evictions %d  (hit rate %.1f%%)\n"
+    m.cache_hits m.cache_joins m.cache_misses m.cache_evictions
+    (100.0 *. cache_hit_rate m);
+  p "  latency     mean %.1f  p50 %.1f  p95 %.1f  p99 %.1f ticks\n"
+    m.latency_mean m.latency_p50 m.latency_p95 m.latency_p99;
+  p "  makespan    %.1f ticks   throughput %.2f req/Mtick\n" m.makespan
+    (throughput m);
+  p "  device      %d launches, %d blocks, %.0f cycles, %d loads, %d stores, %d atomics\n"
+    m.launches m.blocks m.sim_cycles m.global_loads m.global_stores m.atomics;
+  Buffer.contents b
+
+(* Fixed three-decimal rendering: enough for tick quantities, and a
+   stable text form — the smoke test diffs these files byte-for-byte. *)
+let jf x = Printf.sprintf "%.3f" x
+
+let to_json m =
+  let b = Buffer.create 512 in
+  let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  p "{";
+  p "\"requests\": %d, " m.requests;
+  p "\"completed\": %d, " m.completed;
+  p "\"rejected\": %d, " m.rejected;
+  p "\"shed\": %d, " m.shed;
+  p "\"timed_out\": %d, " m.timed_out;
+  p "\"failed\": %d, " m.failed;
+  p "\"retries\": %d, " m.retries;
+  p "\"queue_max\": %d, " m.queue_max;
+  p "\"inflight_max\": %d, " m.inflight_max;
+  p "\"cache\": {\"hits\": %d, \"joins\": %d, \"misses\": %d, \"evictions\": %d, \"hit_rate\": %s}, "
+    m.cache_hits m.cache_joins m.cache_misses m.cache_evictions
+    (jf (cache_hit_rate m));
+  p "\"latency\": {\"mean\": %s, \"p50\": %s, \"p95\": %s, \"p99\": %s}, "
+    (jf m.latency_mean) (jf m.latency_p50) (jf m.latency_p95)
+    (jf m.latency_p99);
+  p "\"makespan\": %s, " (jf m.makespan);
+  p "\"device\": {\"launches\": %d, \"blocks\": %d, \"sim_cycles\": %s, \"global_loads\": %d, \"global_stores\": %d, \"atomics\": %d}"
+    m.launches m.blocks (jf m.sim_cycles) m.global_loads m.global_stores
+    m.atomics;
+  p "}";
+  Buffer.contents b

@@ -1,0 +1,48 @@
+(** Service metrics snapshot — queue/admission outcomes, cache counters,
+    latency percentiles and folded per-launch device counters.
+
+    All quantities are in virtual (simulated) time or deterministic
+    counters: a replay of the same trace with the same seed yields a
+    bit-identical snapshot regardless of [OMPSIMD_DOMAINS] or the
+    evaluation engine. *)
+
+type t = {
+  requests : int;
+  completed : int;
+  rejected : int;
+  shed : int;
+  timed_out : int;
+  failed : int;
+  retries : int;
+  queue_max : int;
+  inflight_max : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  cache_joins : int;
+  latency_mean : float;
+  latency_p50 : float;
+  latency_p95 : float;
+  latency_p99 : float;
+  makespan : float;
+  sim_cycles : float;
+  launches : int;
+  blocks : int;
+  global_loads : int;
+  global_stores : int;
+  atomics : int;
+}
+
+val cache_hit_rate : t -> float
+(** (hits + joins) / lookups; 0 when there were none. *)
+
+val throughput : t -> float
+(** Completed requests per million virtual ticks. *)
+
+val percentiles : float array -> float * float * float * float
+(** (mean, p50, p95, p99); zeros on an empty array. *)
+
+val to_text : t -> string
+val to_json : t -> string
+(** Single-line JSON object with a fixed field order and fixed decimal
+    rendering — byte-diffable across replays. *)

@@ -1,0 +1,453 @@
+(* The request scheduler: a discrete-event simulation of a persistent
+   kernel-launch service running in virtual time.
+
+   Requests arrive at trace-defined ticks.  Admission is a bounded
+   queue: a full queue rejects (no retry policy) or schedules a
+   retry-with-exponential-backoff re-arrival; requests that exhaust
+   their retries are shed.  [servers] virtual executors dispatch the
+   queue highest-priority-first (FIFO within a priority, ids break
+   ties).  Service time for a request is
+
+     compile component + execution component
+
+   where the execution component is the launch's simulated device time
+   ([Gpusim.Device.report.time_cycles] — bit-identical across engines
+   and pool sizes by the simulator's determinism contract), and the
+   compile component models staged compilation against the cache:
+   a miss charges a cost proportional to the kernel's structural weight
+   and registers the compile as in flight; a request for the same key
+   dispatched before the in-flight compile's virtual completion waits
+   for it (single flight: one compile charged, late requests pay only
+   the residual wait); a hit after that is free.  Host-side the
+   artifact is compiled once per key through {!Cache.find_or_compile} —
+   that is the real, wall-clock amortization the bench measures.
+
+   Nothing reads the host clock and every tie in the event queue is
+   broken by a deterministic sequence number, so a replay of the same
+   trace is bit-identical — the property tools/serve_smoke.sh enforces. *)
+
+module Offload = Openmp.Offload
+module Clause = Openmp.Clause
+
+type outcome = Completed | Rejected | Shed | Timed_out | Failed
+
+let outcome_to_string = function
+  | Completed -> "completed"
+  | Rejected -> "rejected"
+  | Shed -> "shed"
+  | Timed_out -> "timed-out"
+  | Failed -> "failed"
+
+type cache_status = C_hit | C_miss | C_join | C_none
+
+let cache_status_to_string = function
+  | C_hit -> "hit"
+  | C_miss -> "miss"
+  | C_join -> "join"
+  | C_none -> "-"
+
+type rq_report = {
+  spec : Request.spec;
+  outcome : outcome;
+  attempts : int;
+  start : float;  (* -1 when the request never dispatched *)
+  finish : float;
+  latency : float;  (* finish - arrival *)
+  compile_ticks : float;
+  exec_ticks : float;
+  cache : cache_status;
+  checksum : float;  (* 0 when the kernel never ran *)
+}
+
+type config = {
+  cfg : Gpusim.Config.t;
+  queue_bound : int;
+  servers : int;
+  cache_capacity : int;
+  max_retries : int;
+  backoff : float;  (* base ticks; attempt k waits backoff * 2^(k-1) *)
+  knobs : Offload.knobs;  (* guardize is overridden per request *)
+}
+
+module Env = Ompsimd_util.Env
+
+let config_of_env ~cfg () =
+  {
+    cfg;
+    queue_bound = Env.int "OMPSIMD_SERVE_QUEUE" ~default:16;
+    servers = Env.int "OMPSIMD_SERVE_CONC" ~default:2;
+    cache_capacity = Env.int "OMPSIMD_SERVE_CACHE" ~default:32;
+    max_retries = Env.int "OMPSIMD_SERVE_RETRIES" ~default:2;
+    backoff = Env.float "OMPSIMD_SERVE_BACKOFF" ~default:500.0;
+    knobs = Offload.default_knobs;
+  }
+
+(* Virtual compile cost: purely structural, so it is identical on every
+   host.  25 ticks per IR node on a 200-tick floor lands small kernels
+   in the same decade as their launch times on the small device. *)
+let compile_cost kernel =
+  200.0 +. (25.0 *. float_of_int (Ompir.Kdigest.weight kernel))
+
+(* --- event queue ------------------------------------------------------- *)
+
+type pending = { spec : Request.spec; attempts : int }
+
+type running = {
+  pending : pending;
+  started : float;
+  r_compile : float;
+  r_exec : float;
+  r_cache : cache_status;
+  r_checksum : float;
+}
+
+type event = Arrive of pending | Finish of running
+
+(* Binary min-heap on (time, rank, seq): completions (rank 0) before
+   arrivals (rank 1) at the same tick — a freed server picks up the
+   simultaneous arrival instead of bouncing it to the queue — and the
+   insertion sequence number makes every comparison strict. *)
+module Heap = struct
+  type 'a t = {
+    mutable a : (float * int * int * 'a) array;
+    mutable n : int;
+    mutable seq : int;
+  }
+
+  let create () = { a = [||]; n = 0; seq = 0 }
+
+  let less (t1, r1, s1, _) (t2, r2, s2, _) =
+    t1 < t2 || (t1 = t2 && (r1 < r2 || (r1 = r2 && s1 < s2)))
+
+  let push h time rank v =
+    h.seq <- h.seq + 1;
+    let item = (time, rank, h.seq, v) in
+    if h.n = Array.length h.a then begin
+      let cap = max 16 (2 * h.n) in
+      let a = Array.make cap item in
+      Array.blit h.a 0 a 0 h.n;
+      h.a <- a
+    end;
+    h.a.(h.n) <- item;
+    h.n <- h.n + 1;
+    let rec sift_up i =
+      if i > 0 then begin
+        let p = (i - 1) / 2 in
+        if less h.a.(i) h.a.(p) then begin
+          let tmp = h.a.(p) in
+          h.a.(p) <- h.a.(i);
+          h.a.(i) <- tmp;
+          sift_up p
+        end
+      end
+    in
+    sift_up (h.n - 1)
+
+  let pop h =
+    if h.n = 0 then None
+    else begin
+      let (time, _, _, v) = h.a.(0) in
+      h.n <- h.n - 1;
+      h.a.(0) <- h.a.(h.n);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.n && less h.a.(l) h.a.(!smallest) then smallest := l;
+        if r < h.n && less h.a.(r) h.a.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = h.a.(!smallest) in
+          h.a.(!smallest) <- h.a.(!i);
+          h.a.(!i) <- tmp;
+          i := !smallest
+        end
+      done;
+      Some (time, v)
+    end
+end
+
+(* --- the service loop -------------------------------------------------- *)
+
+let run conf ?pool specs =
+  if conf.servers < 1 then invalid_arg "Scheduler.run: servers must be >= 1";
+  if conf.queue_bound < 0 then invalid_arg "Scheduler.run: negative queue bound";
+  let cache = Cache.create ~capacity:conf.cache_capacity in
+  let heap = Heap.create () in
+  let queue : pending list ref = ref [] in
+  let free = ref conf.servers in
+  let reports = ref [] in
+  let retries = ref 0 in
+  let queue_max = ref 0 in
+  let inflight_max = ref 0 in
+  let launches = ref 0 in
+  let blocks = ref 0 in
+  let sim_cycles = ref 0.0 in
+  let global_loads = ref 0 in
+  let global_stores = ref 0 in
+  let atomics = ref 0 in
+  let last_time = ref 0.0 in
+  (* virtual single-flight bookkeeping: key -> tick at which the
+     in-flight compile completes *)
+  let compiling : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let record r = reports := r :: !reports in
+  let never_ran spec attempts outcome now =
+    {
+      spec;
+      outcome;
+      attempts;
+      start = -1.0;
+      finish = now;
+      latency = now -. spec.at;
+      compile_ticks = 0.0;
+      exec_ticks = 0.0;
+      cache = C_none;
+      checksum = 0.0;
+    }
+  in
+  (* Start a request on a free server; false when it terminated without
+     consuming one (compile failure). *)
+  let start now (p : pending) =
+    let spec = p.spec in
+    let kernel, bindings, out = Request.instantiate spec in
+    let knobs = { conf.knobs with Offload.guardize = spec.guardize } in
+    let key = Offload.cache_key ~knobs kernel in
+    let status, result =
+      Cache.find_or_compile cache ~key ~compile:(fun () ->
+          Offload.compile_with ~knobs kernel)
+    in
+    match result with
+    | Error _ ->
+        record (never_ran spec p.attempts Failed now);
+        false
+    | Ok compiled ->
+        let r_cache, r_compile =
+          match status with
+          | `Miss ->
+              let c = compile_cost kernel in
+              Hashtbl.replace compiling key (now +. c);
+              (C_miss, c)
+          | `Hit | `Joined -> (
+              (* joined at the host level can still be a plain hit in
+                 virtual time (the compile completed ticks ago) *)
+              match Hashtbl.find_opt compiling key with
+              | Some done_at when done_at > now -> (C_join, done_at -. now)
+              | _ -> (C_hit, 0.0))
+        in
+        let clauses =
+          Clause.(
+            none
+            |> num_teams spec.teams
+            |> num_threads spec.threads
+            |> simdlen spec.simdlen)
+        in
+        let report = Offload.run ~cfg:conf.cfg ?pool ~clauses ~bindings compiled in
+        incr launches;
+        blocks := !blocks + report.Gpusim.Device.grid;
+        sim_cycles := !sim_cycles +. report.Gpusim.Device.time_cycles;
+        let c = report.Gpusim.Device.counters in
+        global_loads := !global_loads + c.Gpusim.Counters.global_loads;
+        global_stores := !global_stores + c.Gpusim.Counters.global_stores;
+        atomics := !atomics + c.Gpusim.Counters.atomics;
+        let r_exec = report.Gpusim.Device.time_cycles in
+        free := !free - 1;
+        inflight_max := max !inflight_max (conf.servers - !free);
+        Heap.push heap
+          (now +. r_compile +. r_exec)
+          0
+          (Finish
+             {
+               pending = p;
+               started = now;
+               r_compile;
+               r_exec;
+               r_cache;
+               r_checksum = Request.checksum out;
+             });
+        true
+  in
+  (* Highest priority first, then earliest arrival, then lowest id. *)
+  let pop_queue () =
+    match !queue with
+    | [] -> None
+    | first :: rest ->
+        let best =
+          List.fold_left
+            (fun best p ->
+              let b = best.spec and s = p.spec in
+              if
+                s.Request.priority > b.Request.priority
+                || (s.Request.priority = b.Request.priority
+                   && (s.Request.at < b.Request.at
+                      || (s.Request.at = b.Request.at && s.Request.id < b.Request.id)))
+              then p
+              else best)
+            first rest
+        in
+        queue := List.filter (fun p -> p != best) !queue;
+        Some best
+  in
+  let rec dispatch now =
+    if !free > 0 then
+      match pop_queue () with
+      | None -> ()
+      | Some p ->
+          (match p.spec.Request.deadline with
+          | Some d when now >= d ->
+              (* expired while queued: never launch *)
+              record (never_ran p.spec p.attempts Timed_out now)
+          | _ -> ignore (start now p : bool));
+          dispatch now
+  in
+  let arrive now (p : pending) =
+    if !free > 0 && !queue = [] then
+      (* a compile failure records Failed and leaves the server free *)
+      ignore (start now p : bool)
+    else if List.length !queue < conf.queue_bound then begin
+      queue := p :: !queue;
+      queue_max := max !queue_max (List.length !queue)
+    end
+    else if p.attempts <= conf.max_retries then begin
+      (* transient admission failure: retry with exponential backoff *)
+      incr retries;
+      let wait = conf.backoff *. (2.0 ** float_of_int (p.attempts - 1)) in
+      Heap.push heap (now +. wait) 1 (Arrive { p with attempts = p.attempts + 1 })
+    end
+    else
+      record
+        (never_ran p.spec p.attempts
+           (if conf.max_retries = 0 then Rejected else Shed)
+           now)
+  in
+  List.iter
+    (fun (spec : Request.spec) ->
+      Heap.push heap spec.Request.at 1 (Arrive { spec; attempts = 1 }))
+    specs;
+  let rec loop () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (now, ev) ->
+        last_time := max !last_time now;
+        (match ev with
+        | Arrive p -> arrive now p
+        | Finish r ->
+            free := !free + 1;
+            let spec = r.pending.spec in
+            let outcome =
+              match spec.Request.deadline with
+              | Some d when now > d -> Timed_out
+              | _ -> Completed
+            in
+            record
+              {
+                spec;
+                outcome;
+                attempts = r.pending.attempts;
+                start = r.started;
+                finish = now;
+                latency = now -. spec.Request.at;
+                compile_ticks = r.r_compile;
+                exec_ticks = r.r_exec;
+                cache = r.r_cache;
+                checksum = r.r_checksum;
+              };
+            dispatch now);
+        loop ()
+  in
+  loop ();
+  let reports =
+    List.sort
+      (fun (a : rq_report) (b : rq_report) ->
+        compare a.spec.Request.id b.spec.Request.id)
+      !reports
+  in
+  let count o = List.length (List.filter (fun r -> r.outcome = o) reports) in
+  let latencies =
+    reports
+    |> List.filter (fun r -> r.outcome = Completed)
+    |> List.map (fun r -> r.latency)
+    |> Array.of_list
+  in
+  let mean, p50, p95, p99 = Metrics.percentiles latencies in
+  (* cache counters come from the virtual statuses, not {!Cache.stats}:
+     the event loop is single-threaded host-side, so the host cache
+     never observes a join — the service-level picture is the requests
+     that arrived inside another request's compile window (C_join).
+     Evictions only happen in the host table, so those we take from it. *)
+  let cstat s = List.length (List.filter (fun r -> r.cache = s) reports) in
+  let metrics =
+    {
+      Metrics.requests = List.length specs;
+      completed = count Completed;
+      rejected = count Rejected;
+      shed = count Shed;
+      timed_out = count Timed_out;
+      failed = count Failed;
+      retries = !retries;
+      queue_max = !queue_max;
+      inflight_max = !inflight_max;
+      cache_hits = cstat C_hit;
+      cache_misses = cstat C_miss;
+      cache_evictions = (Cache.stats cache).Cache.evictions;
+      cache_joins = cstat C_join;
+      latency_mean = mean;
+      latency_p50 = p50;
+      latency_p95 = p95;
+      latency_p99 = p99;
+      makespan = !last_time;
+      sim_cycles = !sim_cycles;
+      launches = !launches;
+      blocks = !blocks;
+      global_loads = !global_loads;
+      global_stores = !global_stores;
+      atomics = !atomics;
+    }
+  in
+  (reports, metrics)
+
+(* --- rendering --------------------------------------------------------- *)
+
+let report_line (r : rq_report) =
+  let spec = r.spec in
+  Printf.sprintf
+    "req %3d %-8s size=%-3d prio=%d %-9s attempts=%d cache=%-4s arrive=%.1f start=%.1f finish=%.1f latency=%.1f compile=%.1f exec=%.1f checksum=%Lx"
+    spec.Request.id spec.Request.kernel spec.Request.size spec.Request.priority
+    (outcome_to_string r.outcome)
+    r.attempts
+    (cache_status_to_string r.cache)
+    spec.Request.at r.start r.finish r.latency r.compile_ticks r.exec_ticks
+    (Int64.bits_of_float r.checksum)
+
+let report_json (r : rq_report) =
+  let spec = r.spec in
+  Printf.sprintf
+    "{\"id\": %d, \"kernel\": \"%s\", \"size\": %d, \"prio\": %d, \"outcome\": \"%s\", \"attempts\": %d, \"cache\": \"%s\", \"arrive\": %.3f, \"start\": %.3f, \"finish\": %.3f, \"latency\": %.3f, \"compile\": %.3f, \"exec\": %.3f, \"checksum\": \"%Lx\"}"
+    spec.Request.id spec.Request.kernel spec.Request.size spec.Request.priority
+    (outcome_to_string r.outcome)
+    r.attempts
+    (cache_status_to_string r.cache)
+    spec.Request.at r.start r.finish r.latency r.compile_ticks r.exec_ticks
+    (Int64.bits_of_float r.checksum)
+
+(* The full machine-readable snapshot.  Deliberately excludes the
+   engine and the pool width: the simulator's bit-identity contract
+   makes every field below independent of both, so snapshots from any
+   OMPSIMD_EVAL / OMPSIMD_DOMAINS combination must diff clean — the
+   serve smoke test checks exactly that. *)
+let snapshot_json conf reports metrics =
+  let b = Buffer.create 4096 in
+  Printf.ksprintf (Buffer.add_string b)
+    "{\n\"config\": {\"device\": \"%s\", \"queue_bound\": %d, \"servers\": %d, \"cache_capacity\": %d, \"max_retries\": %d, \"backoff\": %.3f},\n"
+    conf.cfg.Gpusim.Config.name conf.queue_bound conf.servers
+    conf.cache_capacity conf.max_retries conf.backoff;
+  Buffer.add_string b "\"requests\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b (report_json r))
+    reports;
+  Buffer.add_string b "\n],\n\"metrics\": ";
+  Buffer.add_string b (Metrics.to_json metrics);
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b

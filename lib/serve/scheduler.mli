@@ -1,0 +1,83 @@
+(** The request scheduler: a discrete-event simulation of the
+    persistent kernel-launch service, in virtual time.
+
+    Admission is a bounded queue with explicit {!Rejected} / {!Shed}
+    outcomes and a retry-with-exponential-backoff policy for transient
+    admission failures; dispatch is highest-priority-first over
+    [servers] virtual executors; per-request deadlines are enforced
+    both while queued (an expired request never launches) and at
+    completion (a late finish reports {!Timed_out}).  A request's
+    service time is its launch's simulated device cycles plus a
+    structural compile cost charged once per cache key (single-flight:
+    requests dispatched during an in-flight compile pay only the
+    residual wait).  Host-side, compilation runs once per key through
+    {!Cache} — the real wall-clock amortization.
+
+    Nothing reads the host clock: replaying a trace yields bit-identical
+    reports and metrics for any [OMPSIMD_DOMAINS] and either engine. *)
+
+type outcome =
+  | Completed
+  | Rejected  (** admission failed and the config allows no retries *)
+  | Shed  (** dropped after exhausting its retry budget *)
+  | Timed_out  (** deadline expired (while queued, or finished late) *)
+  | Failed  (** the kernel did not compile *)
+
+val outcome_to_string : outcome -> string
+
+type cache_status = C_hit | C_miss | C_join | C_none
+
+val cache_status_to_string : cache_status -> string
+
+type rq_report = {
+  spec : Request.spec;
+  outcome : outcome;
+  attempts : int;  (** admission attempts, 1 = admitted first try *)
+  start : float;  (** dispatch tick; -1 when never dispatched *)
+  finish : float;  (** terminal-event tick *)
+  latency : float;  (** finish - arrival *)
+  compile_ticks : float;  (** virtual compile component (miss/join) *)
+  exec_ticks : float;  (** the launch's simulated device cycles *)
+  cache : cache_status;
+  checksum : float;  (** output-array checksum; 0 when never ran *)
+}
+
+type config = {
+  cfg : Gpusim.Config.t;
+  queue_bound : int;
+  servers : int;
+  cache_capacity : int;  (** 0 disables the cache *)
+  max_retries : int;
+  backoff : float;  (** base ticks; attempt k waits backoff * 2^(k-1) *)
+  knobs : Openmp.Offload.knobs;  (** guardize is overridden per request *)
+}
+
+val config_of_env : cfg:Gpusim.Config.t -> unit -> config
+(** Defaults overridable by the [OMPSIMD_SERVE_QUEUE] (16),
+    [OMPSIMD_SERVE_CONC] (2), [OMPSIMD_SERVE_CACHE] (32),
+    [OMPSIMD_SERVE_RETRIES] (2) and [OMPSIMD_SERVE_BACKOFF] (500)
+    environment knobs — blank values mean default, as everywhere. *)
+
+val compile_cost : Ompir.Ir.kernel -> float
+(** The virtual compile charge: 200 + 25 ticks per IR node. *)
+
+val run :
+  config ->
+  ?pool:Gpusim.Pool.t ->
+  Request.spec list ->
+  rq_report list * Metrics.t
+(** Replay the trace to completion.  Reports come back in request-id
+    order.  @raise Invalid_argument on [servers < 1] or a negative
+    queue bound. *)
+
+val report_line : rq_report -> string
+(** One fixed-format text line per request (checksum as IEEE bits so
+    equality is exact). *)
+
+val report_json : rq_report -> string
+
+val snapshot_json : config -> rq_report list -> Metrics.t -> string
+(** The whole replay as JSON: config, per-request reports, metrics.
+    Field order and float rendering are fixed, and the engine / pool
+    width are deliberately excluded — snapshots from any
+    [OMPSIMD_EVAL] x [OMPSIMD_DOMAINS] combination diff clean. *)

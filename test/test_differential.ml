@@ -715,6 +715,16 @@ let qcheck_cases =
       (fun case -> run_sanitizer_certification ~pool ~engine:`Staged case);
     Test.make ~name:"certified fleet: collapse(2) verdict == plant" ~count:60
       collapse_certified_arbitrary run_collapse_certification;
+    (* the serve cache keys on this digest: equal kernels must agree and
+       structurally different kernels must split (the serialization is
+       injective, so a collision would be an MD5 collision) *)
+    Test.make ~name:"structurally distinct kernels get distinct digests"
+      ~count:120
+      (pair case_arbitrary case_arbitrary)
+      (fun (a, b) ->
+        let da = Ompir.Kdigest.hex a.kernel
+        and db = Ompir.Kdigest.hex b.kernel in
+        if a.kernel = b.kernel then da = db else da <> db);
   ]
 
 (* A fixed seed makes every property run (and every shrink trace)

@@ -1191,6 +1191,11 @@ let qcheck_cases =
         Array.for_all2 (fun a b -> abs_float (a -. b) < 1e-9) got expected);
     Test.make ~name:"printer/parser round-trip" ~count:200 roundtrip_arbitrary
       (fun k -> Ompir.Parse.kernel (Ompir.Printer.kernel_to_string k) = k);
+    Test.make ~name:"digest survives printer/parser round-trip" ~count:200
+      roundtrip_arbitrary
+      (fun k ->
+        Ompir.Kdigest.hex (Ompir.Parse.kernel (Ompir.Printer.kernel_to_string k))
+        = Ompir.Kdigest.hex k);
   ]
 
 let suite =

@@ -1,0 +1,295 @@
+(* Serve suite: the persistent kernel-launch service.
+
+   Admission control (Rejected / Shed / retry-success), deadline
+   enforcement (queued and late-finish), the compiled-kernel cache
+   (hits, LRU eviction, virtual and host-level single-flight) and the
+   determinism contract: replaying one trace yields byte-identical
+   snapshots for any pool width and either evaluation engine. *)
+
+module Scheduler = Serve.Scheduler
+module Request = Serve.Request
+module Metrics = Serve.Metrics
+
+let cfg = Gpusim.Config.small
+
+let spec ?(at = 0.0) ?(kernel = "saxpy") ?(size = 16) ?(teams = 1)
+    ?(threads = 32) ?(simdlen = 8) ?(guardize = false) ?deadline
+    ?(priority = 0) ?(seed = 1) id =
+  {
+    Request.id;
+    at;
+    kernel;
+    size;
+    teams;
+    threads;
+    simdlen;
+    guardize;
+    deadline;
+    priority;
+    seed;
+  }
+
+let conf ?(queue_bound = 4) ?(servers = 1) ?(cache = 8) ?(retries = 0)
+    ?(backoff = 500.0) () =
+  {
+    Scheduler.cfg;
+    queue_bound;
+    servers;
+    cache_capacity = cache;
+    max_retries = retries;
+    backoff;
+    knobs = Openmp.Offload.default_knobs;
+  }
+
+let outcome = Alcotest.testable (Fmt.of_to_string Scheduler.outcome_to_string) ( = )
+
+let outcome_of (reports : Scheduler.rq_report list) id =
+  (List.nth reports id).Scheduler.outcome
+
+(* --- admission control ----------------------------------------------- *)
+
+let test_admission_rejection () =
+  (* one server, no queue, no retries: of two simultaneous arrivals the
+     second must be rejected outright *)
+  let reports, m =
+    Scheduler.run
+      (conf ~queue_bound:0 ~retries:0 ())
+      [ spec ~at:0.0 0; spec ~at:1.0 1 ]
+  in
+  Alcotest.check outcome "first completes" Scheduler.Completed
+    (outcome_of reports 0);
+  Alcotest.check outcome "second rejected" Scheduler.Rejected
+    (outcome_of reports 1);
+  Alcotest.(check int) "rejected counted" 1 m.Metrics.rejected;
+  Alcotest.(check int) "one launch only" 1 m.Metrics.launches;
+  Alcotest.(check (float 0.0))
+    "rejected request never started" (-1.0)
+    (List.nth reports 1).Scheduler.start
+
+let test_retry_success () =
+  (* same contention, but with a retry budget and a backoff long enough
+     to outlive the first request's service time: the second request
+     must come back and complete on a later attempt *)
+  let reports, m =
+    Scheduler.run
+      (conf ~queue_bound:0 ~retries:8 ~backoff:2000.0 ())
+      [ spec ~at:0.0 0; spec ~at:1.0 1 ]
+  in
+  Alcotest.check outcome "second eventually completes" Scheduler.Completed
+    (outcome_of reports 1);
+  let r1 = List.nth reports 1 in
+  Alcotest.(check bool) "took more than one attempt" true (r1.Scheduler.attempts > 1);
+  Alcotest.(check int) "retries counted" (r1.Scheduler.attempts - 1) m.Metrics.retries;
+  Alcotest.(check int) "both completed" 2 m.Metrics.completed
+
+let test_shed_after_retries () =
+  (* a single retry with a tiny backoff lands while the server is still
+     busy: the budget exhausts and the request is shed *)
+  let reports, m =
+    Scheduler.run
+      (conf ~queue_bound:0 ~retries:1 ~backoff:1.0 ())
+      [ spec ~at:0.0 0; spec ~at:1.0 1 ]
+  in
+  Alcotest.check outcome "second shed" Scheduler.Shed (outcome_of reports 1);
+  Alcotest.(check int) "shed counted" 1 m.Metrics.shed;
+  Alcotest.(check int) "its retry counted" 1 m.Metrics.retries
+
+(* --- deadlines -------------------------------------------------------- *)
+
+let test_deadline_expires_queued () =
+  (* the second request's deadline passes while it waits in the queue:
+     it must never launch *)
+  let reports, m =
+    Scheduler.run (conf ())
+      [ spec ~at:0.0 0; spec ~at:1.0 ~deadline:10.0 1 ]
+  in
+  Alcotest.check outcome "timed out" Scheduler.Timed_out (outcome_of reports 1);
+  let r1 = List.nth reports 1 in
+  Alcotest.(check (float 0.0)) "never dispatched" (-1.0) r1.Scheduler.start;
+  Alcotest.(check int) "only one launch" 1 m.Metrics.launches;
+  Alcotest.(check int) "timed-out counted" 1 m.Metrics.timed_out
+
+let test_deadline_late_finish () =
+  (* a lone request whose deadline falls inside its own service time:
+     it runs (the work is done) but reports Timed_out *)
+  let reports, m =
+    Scheduler.run (conf ()) [ spec ~at:0.0 ~deadline:50.0 0 ]
+  in
+  let r0 = List.nth reports 0 in
+  Alcotest.check outcome "late finish times out" Scheduler.Timed_out
+    r0.Scheduler.outcome;
+  Alcotest.(check bool) "it did dispatch" true (r0.Scheduler.start >= 0.0);
+  Alcotest.(check int) "the launch happened" 1 m.Metrics.launches;
+  Alcotest.(check int) "not counted completed" 0 m.Metrics.completed
+
+(* --- the compile cache ------------------------------------------------ *)
+
+let test_cache_hit_and_virtual_join () =
+  (* two servers, identical kernels arriving within the compile window:
+     the second joins the in-flight compile (paying only residual wait);
+     a third, arriving after it lands, is a plain hit *)
+  let reports, m =
+    Scheduler.run
+      (conf ~servers:2 ())
+      [ spec ~at:0.0 0; spec ~at:1.0 1; spec ~at:50000.0 2 ]
+  in
+  let cache i = (List.nth reports i).Scheduler.cache in
+  Alcotest.(check string) "first misses" "miss"
+    (Scheduler.cache_status_to_string (cache 0));
+  Alcotest.(check string) "second joins" "join"
+    (Scheduler.cache_status_to_string (cache 1));
+  Alcotest.(check string) "third hits" "hit"
+    (Scheduler.cache_status_to_string (cache 2));
+  let r1 = List.nth reports 1 in
+  let r0 = List.nth reports 0 in
+  Alcotest.(check bool) "join pays only residual compile wait" true
+    (r1.Scheduler.compile_ticks > 0.0
+    && r1.Scheduler.compile_ticks < r0.Scheduler.compile_ticks);
+  Alcotest.(check int) "metrics fold the counters" 1 m.Metrics.cache_hits;
+  Alcotest.(check int) "one miss" 1 m.Metrics.cache_misses;
+  Alcotest.(check int) "one join" 1 m.Metrics.cache_joins
+
+let test_cache_lru_eviction () =
+  (* capacity 1 with alternating kernels: every lookup after the first
+     evicts the resident entry, so a returning kernel misses again *)
+  let specs =
+    [
+      spec ~at:0.0 ~kernel:"saxpy" 0;
+      spec ~at:100000.0 ~kernel:"rowsum" 1;
+      spec ~at:200000.0 ~kernel:"saxpy" 2;
+    ]
+  in
+  let _, m1 = Scheduler.run (conf ~cache:1 ()) specs in
+  Alcotest.(check int) "capacity 1: all misses" 3 m1.Metrics.cache_misses;
+  Alcotest.(check bool) "capacity 1: evicts" true (m1.Metrics.cache_evictions >= 2);
+  let _, m2 = Scheduler.run (conf ~cache:2 ()) specs in
+  Alcotest.(check int) "capacity 2: the return hits" 1 m2.Metrics.cache_hits;
+  Alcotest.(check int) "capacity 2: no evictions" 0 m2.Metrics.cache_evictions
+
+let test_cache_disabled () =
+  let specs = [ spec ~at:0.0 0; spec ~at:100000.0 1 ] in
+  let _, m = Scheduler.run (conf ~cache:0 ()) specs in
+  Alcotest.(check int) "capacity 0 recompiles every request" 2
+    m.Metrics.cache_misses;
+  Alcotest.(check int) "and never hits" 0 m.Metrics.cache_hits
+
+let test_host_single_flight () =
+  (* the host-level cache: many domains race on one key, the compile
+     thunk must run exactly once and everyone gets the same result *)
+  let cache = Serve.Cache.create ~capacity:4 in
+  let kernel = Request.kernel_of_spec (spec 0) in
+  let key = Openmp.Offload.cache_key kernel in
+  let compiles = Atomic.make 0 in
+  let compile () =
+    Atomic.incr compiles;
+    (* widen the in-flight window so the joiners really do overlap *)
+    Unix.sleepf 0.02;
+    Openmp.Offload.compile kernel
+  in
+  let worker () = fst (Serve.Cache.find_or_compile cache ~key ~compile) in
+  let domains = Array.init 4 (fun _ -> Domain.spawn worker) in
+  let statuses = Array.map Domain.join domains in
+  Alcotest.(check int) "compile ran exactly once" 1 (Atomic.get compiles);
+  let count s = Array.to_list statuses |> List.filter (( = ) s) |> List.length in
+  Alcotest.(check int) "exactly one miss" 1 (count `Miss);
+  Alcotest.(check int) "everyone else joined or hit" 3
+    (count `Joined + count `Hit);
+  let s = Serve.Cache.stats cache in
+  Alcotest.(check int) "stats agree" 1 s.Serve.Cache.misses
+
+(* --- trace parsing ---------------------------------------------------- *)
+
+let test_parse_trace () =
+  let specs =
+    Request.parse_trace
+      "# comment\n\
+       kernel=rowsum at=10 size=24 teams=2 threads=64 simdlen=4 prio=3 seed=9\n\
+       \n\
+       kernel=chain deadline=500\n"
+  in
+  Alcotest.(check int) "two requests" 2 (List.length specs);
+  let s0 = List.nth specs 0 and s1 = List.nth specs 1 in
+  Alcotest.(check string) "kernel" "rowsum" s0.Request.kernel;
+  Alcotest.(check (float 0.0)) "arrival" 10.0 s0.Request.at;
+  Alcotest.(check int) "size" 24 s0.Request.size;
+  Alcotest.(check int) "priority" 3 s0.Request.priority;
+  Alcotest.(check (option (float 0.0))) "deadline is absolute" (Some 500.0)
+    s1.Request.deadline;
+  (match Request.parse_trace "at=3" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "missing kernel= must be rejected");
+  Alcotest.(check int) "synthetic honors n" 12
+    (List.length (Request.synthetic ~n:12 ~seed:5 ()))
+
+(* --- determinism ------------------------------------------------------ *)
+
+let with_env name value f =
+  let saved = Sys.getenv_opt name in
+  Unix.putenv name value;
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv name (Option.value saved ~default:""))
+    f
+
+let test_deterministic_replay () =
+  (* one trace, four engine x pool combinations: the full snapshot
+     (per-request reports incl. checksums, metrics) must be
+     byte-identical *)
+  let specs = Request.synthetic ~n:16 ~seed:11 () in
+  let c = conf ~servers:2 ~queue_bound:2 ~retries:2 ~backoff:800.0 () in
+  let snap ?pool () =
+    let reports, m = Scheduler.run c ?pool specs in
+    Scheduler.snapshot_json c reports m
+  in
+  let pool = Gpusim.Pool.create ~domains:3 () in
+  let staged_seq = snap () in
+  let staged_pool = snap ~pool () in
+  let walk_seq = with_env "OMPSIMD_EVAL" "walk" (fun () -> snap ()) in
+  let walk_pool = with_env "OMPSIMD_EVAL" "walk" (fun () -> snap ~pool ()) in
+  Alcotest.(check string) "pool matches sequential" staged_seq staged_pool;
+  Alcotest.(check string) "walk engine matches staged" staged_seq walk_seq;
+  Alcotest.(check string) "walk + pool matches too" staged_seq walk_pool
+
+let test_priority_order () =
+  (* three queued requests drain highest-priority-first *)
+  let reports, _ =
+    Scheduler.run (conf ())
+      [
+        spec ~at:0.0 0;
+        spec ~at:1.0 ~priority:0 1;
+        spec ~at:2.0 ~priority:5 2;
+      ]
+  in
+  let r1 = List.nth reports 1 and r2 = List.nth reports 2 in
+  Alcotest.(check bool) "high priority dispatches first" true
+    (r2.Scheduler.start < r1.Scheduler.start)
+
+let suite =
+  [
+    ( "serve",
+      [
+        Alcotest.test_case "admission: rejected without retries" `Quick
+          test_admission_rejection;
+        Alcotest.test_case "admission: retry-with-backoff succeeds" `Quick
+          test_retry_success;
+        Alcotest.test_case "admission: shed after retry budget" `Quick
+          test_shed_after_retries;
+        Alcotest.test_case "deadline: expires while queued" `Quick
+          test_deadline_expires_queued;
+        Alcotest.test_case "deadline: late finish is timed out" `Quick
+          test_deadline_late_finish;
+        Alcotest.test_case "cache: hit and virtual single-flight join" `Quick
+          test_cache_hit_and_virtual_join;
+        Alcotest.test_case "cache: LRU eviction at capacity" `Quick
+          test_cache_lru_eviction;
+        Alcotest.test_case "cache: capacity 0 disables" `Quick
+          test_cache_disabled;
+        Alcotest.test_case "cache: host single-flight across domains" `Quick
+          test_host_single_flight;
+        Alcotest.test_case "trace parsing and synthesis" `Quick
+          test_parse_trace;
+        Alcotest.test_case "replay is engine- and pool-invariant" `Quick
+          test_deterministic_replay;
+        Alcotest.test_case "dispatch is highest-priority-first" `Quick
+          test_priority_order;
+      ] );
+  ]
