@@ -107,6 +107,7 @@ let serve_conf ~cache =
     cache_capacity = cache;
     max_retries = 2;
     backoff = 500.0;
+    breaker = 4;
     knobs = Openmp.Offload.default_knobs;
   }
 
@@ -147,6 +148,22 @@ let bench_tests ~pool () =
     Test.make ~name:"serve cold cache"
       (Staged.stage (fun () ->
            ignore (Serve.Scheduler.run (serve_conf ~cache:0) ~pool serve_trace)));
+    (* the same warm-cache trace under a 5% per-block abort plan: the
+       delta against "serve warm cache" is the recovery overhead
+       (relaunch work + backoff bookkeeping) the service pays for fault
+       tolerance *)
+    Test.make ~name:"serve faulty (5% aborts)"
+      (Staged.stage (fun () ->
+           Unix.putenv "OMPSIMD_FAULTS" "abort=0.05";
+           Unix.putenv "OMPSIMD_FAULT_SEED" "7";
+           Fun.protect
+             ~finally:(fun () ->
+               Unix.putenv "OMPSIMD_FAULTS" "";
+               Unix.putenv "OMPSIMD_FAULT_SEED" "";
+               Gpusim.Fault.refresh_from_env ())
+             (fun () ->
+               ignore
+                 (Serve.Scheduler.run (serve_conf ~cache:32) ~pool serve_trace))));
   ]
 
 let json_escape s =

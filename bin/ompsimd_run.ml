@@ -35,6 +35,7 @@ let scale_term =
    knobs through {!Serve.Scheduler.config_of_env} from the same spot. *)
 let refresh_env_and_pool () =
   Gpusim.Ompsan.refresh_from_env ();
+  Gpusim.Fault.refresh_from_env ();
   Gpusim.Pool.get_default ()
 
 let with_device name f =

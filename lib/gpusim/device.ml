@@ -7,17 +7,38 @@ type report = {
   counters : Counters.t;
   block_costs : Occupancy.block_cost array;
   sanitizer : Ompsan.report option;
+  failures : Fault.failure list;
+  faults : Fault.stats;
 }
+
+(* A failed block contributes nothing to the epilogue: no L2 commit, no
+   counters, a zero cost entry.  Its failure record is the report. *)
+type sim_result =
+  | B_ok of
+      Occupancy.block_cost
+      * Counters.t
+      * Memory.block_session
+      * Ompsan.block_report option
+      * Fault.events
+  | B_failed of Fault.failure * Fault.events
 
 (* One block's simulation, bracketed in a memory session so its L2
    traffic is order-independent (see Memory).  Runs on whichever domain
    the pool hands the index to; everything it touches is block-local.
    The sanitizer's shadow state shares the bracket; on the exception
    path its findings are stashed for [Ompsan.take_aborted] (a divergent
-   kernel deadlocks before the epilogue runs). *)
+   kernel deadlocks before the epilogue runs).
+
+   Failure capture: an injected fatal fault (Fault.Fatal) always yields
+   a failed block.  A deadlock — injected stall or genuine divergence —
+   yields one only when capture is armed (fault plan set, or a watchdog
+   budget); otherwise it re-raises, preserving the historical
+   Engine.Deadlock contract for unarmed callers. *)
 let simulate_block ~cfg ?trace ~block ~init ~body block_id =
   Memory.session_begin ();
   Ompsan.block_begin ~block_id ~num_threads:block
+    ~warp_size:cfg.Config.warp_size;
+  Fault.block_begin ~block_id ~num_threads:block
     ~warp_size:cfg.Config.warp_size;
   match
     let arena = Shared.arena cfg in
@@ -29,19 +50,59 @@ let simulate_block ~cfg ?trace ~block ~init ~body block_id =
     (Occupancy.of_result result ~smem_bytes:(Shared.high_water arena),
      result.Engine.counters)
   with
+  | exception Fault.Fatal f ->
+      let ev = Fault.block_abort () in
+      Ompsan.block_abort ();
+      ignore (Memory.session_end ());
+      B_failed (f, ev)
+  | exception Engine.Deadlock _ when Fault.capture_deadlocks () ->
+      let stall = Engine.take_stall () in
+      let ev = Fault.block_abort () in
+      Ompsan.block_abort ();
+      ignore (Memory.session_end ());
+      let f =
+        match ev.Fault.ev_stall with
+        | Some f -> f  (* the injected stall that caused this deadlock *)
+        | None ->
+            (* genuine divergence, reported by the watchdog *)
+            let barrier, cycle =
+              match stall with
+              | None -> ("", 0.0)
+              | Some si ->
+                  ( String.concat "+"
+                      (List.map
+                         (fun (s : Engine.stuck) ->
+                           Printf.sprintf "%s(%d/%d)" s.Engine.stuck_name
+                             s.Engine.stuck_waiting s.Engine.stuck_expected)
+                         si.Engine.stall_stuck),
+                    si.Engine.stall_cycle )
+            in
+            {
+              Fault.f_kind = Fault.Barrier_stall;
+              f_block = block_id;
+              f_warp = -1;
+              f_tid = -1;
+              f_barrier = barrier;
+              f_cycle = cycle;
+            }
+      in
+      B_failed (f, ev)
   | exception e ->
+      ignore (Fault.block_abort () : Fault.events);
       Ompsan.block_abort ();
       ignore (Memory.session_end ());
       raise e
   | cost, counters ->
       let san = Ompsan.block_end () in
-      (cost, counters, Memory.session_end (), san)
+      let ev = Fault.block_end () in
+      B_ok (cost, counters, Memory.session_end (), san, ev)
 
 let launch ~cfg ?pool ?trace ?block_class ~grid ~block ~init ~body () =
   if grid <= 0 then invalid_arg "Device.launch: grid must be positive";
   if block <= 0 then invalid_arg "Device.launch: block must be positive";
   if block > cfg.Config.max_threads_per_block then
     invalid_arg "Device.launch: block exceeds device limit";
+  Fault.launch_begin ();
   let tracing = Option.is_some trace in
   (* Tracing forces the full sequential path: Trace.t is one shared
      mutable log, and a deduplicated trace would misrepresent the grid. *)
@@ -76,17 +137,36 @@ let launch ~cfg ?pool ?trace ?block_class ~grid ~block ~init ~body () =
      merge counters (float sums are order-sensitive, so the order is part
      of the determinism contract).  A class's counters are merged once
      per member block, which keeps the merged report bit-identical to a
-     full simulation of a truly homogeneous grid. *)
-  Array.iter (fun (_, _, session, _) -> Memory.session_commit session) results;
+     full simulation of a truly homogeneous grid.  Failed blocks commit
+     and merge nothing — an aborted block's partial traffic must not
+     perturb the survivors' timing. *)
+  Array.iter
+    (function
+      | B_ok (_, _, session, _, _) -> Memory.session_commit session
+      | B_failed _ -> ())
+    results;
   let merged = Counters.create () in
   for b = 0 to grid - 1 do
-    let _, counters, _, _ = results.(rep_of.(b)) in
-    Counters.merge_into ~dst:merged counters
+    match results.(rep_of.(b)) with
+    | B_ok (_, counters, _, _, _) -> Counters.merge_into ~dst:merged counters
+    | B_failed _ -> ()
   done;
+  let zero_cost =
+    {
+      Occupancy.critical = 0.0;
+      busy = 0.0;
+      dram_bytes = 0.0;
+      lsu_transactions = 0.0;
+      active_lanes = 0;
+      threads = block;
+      smem_bytes = 0;
+    }
+  in
   let block_costs =
     Array.init grid (fun b ->
-        let cost, _, _, _ = results.(rep_of.(b)) in
-        cost)
+        match results.(rep_of.(b)) with
+        | B_ok (cost, _, _, _, _) -> cost
+        | B_failed _ -> zero_cost)
   in
   (* Sanitizer composition follows the same determinism recipe as the
      counters: per-block findings in ascending block_id, then the
@@ -99,9 +179,60 @@ let launch ~cfg ?pool ?trace ?block_class ~grid ~block ~init ~body () =
       Some
         (Ompsan.launch_report
            (Array.init grid (fun b ->
-                let _, _, _, san = results.(rep_of.(b)) in
-                san)))
+                match results.(rep_of.(b)) with
+                | B_ok (_, _, _, san, _) -> san
+                | B_failed _ -> None)))
   in
+  (* Failures and fault statistics, once per representative in ascending
+     block order (with dedup a class fails as one unit — faults are
+     drawn per representative).  The watchdog check runs here: a block
+     whose critical path exceeds the budget completed, but is reported
+     hung. *)
+  let wd = Fault.watchdog_budget () in
+  let rev_failures = ref [] in
+  let stats = ref Fault.zero_stats in
+  Array.iteri
+    (fun i result ->
+      match result with
+      | B_failed (f, ev) ->
+          rev_failures := f :: !rev_failures;
+          stats :=
+            Fault.add_stats !stats
+              {
+                Fault.zero_stats with
+                Fault.corrected = ev.Fault.ev_corrected;
+                exhausts = ev.Fault.ev_exhausts;
+                fatal =
+                  (match f.Fault.f_kind with
+                  | Fault.Block_abort | Fault.Ecc_fatal -> 1
+                  | _ -> 0);
+                stalls =
+                  (match f.Fault.f_kind with Fault.Barrier_stall -> 1 | _ -> 0);
+              }
+      | B_ok (cost, _, _, _, ev) ->
+          stats :=
+            Fault.add_stats !stats
+              {
+                Fault.zero_stats with
+                Fault.corrected = ev.Fault.ev_corrected;
+                exhausts = ev.Fault.ev_exhausts;
+              };
+          if wd > 0.0 && cost.Occupancy.critical > wd then begin
+            rev_failures :=
+              {
+                Fault.f_kind = Fault.Watchdog;
+                f_block = reps.(i);
+                f_warp = -1;
+                f_tid = -1;
+                f_barrier = "";
+                f_cycle = cost.Occupancy.critical;
+              }
+              :: !rev_failures;
+            stats :=
+              Fault.add_stats !stats { Fault.zero_stats with Fault.watchdogs = 1 }
+          end)
+    results;
+  let failures = List.rev !rev_failures in
   let breakdown = Occupancy.kernel_time cfg block_costs in
   {
     cfg;
@@ -112,6 +243,8 @@ let launch ~cfg ?pool ?trace ?block_class ~grid ~block ~init ~body () =
     counters = merged;
     block_costs;
     sanitizer;
+    failures;
+    faults = !stats;
   }
 
 let pp_report ppf r =
@@ -130,4 +263,16 @@ let pp_report ppf r =
       List.iter
         (fun line -> Format.fprintf ppf "@ sanitizer: %s" line)
         (Ompsan.report_strings san));
+  (* only with something to say: an unarmed launch's report text stays
+     byte-identical to a build without the fault layer *)
+  if r.failures <> [] || r.faults <> Fault.zero_stats then begin
+    Format.fprintf ppf
+      "@ faults: corrected=%d fatal=%d stalls=%d exhausts=%d watchdogs=%d"
+      r.faults.Fault.corrected r.faults.Fault.fatal r.faults.Fault.stalls
+      r.faults.Fault.exhausts r.faults.Fault.watchdogs;
+    List.iter
+      (fun f ->
+        Format.fprintf ppf "@ failure: %s" (Fault.failure_to_string f))
+      r.failures
+  end;
   Format.fprintf ppf "@]"

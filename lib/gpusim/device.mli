@@ -26,6 +26,18 @@ type report = {
           merged in ascending block_id plus cross-block conflicts.  Always
           [None] when disabled — the report stays bit-identical to a build
           without the sanitizer. *)
+  failures : Fault.failure list;
+      (** Failed blocks in ascending block_id order: injected fatal
+          faults, captured barrier stalls (injected or genuine
+          divergence, when {!Fault.capture_deadlocks} is armed), and
+          watchdog findings for blocks whose critical path exceeded the
+          [OMPSIMD_WATCHDOG] budget.  A failed block contributes no
+          counters, no L2 traffic and a zero cost entry — its failure
+          record {e is} its contribution.  Always [[]] when disarmed. *)
+  faults : Fault.stats;
+      (** Corrected/fatal/stall/exhaust/watchdog totals over the launch
+          (per representative under dedup).  {!Fault.zero_stats} when
+          disarmed — the report stays bit-identical. *)
 }
 
 val launch :
@@ -58,7 +70,15 @@ val launch :
     deduplication).  Skipped blocks do not execute, so their global-memory
     writes do not happen and only representative L2 traffic is committed —
     use it to regenerate timing sweeps, not to produce data.
+
+    With fault capture armed (see {!Fault.capture_deadlocks}) a block
+    that deadlocks or takes a fatal injected fault does not raise — it
+    lands in [report.failures].  Disarmed, genuine divergence raises
+    {!Engine.Deadlock} exactly as before.
     @raise Invalid_argument on non-positive [grid]/[block] or a block larger
     than the device allows. *)
 
 val pp_report : Format.formatter -> report -> unit
+(** Appends a fault section (totals plus one line per failure) only
+    when a launch actually armed faults or failed — unarmed report text
+    is byte-identical to the pre-fault-layer rendering. *)

@@ -12,6 +12,31 @@ type block_result = {
   counters : Counters.t;
 }
 
+(* Structured companion to the Deadlock message, stashed domain-locally
+   just before the raise so Device can build a failure report without
+   parsing the string.  Stuck barriers are listed by display name (ids
+   are process-unique atomics whose order depends on pool interleaving;
+   names and waiter counts are deterministic), sorted for a canonical
+   rendering. *)
+type stuck = { stuck_name : string; stuck_waiting : int; stuck_expected : int }
+
+type stall_info = {
+  stall_block : int;
+  stall_completed : int;
+  stall_threads : int;
+  stall_cycle : float;  (* max thread clock at detection *)
+  stall_stuck : stuck list;
+}
+
+let stall_slot : stall_info option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let take_stall () =
+  let slot = Domain.DLS.get stall_slot in
+  let s = !slot in
+  slot := None;
+  s
+
 type _ Effect.t += Wait : Barrier.t * Thread.t -> unit Effect.t
 
 (* Per-block scheduler state.  Released waiters are queued as the lists
@@ -58,6 +83,13 @@ let barrier_wait bar th =
      generation invalidates every per-line count in O(1). *)
   let warp = th.Thread.warp in
   warp.Thread.atomic_gen <- warp.Thread.atomic_gen + 1;
+  (* Injected stall: the victim parks on a private, never-completing
+     barrier instead of arriving here — its mask-mates wait forever and
+     the block surfaces as a (captured) deadlock. *)
+  (if !Fault.armed then
+     match Fault.stall_here th ~abandoned:bar with
+     | Some stalled -> perform (Wait (stalled, th))
+     | None -> ());
   match !(Domain.DLS.get sched_slot) with
   | Some s -> (
       (* fast path: the last expected arriver releases the barrier and
@@ -133,13 +165,35 @@ let run_block ~cfg ?trace ~block_id ~num_threads body =
     Buffer.add_string buf
       (Printf.sprintf "block %d: %d/%d threads finished; stuck barriers:"
          block_id !completed num_threads);
+    let stuck = ref [] in
     Hashtbl.iter
       (fun _ bar ->
-        if Barrier.waiting bar > 0 then
+        if Barrier.waiting bar > 0 then begin
           Buffer.add_string buf
             (Printf.sprintf " [%s#%d %d/%d]" (Barrier.name bar)
-               (Barrier.id bar) (Barrier.waiting bar) (Barrier.expected bar)))
+               (Barrier.id bar) (Barrier.waiting bar) (Barrier.expected bar));
+          stuck :=
+            {
+              stuck_name = Barrier.name bar;
+              stuck_waiting = Barrier.waiting bar;
+              stuck_expected = Barrier.expected bar;
+            }
+            :: !stuck
+        end)
       s.live;
+    let stall =
+      {
+        stall_block = block_id;
+        stall_completed = !completed;
+        stall_threads = num_threads;
+        stall_cycle =
+          Array.fold_left
+            (fun acc th -> Float.max acc (Thread.clock th))
+            0.0 threads;
+        stall_stuck = List.sort compare !stuck;
+      }
+    in
+    Domain.DLS.get stall_slot := Some stall;
     raise (Deadlock (Buffer.contents buf))
   end;
   let critical =

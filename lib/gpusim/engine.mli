@@ -12,6 +12,25 @@ exception Deadlock of string
     finished nor can be released — i.e. a barrier is waited on by fewer
     threads than it expects.  The message lists the stuck barriers. *)
 
+type stuck = { stuck_name : string; stuck_waiting : int; stuck_expected : int }
+(** One stuck barrier, identified by its display name (ids are
+    process-unique atomics whose allocation order depends on the pool
+    interleaving; names and waiter counts are deterministic). *)
+
+type stall_info = {
+  stall_block : int;
+  stall_completed : int;  (** threads that finished *)
+  stall_threads : int;
+  stall_cycle : float;  (** max thread clock at detection *)
+  stall_stuck : stuck list;  (** sorted: a canonical ordering *)
+}
+
+val take_stall : unit -> stall_info option
+(** The structured companion of the last {!Deadlock} raised on the
+    calling domain, stashed just before the raise; reading clears it.
+    [Device.launch] consumes it to build a failure report when fault
+    capture is armed (see {!Fault.capture_deadlocks}). *)
+
 type block_result = {
   block_id : int;
   num_threads : int;

@@ -228,6 +228,11 @@ let line_of (th : Thread.t) ~base ~index =
    and a transaction that misses the warp cache still has a chance in the
    device-wide L2 before counting as DRAM traffic. *)
 let account (th : Thread.t) ~space ~base ~index ~is_store =
+  (* Fault tap: like the sanitizer's, one load-and-branch when disarmed.
+     Aborts and bit flips fire here — the global-access path is where
+     every kernel's traffic funnels, and thread clocks at each access
+     are deterministic, so the failure point is too. *)
+  if !Fault.armed then Fault.on_access th;
   let cfg = th.cfg in
   let cost = cfg.Config.cost in
   let c = th.counters in

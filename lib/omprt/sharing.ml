@@ -42,7 +42,13 @@ let global_access_cost (th : Gpusim.Thread.t) =
   cost.Gpusim.Config.mem_issue +. cost.Gpusim.Config.mem_miss_latency
 
 let acquire t th ~nargs =
-  if nargs * 8 <= t.current_slice then begin
+  (* The exhaust fault pretends the slice is full: every acquire in the
+     victim block takes the fallback below, which is exactly the path a
+     too-small sharing space exercises for real. *)
+  if
+    nargs * 8 <= t.current_slice
+    && not (!Gpusim.Fault.armed && Gpusim.Fault.exhaust_here ())
+  then begin
     t.shared_grants <- t.shared_grants + 1;
     Shared_space
   end

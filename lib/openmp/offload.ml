@@ -107,6 +107,7 @@ let remarks c =
 
 let run ~cfg ?pool ?trace ?(clauses = Clause.none) ~bindings c =
   Gpusim.Ompsan.refresh_from_env ();
+  Gpusim.Fault.refresh_from_env ();
   if !Gpusim.Ompsan.enabled then
     Gpusim.Ompsan.set_kernel c.program.Ompir.Outline.kernel.Ompir.Ir.kname;
   let params, _, simdlen = Clause.resolve ~cfg clauses in

@@ -30,6 +30,16 @@ type t = {
   global_loads : int;
   global_stores : int;
   atomics : int;
+  device_failures : int;  (* launches that came back with failed blocks *)
+  relaunches : int;  (* recovery launches scheduled after device failures *)
+  recovered : int;  (* requests completed after >= 1 device failure *)
+  degraded : int;  (* outcome Degraded: retries exhausted or breaker open *)
+  breaker_opens : int;  (* closed/half-open -> open transitions *)
+  faults_corrected : int;  (* ECC-corrected flips across launches *)
+  faults_fatal : int;  (* injected aborts + uncorrectable flips *)
+  faults_stalls : int;  (* barrier-stall failures *)
+  faults_exhausts : int;  (* sharing acquires forced onto the fallback *)
+  faults_watchdogs : int;  (* blocks over the watchdog budget *)
 }
 
 let cache_hit_rate m =
@@ -67,6 +77,11 @@ let to_text m =
     (throughput m);
   p "  device      %d launches, %d blocks, %.0f cycles, %d loads, %d stores, %d atomics\n"
     m.launches m.blocks m.sim_cycles m.global_loads m.global_stores m.atomics;
+  p "  recovery    device-failures %d  relaunches %d  recovered %d  degraded %d  breaker-opens %d\n"
+    m.device_failures m.relaunches m.recovered m.degraded m.breaker_opens;
+  p "  faults      corrected %d  fatal %d  stalls %d  exhausts %d  watchdogs %d\n"
+    m.faults_corrected m.faults_fatal m.faults_stalls m.faults_exhausts
+    m.faults_watchdogs;
   Buffer.contents b
 
 (* Fixed three-decimal rendering: enough for tick quantities, and a
@@ -93,8 +108,13 @@ let to_json m =
     (jf m.latency_mean) (jf m.latency_p50) (jf m.latency_p95)
     (jf m.latency_p99);
   p "\"makespan\": %s, " (jf m.makespan);
-  p "\"device\": {\"launches\": %d, \"blocks\": %d, \"sim_cycles\": %s, \"global_loads\": %d, \"global_stores\": %d, \"atomics\": %d}"
+  p "\"device\": {\"launches\": %d, \"blocks\": %d, \"sim_cycles\": %s, \"global_loads\": %d, \"global_stores\": %d, \"atomics\": %d}, "
     m.launches m.blocks (jf m.sim_cycles) m.global_loads m.global_stores
     m.atomics;
+  p "\"recovery\": {\"device_failures\": %d, \"relaunches\": %d, \"recovered\": %d, \"degraded\": %d, \"breaker_opens\": %d}, "
+    m.device_failures m.relaunches m.recovered m.degraded m.breaker_opens;
+  p "\"faults\": {\"corrected\": %d, \"fatal\": %d, \"stalls\": %d, \"exhausts\": %d, \"watchdogs\": %d}"
+    m.faults_corrected m.faults_fatal m.faults_stalls m.faults_exhausts
+    m.faults_watchdogs;
   p "}";
   Buffer.contents b

@@ -31,6 +31,18 @@ type t = {
   global_loads : int;
   global_stores : int;
   atomics : int;
+  device_failures : int;
+      (** launches that came back with failed blocks (or hung) *)
+  relaunches : int;  (** recovery launches scheduled after device failures *)
+  recovered : int;  (** requests completed after >= 1 device failure *)
+  degraded : int;  (** retries exhausted on device failures, or breaker shed *)
+  breaker_opens : int;  (** circuit-breaker closed/half-open -> open *)
+  faults_corrected : int;
+  faults_fatal : int;
+  faults_stalls : int;
+  faults_exhausts : int;
+  faults_watchdogs : int;
+      (** fault totals folded from every launch's {!Gpusim.Device.report} *)
 }
 
 val cache_hit_rate : t -> float

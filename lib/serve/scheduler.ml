@@ -29,7 +29,7 @@
 module Offload = Openmp.Offload
 module Clause = Openmp.Clause
 
-type outcome = Completed | Rejected | Shed | Timed_out | Failed
+type outcome = Completed | Rejected | Shed | Timed_out | Failed | Degraded
 
 let outcome_to_string = function
   | Completed -> "completed"
@@ -37,6 +37,7 @@ let outcome_to_string = function
   | Shed -> "shed"
   | Timed_out -> "timed-out"
   | Failed -> "failed"
+  | Degraded -> "degraded"
 
 type cache_status = C_hit | C_miss | C_join | C_none
 
@@ -50,6 +51,7 @@ type rq_report = {
   spec : Request.spec;
   outcome : outcome;
   attempts : int;
+  launches : int;  (* device launches performed; 0 = never ran *)
   start : float;  (* -1 when the request never dispatched *)
   finish : float;
   latency : float;  (* finish - arrival *)
@@ -66,6 +68,7 @@ type config = {
   cache_capacity : int;
   max_retries : int;
   backoff : float;  (* base ticks; attempt k waits backoff * 2^(k-1) *)
+  breaker : int;  (* consecutive device failures that open it; 0 = off *)
   knobs : Offload.knobs;  (* guardize is overridden per request *)
 }
 
@@ -79,6 +82,7 @@ let config_of_env ~cfg () =
     cache_capacity = Env.int "OMPSIMD_SERVE_CACHE" ~default:32;
     max_retries = Env.int "OMPSIMD_SERVE_RETRIES" ~default:2;
     backoff = Env.float "OMPSIMD_SERVE_BACKOFF" ~default:500.0;
+    breaker = Env.int "OMPSIMD_SERVE_BREAKER" ~default:4;
     knobs = Offload.default_knobs;
   }
 
@@ -90,18 +94,34 @@ let compile_cost kernel =
 
 (* --- event queue ------------------------------------------------------- *)
 
-type pending = { spec : Request.spec; attempts : int }
+(* [attempts] counts admissions (the queue-bound retry policy);
+   [launches] counts device launches performed, so the relaunch budget
+   after device failures is independent of admission history. *)
+type pending = { spec : Request.spec; attempts : int; launches : int }
 
 type running = {
-  pending : pending;
+  pending : pending;  (* launches already includes the one in flight *)
   started : float;
   r_compile : float;
   r_exec : float;
   r_cache : cache_status;
   r_checksum : float;
+  r_key : string;  (* cache key = breaker key *)
+  r_failed : bool;  (* the launch came back with failed blocks (or hung) *)
 }
 
-type event = Arrive of pending | Finish of running
+(* Relaunch re-enters dispatch exempt from the admission bound: the
+   request was already admitted once, recovery must not lose it. *)
+type event = Arrive of pending | Finish of running | Relaunch of pending
+
+(* --- per-kernel-digest circuit breaker ---------------------------------
+   Closed counts consecutive device failures; at [conf.breaker] of them
+   it opens and sheds every dispatch of that key as Degraded.  After a
+   cooldown of [8 * backoff] ticks the next dispatch goes through as the
+   single half-open probe: success closes, failure reopens. *)
+type breaker_state = Br_closed | Br_open of float (* opened at *) | Br_probing
+
+type breaker = { mutable consecutive : int; mutable br : breaker_state }
 
 (* Binary min-heap on (time, rank, seq): completions (rank 0) before
    arrivals (rank 1) at the same tick — a freed server picks up the
@@ -173,6 +193,12 @@ end
 let run conf ?pool specs =
   if conf.servers < 1 then invalid_arg "Scheduler.run: servers must be >= 1";
   if conf.queue_bound < 0 then invalid_arg "Scheduler.run: negative queue bound";
+  if conf.breaker < 0 then invalid_arg "Scheduler.run: negative breaker threshold";
+  (* Arm (or disarm) fault injection for the whole replay and rewind the
+     launch nonce: a replay of the same trace under the same fault seed
+     must inject the same faults into the same launches. *)
+  Gpusim.Fault.refresh_from_env ();
+  Gpusim.Fault.reset ();
   let cache = Cache.create ~capacity:conf.cache_capacity in
   let heap = Heap.create () in
   let queue : pending list ref = ref [] in
@@ -187,16 +213,68 @@ let run conf ?pool specs =
   let global_loads = ref 0 in
   let global_stores = ref 0 in
   let atomics = ref 0 in
+  let device_failures = ref 0 in
+  let relaunches = ref 0 in
+  let recovered = ref 0 in
+  let breaker_opens = ref 0 in
+  let fault_stats = ref Gpusim.Fault.zero_stats in
   let last_time = ref 0.0 in
   (* virtual single-flight bookkeeping: key -> tick at which the
      in-flight compile completes *)
   let compiling : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let breakers : (string, breaker) Hashtbl.t = Hashtbl.create 16 in
+  let breaker_for key =
+    match Hashtbl.find_opt breakers key with
+    | Some b -> b
+    | None ->
+        let b = { consecutive = 0; br = Br_closed } in
+        Hashtbl.add breakers key b;
+        b
+  in
+  let breaker_cooldown = 8.0 *. conf.backoff in
+  (* false = shed this dispatch (open, or another probe is in flight) *)
+  let breaker_admit key now =
+    conf.breaker = 0
+    ||
+    let b = breaker_for key in
+    match b.br with
+    | Br_closed -> true
+    | Br_probing -> false
+    | Br_open opened_at ->
+        if now >= opened_at +. breaker_cooldown then begin
+          b.br <- Br_probing;
+          true
+        end
+        else false
+  in
+  let breaker_ok key =
+    if conf.breaker > 0 then begin
+      let b = breaker_for key in
+      b.consecutive <- 0;
+      b.br <- Br_closed
+    end
+  in
+  let breaker_fail key now =
+    if conf.breaker > 0 then begin
+      let b = breaker_for key in
+      b.consecutive <- b.consecutive + 1;
+      match b.br with
+      | Br_probing ->
+          b.br <- Br_open now;
+          incr breaker_opens
+      | Br_closed when b.consecutive >= conf.breaker ->
+          b.br <- Br_open now;
+          incr breaker_opens
+      | Br_closed | Br_open _ -> ()
+    end
+  in
   let record r = reports := r :: !reports in
-  let never_ran spec attempts outcome now =
+  let never_ran spec attempts launches outcome now =
     {
       spec;
       outcome;
       attempts;
+      launches;
       start = -1.0;
       finish = now;
       latency = now -. spec.at;
@@ -207,65 +285,93 @@ let run conf ?pool specs =
     }
   in
   (* Start a request on a free server; false when it terminated without
-     consuming one (compile failure). *)
+     consuming one (compile failure, or the breaker shed it). *)
   let start now (p : pending) =
     let spec = p.spec in
     let kernel, bindings, out = Request.instantiate spec in
     let knobs = { conf.knobs with Offload.guardize = spec.guardize } in
     let key = Offload.cache_key ~knobs kernel in
-    let status, result =
-      Cache.find_or_compile cache ~key ~compile:(fun () ->
-          Offload.compile_with ~knobs kernel)
-    in
-    match result with
-    | Error _ ->
-        record (never_ran spec p.attempts Failed now);
-        false
-    | Ok compiled ->
-        let r_cache, r_compile =
-          match status with
-          | `Miss ->
-              let c = compile_cost kernel in
-              Hashtbl.replace compiling key (now +. c);
-              (C_miss, c)
-          | `Hit | `Joined -> (
-              (* joined at the host level can still be a plain hit in
-                 virtual time (the compile completed ticks ago) *)
-              match Hashtbl.find_opt compiling key with
-              | Some done_at when done_at > now -> (C_join, done_at -. now)
-              | _ -> (C_hit, 0.0))
-        in
-        let clauses =
-          Clause.(
-            none
-            |> num_teams spec.teams
-            |> num_threads spec.threads
-            |> simdlen spec.simdlen)
-        in
-        let report = Offload.run ~cfg:conf.cfg ?pool ~clauses ~bindings compiled in
-        incr launches;
-        blocks := !blocks + report.Gpusim.Device.grid;
-        sim_cycles := !sim_cycles +. report.Gpusim.Device.time_cycles;
-        let c = report.Gpusim.Device.counters in
-        global_loads := !global_loads + c.Gpusim.Counters.global_loads;
-        global_stores := !global_stores + c.Gpusim.Counters.global_stores;
-        atomics := !atomics + c.Gpusim.Counters.atomics;
-        let r_exec = report.Gpusim.Device.time_cycles in
-        free := !free - 1;
-        inflight_max := max !inflight_max (conf.servers - !free);
-        Heap.push heap
-          (now +. r_compile +. r_exec)
-          0
-          (Finish
-             {
-               pending = p;
-               started = now;
-               r_compile;
-               r_exec;
-               r_cache;
-               r_checksum = Request.checksum out;
-             });
-        true
+    if not (breaker_admit key now) then begin
+      record (never_ran spec p.attempts p.launches Degraded now);
+      false
+    end
+    else
+      let status, result =
+        Cache.find_or_compile cache ~key ~compile:(fun () ->
+            Offload.compile_with ~knobs kernel)
+      in
+      match result with
+      | Error _ ->
+          record (never_ran spec p.attempts p.launches Failed now);
+          false
+      | Ok compiled ->
+          let r_cache, r_compile =
+            match status with
+            | `Miss ->
+                let c = compile_cost kernel in
+                Hashtbl.replace compiling key (now +. c);
+                (C_miss, c)
+            | `Hit | `Joined -> (
+                (* joined at the host level can still be a plain hit in
+                   virtual time (the compile completed ticks ago) *)
+                match Hashtbl.find_opt compiling key with
+                | Some done_at when done_at > now -> (C_join, done_at -. now)
+                | _ -> (C_hit, 0.0))
+          in
+          let clauses =
+            Clause.(
+              none
+              |> num_teams spec.teams
+              |> num_threads spec.threads
+              |> simdlen spec.simdlen)
+          in
+          (* A device failure is data, not an exception: launches with an
+             armed fault plan report failed blocks, and an escaped
+             deadlock (divergence with capture disarmed) must not crash
+             the service either. *)
+          let launch_result =
+            match
+              Offload.run ~cfg:conf.cfg ?pool ~clauses ~bindings compiled
+            with
+            | report -> `Report report
+            | exception Gpusim.Engine.Deadlock _ -> `Hung
+          in
+          incr launches;
+          let r_exec, r_failed =
+            match launch_result with
+            | `Report report ->
+                blocks := !blocks + report.Gpusim.Device.grid;
+                sim_cycles := !sim_cycles +. report.Gpusim.Device.time_cycles;
+                let c = report.Gpusim.Device.counters in
+                global_loads := !global_loads + c.Gpusim.Counters.global_loads;
+                global_stores :=
+                  !global_stores + c.Gpusim.Counters.global_stores;
+                atomics := !atomics + c.Gpusim.Counters.atomics;
+                fault_stats :=
+                  Gpusim.Fault.add_stats !fault_stats
+                    report.Gpusim.Device.faults;
+                ( report.Gpusim.Device.time_cycles,
+                  report.Gpusim.Device.failures <> [] )
+            | `Hung -> (0.0, true)
+          in
+          if r_failed then incr device_failures;
+          free := !free - 1;
+          inflight_max := max !inflight_max (conf.servers - !free);
+          Heap.push heap
+            (now +. r_compile +. r_exec)
+            0
+            (Finish
+               {
+                 pending = { p with launches = p.launches + 1 };
+                 started = now;
+                 r_compile;
+                 r_exec;
+                 r_cache;
+                 r_checksum = Request.checksum out;
+                 r_key = key;
+                 r_failed;
+               });
+          true
   in
   (* Highest priority first, then earliest arrival, then lowest id. *)
   let pop_queue () =
@@ -296,13 +402,14 @@ let run conf ?pool specs =
           (match p.spec.Request.deadline with
           | Some d when now >= d ->
               (* expired while queued: never launch *)
-              record (never_ran p.spec p.attempts Timed_out now)
+              record (never_ran p.spec p.attempts p.launches Timed_out now)
           | _ -> ignore (start now p : bool));
           dispatch now
   in
   let arrive now (p : pending) =
     if !free > 0 && !queue = [] then
-      (* a compile failure records Failed and leaves the server free *)
+      (* a compile failure or breaker shed records its outcome and
+         leaves the server free *)
       ignore (start now p : bool)
     else if List.length !queue < conf.queue_bound then begin
       queue := p :: !queue;
@@ -316,13 +423,27 @@ let run conf ?pool specs =
     end
     else
       record
-        (never_ran p.spec p.attempts
+        (never_ran p.spec p.attempts p.launches
            (if conf.max_retries = 0 then Rejected else Shed)
            now)
   in
+  (* A relaunch was admitted once already: it re-enters dispatch past
+     the admission bound (and its backoff-retry policy) — recovery may
+     queue behind other work but never loses the request. *)
+  let relaunch now (p : pending) =
+    match p.spec.Request.deadline with
+    | Some d when now >= d ->
+        record (never_ran p.spec p.attempts p.launches Timed_out now)
+    | _ ->
+        if !free > 0 && !queue = [] then ignore (start now p : bool)
+        else begin
+          queue := p :: !queue;
+          queue_max := max !queue_max (List.length !queue)
+        end
+  in
   List.iter
     (fun (spec : Request.spec) ->
-      Heap.push heap spec.Request.at 1 (Arrive { spec; attempts = 1 }))
+      Heap.push heap spec.Request.at 1 (Arrive { spec; attempts = 1; launches = 0 }))
     specs;
   let rec loop () =
     match Heap.pop heap with
@@ -331,27 +452,55 @@ let run conf ?pool specs =
         last_time := max !last_time now;
         (match ev with
         | Arrive p -> arrive now p
+        | Relaunch p -> relaunch now p
         | Finish r ->
             free := !free + 1;
             let spec = r.pending.spec in
-            let outcome =
-              match spec.Request.deadline with
-              | Some d when now > d -> Timed_out
-              | _ -> Completed
+            let finished outcome =
+              record
+                {
+                  spec;
+                  outcome;
+                  attempts = r.pending.attempts;
+                  launches = r.pending.launches;
+                  start = r.started;
+                  finish = now;
+                  latency = now -. spec.Request.at;
+                  compile_ticks = r.r_compile;
+                  exec_ticks = r.r_exec;
+                  cache = r.r_cache;
+                  checksum = r.r_checksum;
+                }
             in
-            record
-              {
-                spec;
-                outcome;
-                attempts = r.pending.attempts;
-                start = r.started;
-                finish = now;
-                latency = now -. spec.Request.at;
-                compile_ticks = r.r_compile;
-                exec_ticks = r.r_exec;
-                cache = r.r_cache;
-                checksum = r.r_checksum;
-              };
+            let past_deadline =
+              match spec.Request.deadline with
+              | Some d when now > d -> true
+              | _ -> false
+            in
+            if not r.r_failed then begin
+              breaker_ok r.r_key;
+              if r.pending.launches > 1 && not past_deadline then
+                incr recovered;
+              finished (if past_deadline then Timed_out else Completed)
+            end
+            else begin
+              breaker_fail r.r_key now;
+              if past_deadline then
+                (* the deadline says stop: no point relaunching *)
+                finished Timed_out
+              else if r.pending.launches <= conf.max_retries then begin
+                (* relaunch with backoff; the cached compile artifact is
+                   reused (launches are idempotent: a relaunch
+                   re-instantiates its data from the request seed) *)
+                incr relaunches;
+                let wait =
+                  conf.backoff
+                  *. (2.0 ** float_of_int (r.pending.launches - 1))
+                in
+                Heap.push heap (now +. wait) 1 (Relaunch r.pending)
+              end
+              else finished Degraded
+            end;
             dispatch now);
         loop ()
   in
@@ -402,6 +551,16 @@ let run conf ?pool specs =
       global_loads = !global_loads;
       global_stores = !global_stores;
       atomics = !atomics;
+      device_failures = !device_failures;
+      relaunches = !relaunches;
+      recovered = !recovered;
+      degraded = count Degraded;
+      breaker_opens = !breaker_opens;
+      faults_corrected = !fault_stats.Gpusim.Fault.corrected;
+      faults_fatal = !fault_stats.Gpusim.Fault.fatal;
+      faults_stalls = !fault_stats.Gpusim.Fault.stalls;
+      faults_exhausts = !fault_stats.Gpusim.Fault.exhausts;
+      faults_watchdogs = !fault_stats.Gpusim.Fault.watchdogs;
     }
   in
   (reports, metrics)
@@ -411,10 +570,10 @@ let run conf ?pool specs =
 let report_line (r : rq_report) =
   let spec = r.spec in
   Printf.sprintf
-    "req %3d %-8s size=%-3d prio=%d %-9s attempts=%d cache=%-4s arrive=%.1f start=%.1f finish=%.1f latency=%.1f compile=%.1f exec=%.1f checksum=%Lx"
+    "req %3d %-8s size=%-3d prio=%d %-9s attempts=%d launches=%d cache=%-4s arrive=%.1f start=%.1f finish=%.1f latency=%.1f compile=%.1f exec=%.1f checksum=%Lx"
     spec.Request.id spec.Request.kernel spec.Request.size spec.Request.priority
     (outcome_to_string r.outcome)
-    r.attempts
+    r.attempts r.launches
     (cache_status_to_string r.cache)
     spec.Request.at r.start r.finish r.latency r.compile_ticks r.exec_ticks
     (Int64.bits_of_float r.checksum)
@@ -422,10 +581,10 @@ let report_line (r : rq_report) =
 let report_json (r : rq_report) =
   let spec = r.spec in
   Printf.sprintf
-    "{\"id\": %d, \"kernel\": \"%s\", \"size\": %d, \"prio\": %d, \"outcome\": \"%s\", \"attempts\": %d, \"cache\": \"%s\", \"arrive\": %.3f, \"start\": %.3f, \"finish\": %.3f, \"latency\": %.3f, \"compile\": %.3f, \"exec\": %.3f, \"checksum\": \"%Lx\"}"
+    "{\"id\": %d, \"kernel\": \"%s\", \"size\": %d, \"prio\": %d, \"outcome\": \"%s\", \"attempts\": %d, \"launches\": %d, \"cache\": \"%s\", \"arrive\": %.3f, \"start\": %.3f, \"finish\": %.3f, \"latency\": %.3f, \"compile\": %.3f, \"exec\": %.3f, \"checksum\": \"%Lx\"}"
     spec.Request.id spec.Request.kernel spec.Request.size spec.Request.priority
     (outcome_to_string r.outcome)
-    r.attempts
+    r.attempts r.launches
     (cache_status_to_string r.cache)
     spec.Request.at r.start r.finish r.latency r.compile_ticks r.exec_ticks
     (Int64.bits_of_float r.checksum)
@@ -438,9 +597,9 @@ let report_json (r : rq_report) =
 let snapshot_json conf reports metrics =
   let b = Buffer.create 4096 in
   Printf.ksprintf (Buffer.add_string b)
-    "{\n\"config\": {\"device\": \"%s\", \"queue_bound\": %d, \"servers\": %d, \"cache_capacity\": %d, \"max_retries\": %d, \"backoff\": %.3f},\n"
+    "{\n\"config\": {\"device\": \"%s\", \"queue_bound\": %d, \"servers\": %d, \"cache_capacity\": %d, \"max_retries\": %d, \"backoff\": %.3f, \"breaker\": %d},\n"
     conf.cfg.Gpusim.Config.name conf.queue_bound conf.servers
-    conf.cache_capacity conf.max_retries conf.backoff;
+    conf.cache_capacity conf.max_retries conf.backoff conf.breaker;
   Buffer.add_string b "\"requests\": [\n";
   List.iteri
     (fun i r ->

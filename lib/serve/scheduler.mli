@@ -22,6 +22,11 @@ type outcome =
   | Shed  (** dropped after exhausting its retry budget *)
   | Timed_out  (** deadline expired (while queued, or finished late) *)
   | Failed  (** the kernel did not compile *)
+  | Degraded
+      (** device failures exhausted the relaunch budget, or the
+          kernel's circuit breaker was open — distinct from admission
+          loss ({!Rejected}/{!Shed}): the service gave up on a request
+          it had accepted *)
 
 val outcome_to_string : outcome -> string
 
@@ -33,7 +38,10 @@ type rq_report = {
   spec : Request.spec;
   outcome : outcome;
   attempts : int;  (** admission attempts, 1 = admitted first try *)
-  start : float;  (** dispatch tick; -1 when never dispatched *)
+  launches : int;
+      (** device launches performed; 0 = never ran, > 1 = recovery
+          relaunched after device failures *)
+  start : float;  (** tick of the terminal launch; -1 when never dispatched *)
   finish : float;  (** terminal-event tick *)
   latency : float;  (** finish - arrival *)
   compile_ticks : float;  (** virtual compile component (miss/join) *)
@@ -48,15 +56,24 @@ type config = {
   servers : int;
   cache_capacity : int;  (** 0 disables the cache *)
   max_retries : int;
+      (** budget shared by admission retries and device-failure
+          relaunches (counted separately: admissions vs launches) *)
   backoff : float;  (** base ticks; attempt k waits backoff * 2^(k-1) *)
+  breaker : int;
+      (** consecutive device failures of one cache key that open its
+          circuit breaker; 0 disables the breaker.  Open sheds that
+          kernel's dispatches as {!Degraded}; after a cooldown of
+          [8 * backoff] ticks one half-open probe goes through —
+          success closes the breaker, failure reopens it. *)
   knobs : Openmp.Offload.knobs;  (** guardize is overridden per request *)
 }
 
 val config_of_env : cfg:Gpusim.Config.t -> unit -> config
 (** Defaults overridable by the [OMPSIMD_SERVE_QUEUE] (16),
     [OMPSIMD_SERVE_CONC] (2), [OMPSIMD_SERVE_CACHE] (32),
-    [OMPSIMD_SERVE_RETRIES] (2) and [OMPSIMD_SERVE_BACKOFF] (500)
-    environment knobs — blank values mean default, as everywhere. *)
+    [OMPSIMD_SERVE_RETRIES] (2), [OMPSIMD_SERVE_BACKOFF] (500) and
+    [OMPSIMD_SERVE_BREAKER] (4) environment knobs — blank values mean
+    default, as everywhere. *)
 
 val compile_cost : Ompir.Ir.kernel -> float
 (** The virtual compile charge: 200 + 25 ticks per IR node. *)
@@ -67,8 +84,21 @@ val run :
   Request.spec list ->
   rq_report list * Metrics.t
 (** Replay the trace to completion.  Reports come back in request-id
-    order.  @raise Invalid_argument on [servers < 1] or a negative
-    queue bound. *)
+    order.
+
+    Device failures (failed blocks in a launch report under an armed
+    [OMPSIMD_FAULTS] plan, an over-budget [OMPSIMD_WATCHDOG] finding,
+    or an escaped divergence deadlock) are retryable: the request is
+    relaunched with exponential backoff — reusing the cached compile
+    artifact and bypassing the admission bound — until it completes or
+    exhausts [max_retries] launches, when it reports {!Degraded}.  A
+    replay re-arms {!Gpusim.Fault} from the environment and rewinds its
+    launch nonce, so the same trace under the same fault seed injects
+    the identical fault sequence — bit-identical reports and metrics
+    across engines and pool widths.
+
+    @raise Invalid_argument on [servers < 1], a negative queue bound or
+    a negative breaker threshold. *)
 
 val report_line : rq_report -> string
 (** One fixed-format text line per request (checksum as IEEE bits so

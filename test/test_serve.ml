@@ -30,7 +30,7 @@ let spec ?(at = 0.0) ?(kernel = "saxpy") ?(size = 16) ?(teams = 1)
   }
 
 let conf ?(queue_bound = 4) ?(servers = 1) ?(cache = 8) ?(retries = 0)
-    ?(backoff = 500.0) () =
+    ?(backoff = 500.0) ?(breaker = 4) () =
   {
     Scheduler.cfg;
     queue_bound;
@@ -38,10 +38,21 @@ let conf ?(queue_bound = 4) ?(servers = 1) ?(cache = 8) ?(retries = 0)
     cache_capacity = cache;
     max_retries = retries;
     backoff;
+    breaker;
     knobs = Openmp.Offload.default_knobs;
   }
 
 let outcome = Alcotest.testable (Fmt.of_to_string Scheduler.outcome_to_string) ( = )
+
+let with_env name value f =
+  let saved = Sys.getenv_opt name in
+  Unix.putenv name value;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv name (Option.value saved ~default:"");
+      (* re-sync the cached fault plan: later suites must run disarmed *)
+      Gpusim.Fault.refresh_from_env ())
+    f
 
 let outcome_of (reports : Scheduler.rq_report list) id =
   (List.nth reports id).Scheduler.outcome
@@ -197,6 +208,36 @@ let test_host_single_flight () =
   let s = Serve.Cache.stats cache in
   Alcotest.(check int) "stats agree" 1 s.Serve.Cache.misses
 
+(* --- device failures and the compile cache ----------------------------- *)
+
+let test_cache_survives_device_failure () =
+  (* a device fault is not a compile failure: the cached artifact must
+     survive the failing request — its own relaunches reuse it (cache
+     status "hit", no recompile), and so does a later request for the
+     same kernel.  Distinct from a compile Error, which is never
+     cached. *)
+  let reports, m =
+    with_env "OMPSIMD_FAULTS" "abort=1" (fun () ->
+        with_env "OMPSIMD_FAULT_SEED" "5" (fun () ->
+            Scheduler.run
+              (conf ~retries:2 ~breaker:0 ~backoff:100.0 ())
+              (* enough work that the victim thread reaches its trigger *)
+              [
+                spec ~at:0.0 ~size:2048 ~teams:2 ~threads:64 0;
+                spec ~at:500000.0 ~size:2048 ~teams:2 ~threads:64 1;
+              ]))
+  in
+  let r0 = List.nth reports 0 and r1 = List.nth reports 1 in
+  Alcotest.check outcome "always-fatal plan degrades" Scheduler.Degraded
+    r0.Scheduler.outcome;
+  Alcotest.(check int) "three launches for request 0" 3 r0.Scheduler.launches;
+  Alcotest.(check string) "the relaunches reuse the cached compile" "hit"
+    (Scheduler.cache_status_to_string r0.Scheduler.cache);
+  Alcotest.(check string) "a later request still hits the entry" "hit"
+    (Scheduler.cache_status_to_string r1.Scheduler.cache);
+  Alcotest.(check int) "device failures never evict" 0 m.Metrics.cache_evictions;
+  Alcotest.(check int) "all six launches failed" 6 m.Metrics.device_failures
+
 (* --- trace parsing ---------------------------------------------------- *)
 
 let test_parse_trace () =
@@ -222,13 +263,6 @@ let test_parse_trace () =
     (List.length (Request.synthetic ~n:12 ~seed:5 ()))
 
 (* --- determinism ------------------------------------------------------ *)
-
-let with_env name value f =
-  let saved = Sys.getenv_opt name in
-  Unix.putenv name value;
-  Fun.protect
-    ~finally:(fun () -> Unix.putenv name (Option.value saved ~default:""))
-    f
 
 let test_deterministic_replay () =
   (* one trace, four engine x pool combinations: the full snapshot
@@ -285,6 +319,8 @@ let suite =
           test_cache_disabled;
         Alcotest.test_case "cache: host single-flight across domains" `Quick
           test_host_single_flight;
+        Alcotest.test_case "cache: entry survives device failures" `Quick
+          test_cache_survives_device_failure;
         Alcotest.test_case "trace parsing and synthesis" `Quick
           test_parse_trace;
         Alcotest.test_case "replay is engine- and pool-invariant" `Quick

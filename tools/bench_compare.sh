@@ -32,7 +32,13 @@ run_bench() {
   # (disabled) sanitizer hooks costs nothing — a hot-path regression in
   # the instrumented loads/stores shows up as an E6 (or any other row)
   # ratio past the threshold.
+  # Fault injection is pinned OFF the same way (the "serve faulty" row
+  # arms its own plan internally): the baseline doubles as the proof
+  # that the disarmed fault hooks cost nothing on the hot path.
   OMPSIMD_SANITIZE=0 \
+  OMPSIMD_FAULTS= \
+  OMPSIMD_FAULT_SEED= \
+  OMPSIMD_WATCHDOG= \
   OMPSIMD_DOMAINS="$1" \
   OMPSIMD_BENCH_DEDUP="$2" \
   OMPSIMD_BENCH_SCALE="${OMPSIMD_BENCH_SCALE:-0.05}" \

@@ -1,0 +1,61 @@
+#!/bin/sh
+# Smoke-test the fault-injection determinism contract.
+#
+# Replays examples/serve.requests with an armed OMPSIMD_FAULTS chaos
+# plan under three fault seeds, each across every OMPSIMD_EVAL x
+# OMPSIMD_DOMAINS combination, and diffs the JSON snapshots
+# byte-for-byte: injected faults are a pure function of (seed, launch
+# nonce, block id), so the failure reports, relaunches and fault
+# counters must be identical for any engine and pool width.
+#
+# Two more gates: an armed plan with all-zero rates must be
+# byte-identical to a disarmed run (arming alone perturbs nothing),
+# and at least one seed must actually exercise the recovery path.
+#
+# Usage: tools/chaos_smoke.sh   (from the repo root)
+set -eu
+
+cd "$(dirname "$0")/.."
+trace=examples/serve.requests
+plan='abort=0.4,flip=0.3:0.5,stall=0.2'
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+dune build bin/ompsimd_run.exe
+run=./_build/default/bin/ompsimd_run.exe
+
+failures_seen=0
+for seed in 1 7 42; do
+  ref=""
+  for engine in compile walk; do
+    for domains in 0 3; do
+      json="$out/chaos_${seed}_${engine}_${domains}.json"
+      echo "== seed=$seed OMPSIMD_EVAL=$engine OMPSIMD_DOMAINS=$domains =="
+      OMPSIMD_FAULTS="$plan" OMPSIMD_FAULT_SEED="$seed" \
+      OMPSIMD_EVAL="$engine" OMPSIMD_DOMAINS="$domains" \
+        "$run" serve --requests "$trace" --json "$json" > /dev/null
+      if [ -z "$ref" ]; then
+        ref="$json"
+      else
+        diff -q "$ref" "$json" \
+          || { echo "FAIL: seed $seed snapshot differs from $ref"; exit 1; }
+      fi
+    done
+  done
+  grep -q '"device_failures": 0,' "$ref" || failures_seen=1
+done
+
+[ "$failures_seen" = 1 ] \
+  || { echo "FAIL: no seed injected a device failure"; exit 1; }
+
+# arming a zero-rate plan only switches deadlock capture on; it must not
+# perturb a fault-free replay by a single byte
+OMPSIMD_FAULTS="" \
+  "$run" serve --requests "$trace" --json "$out/off.json" > /dev/null
+OMPSIMD_FAULTS="abort=0" OMPSIMD_FAULT_SEED=7 \
+  "$run" serve --requests "$trace" --json "$out/armed_zero.json" > /dev/null
+diff -q "$out/off.json" "$out/armed_zero.json" \
+  || { echo "FAIL: a zero-rate plan perturbed a fault-free replay"; exit 1; }
+
+grep -o '"recovery": {[^}]*}' "$out/chaos_7_compile_0.json"
+echo "chaos smoke OK: fault snapshots bit-identical across engines and pools"
