@@ -17,9 +17,10 @@
    the homogeneous-grid dedup fast path on the uniform Fig 9 kernels
    (default on); the reports are bit-identical under every combination.
    OMPSIMD_BENCH_QUOTA overrides Bechamel's per-test second budget, and
-   OMPSIMD_BENCH_JSON=path additionally writes the ms/run estimates as
-   JSON, so runs under different settings can be diffed (see
-   tools/bench_smoke.sh and BENCH_gpusim.json). *)
+   OMPSIMD_BENCH_JSON=path additionally writes the ms/run estimates and
+   the minor-GC MB allocated per run as JSON, so runs under different
+   settings can be diffed (see tools/bench_smoke.sh and
+   BENCH_gpusim.json). *)
 
 open Bechamel
 open Toolkit
@@ -111,60 +112,72 @@ let serve_conf ~cache =
     knobs = Openmp.Offload.default_knobs;
   }
 
-let bench_tests ~pool () =
+(* Each case is a named thunk: Bechamel stages it for the ms/run
+   estimate, and the allocation probe below calls it directly for the
+   minor-GC bytes per run. *)
+let bench_cases ~pool () =
   let cfg = Gpusim.Config.small in
   let s = 0.25 in
   [
-    Test.make ~name:"fig9 (E1)"
-      (Staged.stage (fun () ->
-           ignore (Experiments.Fig9.run ~scale:s ~pool ~dedup:(dedup ()) ~cfg ())));
-    Test.make ~name:"fig10 (E2)"
-      (Staged.stage (fun () ->
-           ignore (Experiments.Fig10.run ~scale:s ~pool ~cfg ())));
-    Test.make ~name:"sharing ablation (E3)"
-      (Staged.stage (fun () ->
-           ignore (Experiments.Sharing_ablation.run ~scale:s ~pool ~cfg ())));
-    Test.make ~name:"dispatch ablation (E4)"
-      (Staged.stage (fun () ->
-           ignore (Experiments.Dispatch_ablation.run ~scale:s ~pool ~cfg ())));
-    Test.make ~name:"amd mode (E5)"
-      (Staged.stage (fun () ->
-           ignore (Experiments.Amd_mode.run ~scale:0.02 ~pool ())));
-    Test.make ~name:"reduction ablation (E6)"
-      (Staged.stage (fun () ->
-           ignore (Experiments.Reduction_ablation.run ~scale:s ~pool ~cfg ())));
-    Test.make ~name:"teams-mode ablation (E7)"
-      (Staged.stage (fun () ->
-           ignore (Experiments.Teams_mode_ablation.run ~scale:s ~pool ~cfg ())));
-    Test.make ~name:"spmdization ablation (E8)"
-      (Staged.stage (fun () ->
-           ignore (Experiments.Spmdization_ablation.run ~scale:s ~pool ~cfg ())));
-    Test.make ~name:"schedule ablation (E9)"
-      (Staged.stage (fun () ->
-           ignore (Experiments.Schedule_ablation.run ~scale:0.1 ~pool ~cfg ())));
-    Test.make ~name:"serve warm cache"
-      (Staged.stage (fun () ->
-           ignore (Serve.Scheduler.run (serve_conf ~cache:32) ~pool serve_trace)));
-    Test.make ~name:"serve cold cache"
-      (Staged.stage (fun () ->
-           ignore (Serve.Scheduler.run (serve_conf ~cache:0) ~pool serve_trace)));
+    ( "fig9 (E1)",
+      fun () ->
+        ignore (Experiments.Fig9.run ~scale:s ~pool ~dedup:(dedup ()) ~cfg ()) );
+    ( "fig10 (E2)",
+      fun () -> ignore (Experiments.Fig10.run ~scale:s ~pool ~cfg ()) );
+    ( "sharing ablation (E3)",
+      fun () -> ignore (Experiments.Sharing_ablation.run ~scale:s ~pool ~cfg ()) );
+    ( "dispatch ablation (E4)",
+      fun () ->
+        ignore (Experiments.Dispatch_ablation.run ~scale:s ~pool ~cfg ()) );
+    ( "amd mode (E5)",
+      fun () -> ignore (Experiments.Amd_mode.run ~scale:0.02 ~pool ()) );
+    ( "reduction ablation (E6)",
+      fun () ->
+        ignore (Experiments.Reduction_ablation.run ~scale:s ~pool ~cfg ()) );
+    ( "teams-mode ablation (E7)",
+      fun () ->
+        ignore (Experiments.Teams_mode_ablation.run ~scale:s ~pool ~cfg ()) );
+    ( "spmdization ablation (E8)",
+      fun () ->
+        ignore (Experiments.Spmdization_ablation.run ~scale:s ~pool ~cfg ()) );
+    ( "schedule ablation (E9)",
+      fun () ->
+        ignore (Experiments.Schedule_ablation.run ~scale:0.1 ~pool ~cfg ()) );
+    ( "serve warm cache",
+      fun () ->
+        ignore (Serve.Scheduler.run (serve_conf ~cache:32) ~pool serve_trace) );
+    ( "serve cold cache",
+      fun () ->
+        ignore (Serve.Scheduler.run (serve_conf ~cache:0) ~pool serve_trace) );
     (* the same warm-cache trace under a 5% per-block abort plan: the
        delta against "serve warm cache" is the recovery overhead
        (relaunch work + backoff bookkeeping) the service pays for fault
        tolerance *)
-    Test.make ~name:"serve faulty (5% aborts)"
-      (Staged.stage (fun () ->
-           Unix.putenv "OMPSIMD_FAULTS" "abort=0.05";
-           Unix.putenv "OMPSIMD_FAULT_SEED" "7";
-           Fun.protect
-             ~finally:(fun () ->
-               Unix.putenv "OMPSIMD_FAULTS" "";
-               Unix.putenv "OMPSIMD_FAULT_SEED" "";
-               Gpusim.Fault.refresh_from_env ())
-             (fun () ->
-               ignore
-                 (Serve.Scheduler.run (serve_conf ~cache:32) ~pool serve_trace))));
+    ( "serve faulty (5% aborts)",
+      fun () ->
+        Unix.putenv "OMPSIMD_FAULTS" "abort=0.05";
+        Unix.putenv "OMPSIMD_FAULT_SEED" "7";
+        Fun.protect
+          ~finally:(fun () ->
+            Unix.putenv "OMPSIMD_FAULTS" "";
+            Unix.putenv "OMPSIMD_FAULT_SEED" "";
+            Gpusim.Fault.refresh_from_env ())
+          (fun () ->
+            ignore
+              (Serve.Scheduler.run (serve_conf ~cache:32) ~pool serve_trace)) );
   ]
+
+(* Minor-GC bytes one run of the case allocates (majors excluded: the
+   churn that costs wall clock is the minor-heap traffic).  The
+   simulation is deterministic, so a single warmed run measures it
+   exactly — this is the number the engine allocation hunts move, and
+   tools/bench_compare.sh gates it alongside time. *)
+let minor_bytes_per_run fn =
+  fn ();
+  let before = (Gc.quick_stat ()).Gc.minor_words in
+  fn ();
+  let after = (Gc.quick_stat ()).Gc.minor_words in
+  (after -. before) *. float_of_int (Sys.word_size / 8)
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -179,7 +192,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json ~pool path estimates =
+let write_json ~pool path estimates allocs =
   let oc = open_out path in
   Printf.fprintf oc
     "{\n  \"domains\": %d,\n  \"dedup\": %b,\n  \"ms_per_run\": {\n"
@@ -190,6 +203,12 @@ let write_json ~pool path estimates =
         (match ms with Some v -> Printf.sprintf "%.3f" v | None -> "null")
         (if i = List.length estimates - 1 then "" else ","))
     estimates;
+  Printf.fprintf oc "  },\n  \"minor_mb_per_run\": {\n";
+  List.iteri
+    (fun i (name, mb) ->
+      Printf.fprintf oc "    \"%s\": %.1f%s\n" (json_escape name) mb
+        (if i = List.length allocs - 1 then "" else ","))
+    allocs;
   Printf.fprintf oc "  }\n}\n";
   close_out oc;
   Printf.printf "wrote %s\n%!" path
@@ -201,9 +220,11 @@ let run_bechamel ~pool () =
   let benchmark_cfg =
     Benchmark.cfg ~limit:50 ~quota:(Time.second (quota ())) ~kde:None ()
   in
+  let cases = bench_cases ~pool () in
   let estimates =
     List.map
-      (fun test ->
+      (fun (case_name, fn) ->
+        let test = Test.make ~name:case_name (Staged.stage fn) in
         let raw =
           Benchmark.all benchmark_cfg Instance.[ monotonic_clock ] test
         in
@@ -226,11 +247,20 @@ let run_bechamel ~pool () =
                 acc := (name, None) :: !acc)
           ols;
         !acc)
-      (bench_tests ~pool ())
+      cases
     |> List.concat
   in
+  print_endline "minor-GC megabytes allocated per run";
+  let allocs =
+    List.map
+      (fun (name, fn) ->
+        let mb = minor_bytes_per_run fn /. 1e6 in
+        Printf.printf "  %-28s %10.1f MB/run\n%!" name mb;
+        (name, mb))
+      cases
+  in
   match Env.var "OMPSIMD_BENCH_JSON" with
-  | Some path -> write_json ~pool path estimates
+  | Some path -> write_json ~pool path estimates allocs
   | None -> ()
 
 let () =

@@ -38,8 +38,16 @@ let run_one ~pool ~cfg ~scale ~sharing_bytes ~group_size =
     Target.launch ~cfg ?pool ~params ~dispatch_table_size:2 (fun ctx ->
         Parallel.parallel ctx ~mode:Mode.Generic ~simd_len:group_size ~payload
           ~fn_id:0 (fun ctx _ ->
-            Workshare.distribute_parallel_for ctx ~trip:rows_trip (fun _ ->
-                Simd.simd ctx ~payload ~fn_id:1 ~trip:32 (fun ctx _ _ ->
+            Workshare.distribute_parallel_for ctx ~trip:rows_trip (fun i ->
+                Simd.simd ctx ~payload ~fn_id:1 ~trip:32 (fun ctx j _ ->
+                    (* a real load per element: memory latency makes the
+                       SIMD groups genuinely overlap, so region-scoped
+                       slices from the sharing space are live
+                       concurrently — the regime the reservation has to
+                       be sized for *)
+                    let (_ : float) =
+                      Memory.fget data ctx.Team.th ((i + j) land 63)
+                    in
                     Team.charge_flops ctx 4))))
   in
   let num_groups = threads / group_size in
@@ -59,7 +67,12 @@ let run ?(scale = 1.0) ?pool ~cfg () =
         List.map
           (fun group_size -> run_one ~pool ~cfg ~scale ~sharing_bytes ~group_size)
           [ 2; 4; 8; 16; 32 ])
-      [ 1024; 2048; 4096 ]
+      (* 256 is genuinely undersized (the per-block wave of 96-byte
+         payloads peaks above it); 1024 was too small for the old static
+         split (a 12-arg payload overflowed its 1024/17-byte slice) but
+         holds every live region under dynamic allocation; 2048 is the
+         paper's enlarged reservation *)
+      [ 256; 1024; 2048 ]
   in
   { rows; payload_args }
 

@@ -1,15 +1,17 @@
-type waiter = {
-  th : Thread.t;
-  k : (unit, unit) Effect.Deep.continuation;
-}
-
 type t = {
   id : int;
   name : string;
   expected : int;
   cost : float;
-  mutable waiters : waiter list;
-  mutable nwaiters : int;  (* = List.length waiters, kept O(1) *)
+  (* Parked threads and continuations as two parallel flat arrays (SoA):
+     a park is two array stores and a release walks the arrays in place —
+     no per-waiter record, no list cell, no closure.  The arrays are
+     created lazily from the first parked values (a typed fill, so no
+     dummy element is needed) and sized [expected - 1]: the completing
+     arriver never parks. *)
+  mutable ths : Thread.t array;
+  mutable ks : (unit, unit) Effect.Deep.continuation array;
+  mutable nwaiters : int;
   mutable live_mark : bool;
       (* set when the engine registers the barrier in its live table, so
          re-registration (every round of a reused barrier) is a flag
@@ -29,7 +31,8 @@ let create ?(name = "barrier") ~expected ~cost () =
     name;
     expected;
     cost;
-    waiters = [];
+    ths = [||];
+    ks = [||];
     nwaiters = 0;
     live_mark = false;
   }
@@ -45,40 +48,45 @@ let set_live_mark t = t.live_mark <- true
    clock and advanced by [cost].  The barrier instruction itself issues (a
    cycle or two); the rest of the cost is pipeline-drain stall, which
    occupies no issue slots and can be hidden by other resident blocks. *)
-let release t last parked =
-  let tmax =
-    List.fold_left
-      (fun acc w -> Float.max acc (Thread.clock w.th))
-      (Thread.clock last) parked
-  in
-  let charge th =
-    Thread.align_clock th tmax;
-    if t.cost > 0.0 then begin
-      let busy_part = Float.min t.cost 2.0 in
-      Thread.tick th busy_part;
-      Thread.tick_wait th (t.cost -. busy_part)
-    end
-  in
-  charge last;
-  List.iter (fun w -> charge w.th) parked
+let charge t tmax th =
+  Thread.align_clock th tmax;
+  if t.cost > 0.0 then begin
+    let busy_part = Float.min t.cost 2.0 in
+    Thread.tick th busy_part;
+    Thread.tick_wait th (t.cost -. busy_part)
+  end
+
+let release t last =
+  let tmax = ref (Thread.clock last) in
+  let ths = t.ths in
+  for i = 0 to t.nwaiters - 1 do
+    let c = Thread.clock ths.(i) in
+    if c > !tmax then tmax := c
+  done;
+  let tmax = !tmax in
+  charge t tmax last;
+  for i = 0 to t.nwaiters - 1 do
+    charge t tmax ths.(i)
+  done
 
 let park t th k =
-  t.waiters <- { th; k } :: t.waiters;
+  if Array.length t.ths = 0 then begin
+    t.ths <- Array.make (t.expected - 1) th;
+    t.ks <- Array.make (t.expected - 1) k
+  end
+  else begin
+    t.ths.(t.nwaiters) <- th;
+    t.ks.(t.nwaiters) <- k
+  end;
   t.nwaiters <- t.nwaiters + 1
 
 let try_complete t th =
-  if t.nwaiters + 1 < t.expected then None
+  if t.nwaiters + 1 < t.expected then false
   else begin
-    let parked = t.waiters in
-    t.waiters <- [];
-    t.nwaiters <- 0;
-    release t th parked;
-    Some parked
+    release t th;
+    true
   end
 
-let arrive t th k =
-  match try_complete t th with
-  | Some parked -> Some ({ th; k } :: parked)
-  | None ->
-      park t th k;
-      None
+let waiter_th t i = t.ths.(i)
+let waiter_k t i = t.ks.(i)
+let clear t = t.nwaiters <- 0

@@ -8,12 +8,12 @@
 
     Barriers are reusable (generation-style): after a release the barrier is
     empty and can be waited on again, which is how the SIMD state machine
-    loops on the same masked barrier. *)
+    loops on the same masked barrier.
 
-type waiter = {
-  th : Thread.t;
-  k : (unit, unit) Effect.Deep.continuation;
-}
+    Parked waiters live in flat parallel arrays rather than a list of
+    waiter records: the barrier path runs hundreds of thousands of times
+    per launch, and the SoA layout keeps each park/release allocation-free
+    (see the engine's scheduler ring for the other half). *)
 
 type t
 
@@ -31,16 +31,25 @@ val expected : t -> int
 val waiting : t -> int
 (** Threads currently parked. *)
 
-val try_complete : t -> Thread.t -> waiter list option
+val try_complete : t -> Thread.t -> bool
 (** [try_complete t th] checks whether [th]'s arrival is the last one
     expected.  If so it performs the release — every participant's clock
-    (including [th]'s) is aligned to the max and advanced by [cost], the
-    barrier resets — and returns the parked waiters for rescheduling;
-    [th] itself was never suspended and simply continues.  Otherwise
-    returns [None] without touching the barrier: the caller must park
-    [th]'s continuation with {!park}.  Letting the last arriver skip the
+    (including [th]'s) is aligned to the max and advanced by [cost] — and
+    returns [true]; the caller must then drain the parked waiters with
+    {!waiter_th}/{!waiter_k} and {!clear}.  Otherwise returns [false]
+    without touching the barrier: the caller must park [th]'s
+    continuation with {!park}.  Letting the last arriver skip the
     suspend/capture round-trip entirely is the engine's barrier fast
     path. *)
+
+val waiter_th : t -> int -> Thread.t
+val waiter_k : t -> int -> (unit, unit) Effect.Deep.continuation
+(** Parked waiter [i] (0 <= i < {!waiting}), in arrival order.  Only
+    meaningful between a successful {!try_complete} and the matching
+    {!clear}. *)
+
+val clear : t -> unit
+(** Reset the waiter count after draining a completed release. *)
 
 val live_mark : t -> bool
 val set_live_mark : t -> unit
@@ -51,10 +60,3 @@ val set_live_mark : t -> unit
 val park : t -> Thread.t -> (unit, unit) Effect.Deep.continuation -> unit
 (** Park a thread's continuation (an arrival that did not complete the
     barrier). *)
-
-val arrive :
-  t -> Thread.t -> (unit, unit) Effect.Deep.continuation -> waiter list option
-(** [arrive t th k] parks the thread ([None]) or — when it is the last
-    expected participant — performs the release and returns all waiters
-    including [th]'s for rescheduling.  Kept for direct engine-level
-    tests; the engine itself uses {!try_complete}/{!park}. *)

@@ -128,9 +128,13 @@ let launch ~cfg ?pool ?trace ?block_class ~grid ~block ~init ~body () =
   let simulate = simulate_block ~cfg ?trace ~block ~init ~body in
   let results =
     match pool with
-    | Some p when not tracing ->
+    | Some p when not tracing && Pool.size p > 0 ->
+        Memory.set_rmw_locking true;
         Pool.parallel_init p (Array.length reps) (fun i -> simulate reps.(i))
-    | _ -> Array.init (Array.length reps) (fun i -> simulate reps.(i))
+    | _ ->
+        (* single-domain block phase: device atomics need no host lock *)
+        Memory.set_rmw_locking false;
+        Array.init (Array.length reps) (fun i -> simulate reps.(i))
   in
   (* Deterministic epilogue, in ascending block_id order regardless of
      which domain simulated what: commit the per-block L2 logs, then
@@ -255,6 +259,15 @@ let pp_report ppf r =
     r.cfg.Config.name r.grid r.block r.time_cycles b.Occupancy.compute_bound
     b.Occupancy.memory_bound b.Occupancy.lsu_bound b.Occupancy.latency_bound
     b.Occupancy.resident_blocks b.Occupancy.num_waves Counters.pp r.counters;
+  (* only when the runtime used the sharing space: kernels that never
+     acquire keep their report text unchanged *)
+  let grants = Counters.get_extra r.counters "sharing.shared_grants" in
+  let fallbacks = Counters.get_extra r.counters "sharing.global_fallbacks" in
+  let reuses = Counters.get_extra r.counters "sharing.pool_reuses" in
+  if grants <> 0.0 || fallbacks <> 0.0 then
+    Format.fprintf ppf
+      "@ sharing: shared_grants=%.0f global_fallbacks=%.0f pool_reuses=%.0f"
+      grants fallbacks reuses;
   (match r.sanitizer with
   | None -> ()
   | Some san when Ompsan.is_clean san ->

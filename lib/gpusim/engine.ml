@@ -39,43 +39,54 @@ let take_stall () =
 
 type _ Effect.t += Wait : Barrier.t * Thread.t -> unit Effect.t
 
-(* Per-block scheduler state.  Released waiters are queued as the lists
-   the barrier produced (one cons per release, not per waiter) and
-   consumed FIFO; [live] tracks barriers with parked threads for the
-   deadlock report.  The state is published in domain-local storage so
-   that [barrier_wait]'s fast path — the last arriver completing the
-   barrier inline, without performing an effect — can reschedule the
-   released waiters. *)
+(* The barrier-park hot path performs [Yield] — a constant constructor,
+   so the perform itself allocates nothing — with the arrival stashed in
+   the scheduler state; [Wait] carries its payload explicitly and remains
+   for the cold paths (fault-injected stalls, arrivals outside a
+   run_block).  Released waiters are queued in a fixed ring of parallel
+   thread/continuation arrays (capacity [num_threads + 1]: a thread is
+   parked at most once) and consumed FIFO; [live] tracks barriers with
+   parked threads for the deadlock report. *)
+type _ Effect.t += Yield : unit Effect.t
+
 type sched = {
-  mutable cur : Barrier.waiter list;  (* list being consumed *)
-  mutable front : Barrier.waiter list list;
-  mutable back : Barrier.waiter list list;  (* reversed *)
+  mutable rths : Thread.t array;  (* released-waiter ring *)
+  mutable rks : (unit, unit) continuation array;  (* lazily created *)
+  mutable head : int;
+  mutable tail : int;
+  cap : int;
   live : (int, Barrier.t) Hashtbl.t;
+  (* the arrival being parked by the in-flight [Yield] *)
+  mutable pending_bar : Barrier.t;
+  mutable pending_th : Thread.t;
 }
 
 let sched_slot : sched option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
 
-let sched_push s ws = if ws <> [] then s.back <- ws :: s.back
+(* The running block's scheduler, stashed on each of its warps (see
+   Thread.engine_sched): barrier arrivals are the simulator's single
+   most frequent event, and the stash turns the per-arrival DLS lookup
+   into a field load.  [run_block] sets it after building [s] and
+   resets it on every exit path, so a warp never carries a stale
+   scheduler. *)
+type Thread.engine_sched += Sched of sched
 
-let rec sched_pop s =
-  match s.cur with
-  | w :: tl ->
-      s.cur <- tl;
-      Some w
-  | [] -> (
-      match s.front with
-      | l :: tl ->
-          s.front <- tl;
-          s.cur <- l;
-          sched_pop s
-      | [] -> (
-          match s.back with
-          | [] -> None
-          | b ->
-              s.front <- List.rev b;
-              s.back <- [];
-              sched_pop s))
+let sched_push s th k =
+  if Array.length s.rks = 0 then s.rks <- Array.make s.cap k;
+  s.rths.(s.tail) <- th;
+  s.rks.(s.tail) <- k;
+  let tail = s.tail + 1 in
+  s.tail <- (if tail = s.cap then 0 else tail)
+
+(* Resume order matches the historical list-based scheduler: batches are
+   FIFO across releases, and within a release the most recently parked
+   waiter runs first. *)
+let push_release s bar =
+  for i = Barrier.waiting bar - 1 downto 0 do
+    sched_push s (Barrier.waiter_th bar i) (Barrier.waiter_k bar i)
+  done;
+  Barrier.clear bar
 
 let barrier_wait bar th =
   (* Any synchronization orders the warp's outstanding atomics: contention
@@ -90,14 +101,38 @@ let barrier_wait bar th =
      match Fault.stall_here th ~abandoned:bar with
      | Some stalled -> perform (Wait (stalled, th))
      | None -> ());
-  match !(Domain.DLS.get sched_slot) with
-  | Some s -> (
+  match warp.Thread.esched with
+  | Sched s ->
       (* fast path: the last expected arriver releases the barrier and
          keeps running — no continuation capture, no queue round-trip *)
-      match Barrier.try_complete bar th with
-      | Some waiters -> sched_push s waiters
+      if Barrier.try_complete bar th then push_release s bar
+      else begin
+        s.pending_bar <- bar;
+        s.pending_th <- th;
+        perform Yield
+      end
+  | _ -> (
+      (* warp not created by a live run_block (a bare test harness, or a
+         foreign thread arriving mid-run): fall back to the domain-local
+         scheduler, exactly the pre-stash behaviour *)
+      match !(Domain.DLS.get sched_slot) with
+      | Some s ->
+          if Barrier.try_complete bar th then push_release s bar
+          else begin
+            s.pending_bar <- bar;
+            s.pending_th <- th;
+            perform Yield
+          end
       | None -> perform (Wait (bar, th)))
-  | None -> perform (Wait (bar, th))
+
+let park_arrival s bar th k =
+  (* [barrier_wait] already tried to complete: this arrival cannot be
+     the last, so it always parks *)
+  Barrier.park bar th k;
+  if not (Barrier.live_mark bar) then begin
+    Barrier.set_live_mark bar;
+    Hashtbl.replace s.live (Barrier.id bar) bar
+  end
 
 let run_block ~cfg ?trace ~block_id ~num_threads body =
   if num_threads <= 0 then
@@ -112,16 +147,28 @@ let run_block ~cfg ?trace ~block_id ~num_threads body =
     Array.init num_threads (fun tid ->
         Thread.create ~cfg ~counters ?trace ~block_id ~tid ~warp:warps.(tid / ws) ())
   in
-  (* keyed by unique barrier id: two live barriers may share a display
-     name (e.g. per-warp barriers created in a loop), and colliding on the
-     name used to drop one of them from the deadlock report.  Entries stay
-     registered after release (the live_mark is never cleared), so the
-     deadlock formatter below must skip barriers with zero parked waiters
-     to report only the actually-stuck ones. *)
-  let s = { cur = []; front = []; back = []; live = Hashtbl.create 8 } in
+  (* [live] is keyed by unique barrier id: two live barriers may share a
+     display name (e.g. per-warp barriers created in a loop), and colliding
+     on the name used to drop one of them from the deadlock report.
+     Entries stay registered after release (the live_mark is never
+     cleared), so the deadlock formatter below must skip barriers with
+     zero parked waiters to report only the actually-stuck ones. *)
+  let s =
+    {
+      rths = Array.make (num_threads + 1) threads.(0);
+      rks = [||];
+      head = 0;
+      tail = 0;
+      cap = num_threads + 1;
+      live = Hashtbl.create 8;
+      pending_bar = Barrier.create ~name:"engine.none" ~expected:1 ~cost:0.0 ();
+      pending_th = threads.(0);
+    }
+  in
   let slot = Domain.DLS.get sched_slot in
   let saved_slot = !slot in
   slot := Some s;
+  Array.iter (fun w -> w.Thread.esched <- Sched s) warps;
   let completed = ref 0 in
   let run_fiber th =
     match_with body th
@@ -131,31 +178,30 @@ let run_block ~cfg ?trace ~block_id ~num_threads body =
         effc =
           (fun (type a) (eff : a Effect.t) ->
             match eff with
+            | Yield ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    park_arrival s s.pending_bar s.pending_th k)
             | Wait (bar, arriving) ->
                 Some
                   (fun (k : (a, unit) continuation) ->
-                    (* [barrier_wait] already tried to complete: this
-                       arrival cannot be the last, so it always parks *)
-                    Barrier.park bar arriving k;
-                    if not (Barrier.live_mark bar) then begin
-                      Barrier.set_live_mark bar;
-                      Hashtbl.replace s.live (Barrier.id bar) bar
-                    end)
+                    park_arrival s bar arriving k)
             | _ -> None);
       }
   in
-  let finally () = slot := saved_slot in
+  let finally () =
+    slot := saved_slot;
+    Array.iter (fun w -> w.Thread.esched <- Thread.No_sched) warps
+  in
   (try
      (* initial fibers run in tid order; resumptions queue behind them *)
      Array.iter run_fiber threads;
-     let rec drain () =
-       match sched_pop s with
-       | Some w ->
-           continue w.Barrier.k ();
-           drain ()
-       | None -> ()
-     in
-     drain ()
+     while s.head <> s.tail do
+       let k = s.rks.(s.head) in
+       let head = s.head + 1 in
+       s.head <- (if head = s.cap then 0 else head);
+       continue k ()
+     done
    with e ->
      finally ();
      raise e);

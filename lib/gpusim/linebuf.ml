@@ -35,31 +35,38 @@ let hash line mask =
   (h lxor (h lsr 29)) land mask
 
 (* Slot holding the key, or the empty slot where it would go.  The load
-   factor is kept under 3/4, so a run of occupied slots always ends. *)
+   factor is kept under 3/4, so a run of occupied slots always ends.
+   Indices are masked, hence always in bounds: this probe loop and the
+   slot reads/writes below run once or more per simulated memory access,
+   so they use the unchecked accessors. *)
 let tbl_slot t line =
   let key = line + 1 in
   let mask = t.mask in
   let keys = t.keys in
   let i = ref (hash line mask) in
-  let k = ref keys.(!i) in
+  let k = ref (Array.unsafe_get keys !i) in
   while !k <> 0 && !k <> key do
     i := (!i + 1) land mask;
-    k := keys.(!i)
+    k := Array.unsafe_get keys !i
   done;
   !i
 
 let tbl_put t line vtime lanes =
   let s = tbl_slot t line in
-  if t.keys.(s) = 0 then begin
-    t.keys.(s) <- line + 1;
+  if Array.unsafe_get t.keys s = 0 then begin
+    Array.unsafe_set t.keys s (line + 1);
     t.count <- t.count + 1
   end;
-  Float.Array.set t.vtimes s vtime;
-  t.lanes.(s) <- lanes
+  Float.Array.unsafe_set t.vtimes s vtime;
+  Array.unsafe_set t.lanes s lanes
 
 let tbl_grow t =
   let old_keys = t.keys and old_v = t.vtimes and old_l = t.lanes in
-  let size = 2 * (t.mask + 1) in
+  (* quadruple: a rebuild re-inserts every live entry, so growing by 4x
+     halves the number of rebuilds a small-starting table pays on its way
+     to its final size, at a worst-case 4x space overshoot on tables that
+     are overlay-sized anyway *)
+  let size = 4 * (t.mask + 1) in
   t.keys <- Array.make size 0;
   t.vtimes <- Float.Array.make size 0.0;
   t.lanes <- Array.make size 0;
@@ -83,8 +90,14 @@ type t = {
   tbl : tbl;  (* line -> latest touch burst *)
   base : tbl option;
       (* frozen parent stamps a fork reads through to (never written) *)
+  now : floatarray;
+      (* two unboxed float cells: slot 0 stages the touch timestamp
+         (callers store it with an unboxed floatarray write and the touch
+         body reads it back, so the float never crosses a function
+         boundary as a boxed argument); slot 1 is the running max vtime —
+         as a mutable float field of this mixed record every monotone
+         update would box a fresh float *)
   mutable misses : int;
-  mutable max_vtime : float;
 }
 
 (* The cap keeps warp-sized buffers small; a device L2 with hundreds of
@@ -103,20 +116,32 @@ type outcome = Coalesced | Hit | Miss
 
 let is_resident = function Coalesced | Hit -> true | Miss -> false
 
-let create ~capacity ~coalesce_window =
+let[@inline] max_vtime t = Float.Array.unsafe_get t.now 1
+
+let make ~capacity ~coalesce_window ~isz =
   if capacity <= 0 then invalid_arg "Linebuf.create: capacity must be positive";
   if coalesce_window < 0.0 then
     invalid_arg "Linebuf.create: coalesce_window must be non-negative";
-  let isz = floor_size capacity in
   {
     capacity;
     coalesce_window;
     isz;
     tbl = tbl_make isz;
     base = None;
+    now = Float.Array.make 2 0.0;
     misses = 0;
-    max_vtime = 0.0;
   }
+
+let create ~capacity ~coalesce_window =
+  make ~capacity ~coalesce_window ~isz:(floor_size capacity)
+
+(* Same behaviour, but the table starts at the minimum size and grows to
+   demand instead of to [capacity].  For short-lived per-block buffers
+   (an L2 view of one block's traffic) whose footprint is far below the
+   modeled capacity: sizing those from an L2 with tens of thousands of
+   sectors allocated three multi-hundred-KiB arrays per block. *)
+let create_small ~capacity ~coalesce_window =
+  make ~capacity ~coalesce_window ~isz:64
 
 (* A fork shares the parent's stamp table read-only and writes its own
    overlay, seeded with the parent's residency statistics.  O(1) to
@@ -133,25 +158,33 @@ let fork parent =
     | None -> Some parent.tbl
   in
   (* the overlay holds only this fork's own traffic — one block's, not
-     the whole device's — so clamp it well below the parent's floor *)
-  let isz = Int.max 64 (Int.min 4096 (parent.isz / 4)) in
+     the whole device's — so start at the minimum and let it grow to
+     demand.  Sizing it from the parent (a device L2 with a 64K-slot
+     table) made every fork three ~4K-element arrays: 96 KiB of zeroing
+     per (block, space) pair, allocated straight into the major heap —
+     the dominant allocation of the big experiments.  The grow chain a
+     small start pays instead is amortized O(entries). *)
+  let isz = 64 in
   {
     capacity = parent.capacity;
     coalesce_window = parent.coalesce_window;
     isz;
     tbl = tbl_make isz;
     base;
+    now =
+      (let a = Float.Array.make 2 0.0 in
+       Float.Array.set a 1 (max_vtime parent);
+       a);
     misses = parent.misses;
-    max_vtime = parent.max_vtime;
   }
 
 let window t =
-  if t.misses <= t.capacity || t.max_vtime <= 0.0 then Float.infinity
+  if t.misses <= t.capacity || max_vtime t <= 0.0 then Float.infinity
   else
     (* rate = distinct-line fetches per virtual cycle; a line stays
        resident for the time it takes the warp to pull [capacity] fresh
        lines through the cache. *)
-    float_of_int t.capacity *. t.max_vtime /. float_of_int t.misses
+    float_of_int t.capacity *. max_vtime t /. float_of_int t.misses
 
 (* Bound the table: when it grows far past capacity, drop entries that
    fell out of the residency window (they can only miss anyway). *)
@@ -159,7 +192,7 @@ let compact t =
   let tb = t.tbl in
   if tb.count > 8 * t.capacity then begin
     let w = window t in
-    let horizon = t.max_vtime -. w in
+    let horizon = max_vtime t -. w in
     let old_keys = tb.keys and old_v = tb.vtimes and old_l = tb.lanes in
     let kept = ref 0 in
     Array.iteri
@@ -204,30 +237,34 @@ let code_coalesced = 0
 let code_hit = 1
 let code_miss = 2
 
-let touch_code t ~vtime ~lane line =
-  if vtime > t.max_vtime then t.max_vtime <- vtime;
+(* The timestamp arrives through [t.now] (see the field comment): the
+   account path runs millions of times per launch, and a boxed float
+   argument here was the simulator's second-hottest allocation site. *)
+let touch_line t ~lane line =
+  let vtime = Float.Array.unsafe_get t.now 0 in
+  if vtime > Float.Array.unsafe_get t.now 1 then Float.Array.unsafe_set t.now 1 vtime;
   let lane_bit = 1 lsl (lane land 31) in
   let tb = t.tbl in
   let s = tbl_slot tb line in
   let code =
-    if tb.keys.(s) <> 0 then begin
+    if Array.unsafe_get tb.keys s <> 0 then begin
       (* resident in the overlay: classify and mutate in place *)
-      let st_vtime = Float.Array.get tb.vtimes s in
-      let st_lanes = tb.lanes.(s) in
+      let st_vtime = Float.Array.unsafe_get tb.vtimes s in
+      let st_lanes = Array.unsafe_get tb.lanes s in
       let gap = vtime -. st_vtime in
       let code =
         if Float.abs gap <= t.coalesce_window then
           if st_lanes land lane_bit <> 0 then popcount st_lanes + 2
           else begin
-            tb.lanes.(s) <- st_lanes lor lane_bit;
+            Array.unsafe_set tb.lanes s (st_lanes lor lane_bit);
             code_coalesced
           end
         else begin
-          tb.lanes.(s) <- lane_bit;
+          Array.unsafe_set tb.lanes s lane_bit;
           if gap <= window t then code_hit else code_miss
         end
       in
-      if vtime > st_vtime then Float.Array.set tb.vtimes s vtime;
+      if vtime > st_vtime then Float.Array.unsafe_set tb.vtimes s vtime;
       code
     end
     else begin
@@ -238,8 +275,9 @@ let touch_code t ~vtime ~lane line =
         | None -> None
         | Some b ->
             let bs = tbl_slot b line in
-            if b.keys.(bs) = 0 then None
-            else Some (Float.Array.get b.vtimes bs, b.lanes.(bs))
+            if Array.unsafe_get b.keys bs = 0 then None
+            else
+              Some (Float.Array.unsafe_get b.vtimes bs, Array.unsafe_get b.lanes bs)
       in
       match based with
       | None ->
@@ -276,6 +314,12 @@ let[@inline] code_weight code =
   else if code <= code_miss then 1.0
   else 1.0 /. float_of_int (code - 2)
 
+let[@inline] set_now t vtime = Float.Array.unsafe_set t.now 0 vtime
+
+let[@inline] touch_code t ~vtime ~lane line =
+  Float.Array.unsafe_set t.now 0 vtime;
+  touch_line t ~lane line
+
 let touch t ~vtime ~lane line =
   let code = touch_code t ~vtime ~lane line in
   (code_outcome code, code_weight code)
@@ -290,7 +334,7 @@ let clear t =
   tb.mask <- t.isz - 1;
   tb.count <- 0;
   t.misses <- 0;
-  t.max_vtime <- 0.0
+  Float.Array.set t.now 1 0.0
 
 let size t = t.tbl.count
 let capacity t = t.capacity

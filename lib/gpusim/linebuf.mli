@@ -31,6 +31,15 @@ type outcome =
 val create : capacity:int -> coalesce_window:float -> t
 (** @raise Invalid_argument if capacity <= 0 or the window is negative. *)
 
+val create_small : capacity:int -> coalesce_window:float -> t
+(** Behaviourally identical to {!create}, but the stamp table starts at
+    the minimum size and grows with the observed footprint instead of
+    being pre-sized to [capacity].  For short-lived per-block buffers
+    (one block's L2 view) whose traffic is far below the modeled
+    capacity — pre-sizing those from a device-scale capacity allocated
+    hundreds of KiB per block.
+    @raise Invalid_argument if capacity <= 0 or the window is negative. *)
+
 val fork : t -> t
 (** [fork parent] is a snapshot view of [parent]: touches consult the
     parent's state as of the fork read-only and record updates privately,
@@ -73,3 +82,10 @@ val misses : t -> int
 val clear : t -> unit
 val size : t -> int
 val capacity : t -> int
+
+val set_now : t -> float -> unit
+(** Store the timestamp for a subsequent {!touch_line} (unboxed when the
+    call inlines). *)
+
+val touch_line : t -> lane:int -> int -> int
+(** {!touch_code} with the timestamp taken from the last {!set_now}. *)

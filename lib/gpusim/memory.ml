@@ -2,7 +2,10 @@ type space = {
   sid : int;  (* process-unique id: shadow-memory key for the sanitizer *)
   mutable next_addr : int;
   mutable l2 : Linebuf.t option;  (* created lazily from the first accessing device's config *)
-  mutable l2_order : float;  (* monotonic touch counter: order-based LRU proxy *)
+  l2_order : floatarray;
+      (* monotonic touch counter (order-based LRU proxy), as a 1-cell
+         floatarray: a mutable float field of this mixed record would box
+         a fresh float on every L2 touch *)
 }
 
 let next_sid = Atomic.make 0
@@ -12,7 +15,7 @@ let space () =
     sid = Atomic.fetch_and_add next_sid 1;
     next_addr = 0;
     l2 = None;
-    l2_order = 0.0;
+    l2_order = Float.Array.make 1 0.0;
   }
 
 let space_id space = space.sid
@@ -73,7 +76,7 @@ let space_of_iarray a = a.ispace
 
 let l2_reset space =
   (match space.l2 with Some l2 -> Linebuf.clear l2 | None -> ());
-  space.l2_order <- 0.0
+  Float.Array.set space.l2_order 0 0.0
 
 (* --- per-block L2 sessions -------------------------------------------- *)
 
@@ -95,7 +98,7 @@ type l2_view = {
   vspace : space;
   vcfg : Config.t;  (* config to materialize the committed L2 on commit *)
   vfork : Linebuf.t;
-  mutable vorder : float;  (* private continuation of the touch counter *)
+  vorder : floatarray;  (* private continuation of the touch counter (1 cell) *)
   (* touch log as a growable int array: the commit replay walks millions
      of entries on the big experiments, and a cons per touch plus a full
      List.rev per commit was measurable GC traffic *)
@@ -113,17 +116,44 @@ let vlog_push v line =
   v.vlog.(v.vlen) <- line;
   v.vlen <- v.vlen + 1
 
-type block_session = { mutable views : l2_view list (* reversed creation order *) }
+type block_session = {
+  mutable views : l2_view list;  (* reversed creation order *)
+  (* 1-slot view cache: a block's consults cluster by space, so most
+     lookups hit the space consulted last and skip the list walk *)
+  mutable vmemo : l2_view option;
+}
 
 let session_slot : block_session option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
+
+(* Warp-stashed answer to "is a session open on this domain?" (see
+   Thread.mem_session): the L2 consult on every warp-cache miss would
+   otherwise pay a Domain.DLS lookup.  Safe to memoize per warp because
+   sessions bracket whole blocks (Device opens one before
+   Engine.run_block creates the warps and closes it after run_block
+   returns), so the answer is constant for a warp's entire lifetime —
+   [Bare_l2] records the no-session case for blocks run outside a
+   session. *)
+type Thread.mem_session += Session of block_session | Bare_l2
+
+let session_of_warp (w : Thread.warp_state) =
+  match w.Thread.msession with
+  | Thread.No_session ->
+      let b =
+        match !(Domain.DLS.get session_slot) with
+        | Some s -> Session s
+        | None -> Bare_l2
+      in
+      w.Thread.msession <- b;
+      b
+  | b -> b
 
 let session_begin () =
   let slot = Domain.DLS.get session_slot in
   (match !slot with
   | Some _ -> invalid_arg "Memory.session_begin: session already open"
   | None -> ());
-  slot := Some { views = [] }
+  slot := Some { views = []; vmemo = None }
 
 let session_end () =
   let slot = Domain.DLS.get session_slot in
@@ -133,44 +163,63 @@ let session_end () =
       slot := None;
       s
 
-let view_of session space (cfg : Config.t) =
-  let rec find = function
-    | [] -> None
-    | v :: rest -> if v.vspace == space then Some v else find rest
-  in
-  match find session.views with
-  | Some v -> v
-  | None ->
+let rec find_view space = function
+  | [] -> None
+  | v :: rest -> if v.vspace == space then Some v else find_view space rest
+
+let view_of_slow session space (cfg : Config.t) =
+  let v =
+    match find_view space session.views with
+    | Some v -> v
+    | None ->
       (* The committed L2 is frozen for the whole parallel phase, so
          reading [space.l2] and forking it here is domain-safe. *)
       let vfork =
         match space.l2 with
         | Some l2 -> Linebuf.fork l2
         | None ->
-            Linebuf.create ~capacity:cfg.Config.l2_sectors ~coalesce_window:0.0
+            (* first launch over this space: no committed stamps to fork
+               yet.  The view only ever holds this one block's traffic,
+               so it must NOT be pre-sized to the device capacity — that
+               made the first launch allocate a device-scale table per
+               (block, space) pair. *)
+            Linebuf.create_small ~capacity:cfg.Config.l2_sectors
+              ~coalesce_window:0.0
       in
       let v =
         {
           vspace = space;
           vcfg = cfg;
           vfork;
-          vorder = space.l2_order;
+          vorder = Float.Array.make 1 (Float.Array.get space.l2_order 0);
           vlog = [||];
           vlen = 0;
         }
       in
       session.views <- v :: session.views;
       v
+  in
+  session.vmemo <- Some v;
+  v
+
+let[@inline] view_of session space (cfg : Config.t) =
+  match session.vmemo with
+  | Some v when v.vspace == space -> v
+  | _ -> view_of_slow session space cfg
 
 let session_commit s =
   List.iter
     (fun v ->
       let l2 = l2_of v.vspace v.vcfg in
       let log = v.vlog in
+      let order = v.vspace.l2_order in
+      (* the replay walks millions of entries across a launch; the order
+         cell is a 1-element floatarray, so index 0 is always in bounds *)
       for i = 0 to v.vlen - 1 do
-        v.vspace.l2_order <- v.vspace.l2_order +. 1.0;
-        ignore
-          (Linebuf.touch_code l2 ~vtime:v.vspace.l2_order ~lane:0 log.(i))
+        let o = Float.Array.unsafe_get order 0 +. 1.0 in
+        Float.Array.unsafe_set order 0 o;
+        Linebuf.set_now l2 o;
+        ignore (Linebuf.touch_line l2 ~lane:0 (Array.unsafe_get log i))
       done)
     (List.rev s.views)
 
@@ -240,10 +289,9 @@ let account (th : Thread.t) ~space ~base ~index ~is_store =
   if is_store then c.Counters.global_stores <- c.Counters.global_stores + 1
   else c.Counters.global_loads <- c.Counters.global_loads + 1;
   Thread.tick th cost.Config.mem_issue;
-  let code =
-    Linebuf.touch_code th.Thread.warp.Thread.lines ~vtime:(Thread.clock th)
-      ~lane:th.Thread.lane line
-  in
+  let lines = th.Thread.warp.Thread.lines in
+  Linebuf.set_now lines (Thread.clock th);
+  let code = Linebuf.touch_line lines ~lane:th.Thread.lane line in
   (* codes: 0 coalesced, 1 hit w=1, 2 miss, k>=3 burst hit w=1/(k-2) *)
   if code <> 2 then begin
     c.Counters.line_hits <- c.Counters.line_hits + 1;
@@ -252,18 +300,22 @@ let account (th : Thread.t) ~space ~base ~index ~is_store =
   else begin
     Counters.add_lsu c 1.0;
     let l2_resident =
-      match !(Domain.DLS.get session_slot) with
-      | Some s ->
+      match session_of_warp th.Thread.warp with
+      | Session s ->
           let v = view_of s space cfg in
-          v.vorder <- v.vorder +. 1.0;
+          let o = Float.Array.unsafe_get v.vorder 0 +. 1.0 in
+          Float.Array.unsafe_set v.vorder 0 o;
           vlog_push v line;
-          Linebuf.touch_code v.vfork ~vtime:v.vorder ~lane:0 line <> 2
-      | None ->
+          Linebuf.set_now v.vfork o;
+          Linebuf.touch_line v.vfork ~lane:0 line <> 2
+      | _ ->
           (* no session (bare Engine.run_block): touch the committed L2
              directly, the pre-session behaviour *)
           let l2 = l2_of space cfg in
-          space.l2_order <- space.l2_order +. 1.0;
-          Linebuf.touch_code l2 ~vtime:space.l2_order ~lane:0 line <> 2
+          Float.Array.set space.l2_order 0
+            (Float.Array.get space.l2_order 0 +. 1.0);
+          Linebuf.set_now l2 (Float.Array.get space.l2_order 0);
+          Linebuf.touch_line l2 ~lane:0 line <> 2
     in
     if l2_resident then begin
       c.Counters.l2_hits <- c.Counters.l2_hits + 1;
@@ -285,7 +337,7 @@ let[@inline] sanitize th space ~base ~index ~kind =
       ~addr:(base + (index * element_bytes))
       ~kind
 
-let fget a th i =
+let[@inline] fget a th i =
   check "fget" (Array.length a.fdata) i;
   let (_ : int) =
     account th ~space:a.fspace ~base:a.fbase ~index:i ~is_store:false
@@ -293,7 +345,7 @@ let fget a th i =
   sanitize th a.fspace ~base:a.fbase ~index:i ~kind:Ompsan.Read;
   a.fdata.(i)
 
-let fset a th i v =
+let[@inline] fset a th i v =
   check "fset" (Array.length a.fdata) i;
   let (_ : int) =
     account th ~space:a.fspace ~base:a.fbase ~index:i ~is_store:true
@@ -301,7 +353,7 @@ let fset a th i v =
   sanitize th a.fspace ~base:a.fbase ~index:i ~kind:Ompsan.Write;
   a.fdata.(i) <- v
 
-let iget a th i =
+let[@inline] iget a th i =
   check "iget" (Array.length a.idata) i;
   let (_ : int) =
     account th ~space:a.ispace ~base:a.ibase ~index:i ~is_store:false
@@ -309,7 +361,7 @@ let iget a th i =
   sanitize th a.ispace ~base:a.ibase ~index:i ~kind:Ompsan.Read;
   a.idata.(i)
 
-let iset a th i v =
+let[@inline] iset a th i v =
   check "iset" (Array.length a.idata) i;
   let (_ : int) =
     account th ~space:a.ispace ~base:a.ibase ~index:i ~is_store:true
@@ -326,6 +378,15 @@ let iset a th i v =
    touches block-local state. *)
 let rmw_lock = Mutex.create ()
 
+(* The lock only matters when blocks simulate on several domains; a
+   sequential launch (no pool, or a zero-worker pool) pays two futex ops
+   per device atomic for nothing.  [Device.launch] flips this before the
+   block phase of every launch, so the flag always reflects the current
+   launch's domain usage.  Results are unaffected either way — the lock
+   guards host-side read-modify-write only, never timing. *)
+let rmw_locking = ref true
+let set_rmw_locking on = rmw_locking := on
+
 let atomic_cost (th : Thread.t) line =
   let cost = th.cfg.Config.cost in
   let prior = Thread.ae_bump th.Thread.warp line in
@@ -335,15 +396,15 @@ let atomic_cost (th : Thread.t) line =
   Thread.tick th cost.Config.atomic;
   Thread.tick_wait th (float_of_int prior *. cost.Config.atomic_contend)
 
-let atomic_fadd a th i v =
+let[@inline] atomic_fadd a th i v =
   check "atomic_fadd" (Array.length a.fdata) i;
   let line = account th ~space:a.fspace ~base:a.fbase ~index:i ~is_store:true in
   sanitize th a.fspace ~base:a.fbase ~index:i ~kind:Ompsan.Atomic;
   atomic_cost th line;
-  Mutex.lock rmw_lock;
+  if !rmw_locking then Mutex.lock rmw_lock;
   let prev = a.fdata.(i) in
   a.fdata.(i) <- prev +. v;
-  Mutex.unlock rmw_lock;
+  if !rmw_locking then Mutex.unlock rmw_lock;
   prev
 
 let atomic_fmax a th i v =
@@ -351,10 +412,10 @@ let atomic_fmax a th i v =
   let line = account th ~space:a.fspace ~base:a.fbase ~index:i ~is_store:true in
   sanitize th a.fspace ~base:a.fbase ~index:i ~kind:Ompsan.Atomic;
   atomic_cost th line;
-  Mutex.lock rmw_lock;
+  if !rmw_locking then Mutex.lock rmw_lock;
   let prev = a.fdata.(i) in
   if v > prev then a.fdata.(i) <- v;
-  Mutex.unlock rmw_lock;
+  if !rmw_locking then Mutex.unlock rmw_lock;
   prev
 
 let atomic_iadd a th i v =
@@ -362,10 +423,10 @@ let atomic_iadd a th i v =
   let line = account th ~space:a.ispace ~base:a.ibase ~index:i ~is_store:true in
   sanitize th a.ispace ~base:a.ibase ~index:i ~kind:Ompsan.Atomic;
   atomic_cost th line;
-  Mutex.lock rmw_lock;
+  if !rmw_locking then Mutex.lock rmw_lock;
   let prev = a.idata.(i) in
   a.idata.(i) <- prev + v;
-  Mutex.unlock rmw_lock;
+  if !rmw_locking then Mutex.unlock rmw_lock;
   prev
 
 let host_get a i =

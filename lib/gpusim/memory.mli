@@ -97,6 +97,13 @@ val atomic_fadd : farray -> Thread.t -> int -> float -> float
 val atomic_fmax : farray -> Thread.t -> int -> float -> float
 val atomic_iadd : iarray -> Thread.t -> int -> int -> int
 
+val set_rmw_locking : bool -> unit
+(** Whether device atomics take the host-side read-modify-write lock.
+    [Device.launch] turns it off for sequential launches (no pool, or a
+    zero-worker pool): the lock only guards against lost updates when
+    blocks simulate on several domains, and costs two futex operations
+    per atomic.  Never affects simulated results. *)
+
 val host_get : farray -> int -> float
 (** Cost-free host access (verification / init). *)
 

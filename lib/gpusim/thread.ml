@@ -1,6 +1,21 @@
+(* Per-warp stash slots for the layers above (the engine's scheduler,
+   the memory system's block session).  Both live in Domain.DLS, but a
+   DLS lookup costs ~5ns against <1ns for a field load, and the barrier
+   and L2 paths consult them millions of times per launch.  The types
+   are extensible because those layers depend on [Thread], not the other
+   way round; each layer adds its own constructor and owns the
+   invariant that a stashed value never outlives the block that set it
+   (warps are created per [Engine.run_block] and die with it). *)
+type engine_sched = ..
+type engine_sched += No_sched
+type mem_session = ..
+type mem_session += No_session
+
 type warp_state = {
   warp_index : int;
   lines : Linebuf.t;
+  mutable esched : engine_sched;
+  mutable msession : mem_session;
   (* per-line atomic counts since the last sync point, as an
      open-addressing table over flat int arrays (keys as line+1 with
      0 = empty).  Each entry carries the generation it was written in:
@@ -47,6 +62,8 @@ let make_warp ~(cfg : Config.t) ~warp_index =
     lines =
       Linebuf.create ~capacity:cfg.linebuf_lines
         ~coalesce_window:cfg.coalesce_window;
+    esched = No_sched;
+    msession = No_session;
     ae_keys = Array.make 64 0;
     ae_gen = Array.make 64 0;
     ae_cnt = Array.make 64 0;
@@ -176,9 +193,12 @@ let with_simt_factor t factor f =
       st.simt_factor <- saved;
       raise e
 
+let[@inline] set_simt_factor t factor = t.st.simt_factor <- factor
 let[@inline] tick_wait t c = t.st.clock <- t.st.clock +. c
 
 let[@inline] align_clock t target = if t.st.clock < target then t.st.clock <- target
+
+let[@inline] tracing t = match t.trace with None -> false | Some _ -> true
 
 let trace t ~tag detail =
   Trace.record t.trace ~time:t.st.clock ~block:t.block_id ~tid:t.tid ~tag detail

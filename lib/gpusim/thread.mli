@@ -6,9 +6,26 @@
     roofline (critical path); [busy] excludes barrier wait and feeds the
     throughput leg. *)
 
+type engine_sched = ..
+(** Extensible stash for the engine's per-domain scheduler: the engine
+    adds its own constructor and parks a reference on every warp of the
+    running block, turning the Domain.DLS lookup on each barrier
+    arrival into a field load.  Reset to {!No_sched} when the block's
+    [Engine.run_block] returns. *)
+
+type engine_sched += No_sched
+
+type mem_session = ..
+(** Same pattern for the memory system's per-block L2 session; see
+    {!Memory}. *)
+
+type mem_session += No_session
+
 type warp_state = {
   warp_index : int;
   lines : Linebuf.t;  (** coalescing window shared by the warp's lanes *)
+  mutable esched : engine_sched;
+  mutable msession : mem_session;
   mutable ae_keys : int array;
   mutable ae_gen : int array;
   mutable ae_cnt : int array;
@@ -88,11 +105,24 @@ val with_simt_factor : t -> float -> (unit -> 'a) -> 'a
     factor afterwards (exception-safe).
     @raise Invalid_argument if the factor is < 1. *)
 
+val set_simt_factor : t -> float -> unit
+(** Raw, unchecked divergence-factor store, for hand-inlined
+    save/restore on hot paths where the [with_simt_factor] thunk would
+    force the accumulator into a heap cell.  Callers own the restore;
+    an exception between set and restore leaves the factor dirty (the
+    runtime only does this where an exception aborts the whole
+    simulation anyway). *)
+
 val tick_wait : t -> float -> unit
 (** Advance the clock only (stall, not issuing work). *)
 
 val align_clock : t -> float -> unit
 (** Raise the clock to at least the given time (barrier release). *)
+
+val tracing : t -> bool
+(** Whether tracing is on — guard for callers whose event detail is
+    costly to format (the formatting would otherwise run even when
+    [trace] discards it). *)
 
 val trace : t -> tag:string -> string -> unit
 (** Record an event against this thread's clock if tracing is on. *)

@@ -437,7 +437,7 @@ and compile_stmt statics outlined options ~guard_extra senv (s : Ir.stmt) :
           let i = as_int arr (cidx ctx env) in
           let v = as_float arr (cval ctx env) in
           if !Gpusim.Ompsan.enabled then Gpusim.Ompsan.set_site site;
-          ignore (Memory.atomic_fadd a ctx.Team.th i v);
+          let (_ : float) = Memory.atomic_fadd a ctx.Team.th i v in
           env )
   | Ir.If (cond, then_, else_) ->
       let ccond = compile_expr statics senv cond in

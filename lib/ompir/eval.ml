@@ -281,7 +281,7 @@ and eval_stmt ctx statics outlined options scope (s : Ir.stmt) =
       let v = as_float arr (eval_expr ctx statics scope value) in
       if !Gpusim.Ompsan.enabled then
         Gpusim.Ompsan.set_site (Sites.atomic arr idx);
-      ignore (Memory.atomic_fadd (farray statics arr) ctx.Team.th i v);
+      let (_ : float) = Memory.atomic_fadd (farray statics arr) ctx.Team.th i v in
       scope
   | Ir.If (cond, then_, else_) ->
       charge ctx c.Gpusim.Config.branch;

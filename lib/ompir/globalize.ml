@@ -32,3 +32,14 @@ let run (p : Outline.program) =
 
 let total_globalized reports =
   List.fold_left (fun acc r -> acc + List.length r.globalized) 0 reports
+
+(* §5.3.1 sizing input: every outlined payload — parallel-region and
+   simd-region alike — travels through the sharing space in generic
+   mode, one pointer-sized slot per capture.  The reservation needs to
+   hold the largest payload once per concurrent publisher; the runtime
+   multiplies by the publisher count. *)
+let footprint_bytes (p : Outline.program) =
+  List.fold_left
+    (fun acc (o : Outline.outlined) ->
+      max acc (8 * List.length o.Outline.captures))
+    0 p.Outline.outlined

@@ -20,3 +20,10 @@ val run : Outline.program -> report list
     order. *)
 
 val total_globalized : report list -> int
+
+val footprint_bytes : Outline.program -> int
+(** Largest outlined-payload footprint in the program, in bytes (8 per
+    captured variable over every outlined function, parallel and simd
+    regions alike).  The input to the runtime's dynamic sharing-space
+    sizing: the reservation must hold this once per concurrent
+    publisher. *)

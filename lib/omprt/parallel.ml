@@ -5,9 +5,15 @@ let in_outlined_body ctx f =
   let team = ctx.Team.team in
   let tid = ctx.Team.th.Gpusim.Thread.tid in
   team.Team.in_region.(tid) <- true;
-  Fun.protect
-    ~finally:(fun () -> team.Team.in_region.(tid) <- false)
-    f
+  (* hand-rolled protect: this wraps every outlined-region call, and the
+     Fun.protect it replaced allocated its finally closure per call *)
+  match f () with
+  | v ->
+      team.Team.in_region.(tid) <- false;
+      v
+  | exception e ->
+      team.Team.in_region.(tid) <- false;
+      raise e
 
 (* Region code in SPMD mode is executed redundantly by every lane of a
    SIMD group on behalf of one OpenMP thread; attribute those accesses
@@ -18,9 +24,13 @@ let with_region_actor ctx f =
     let g = Team.geometry ctx.Team.team in
     let group = Simd_group.get_simd_group g ~tid:th.Gpusim.Thread.tid in
     let prev = Gpusim.Ompsan.set_actor th (Simd_group.leader_tid g ~group) in
-    Fun.protect
-      ~finally:(fun () -> ignore (Gpusim.Ompsan.set_actor th prev))
-      f
+    match f () with
+    | v ->
+        ignore (Gpusim.Ompsan.set_actor th prev);
+        v
+    | exception e ->
+        ignore (Gpusim.Ompsan.set_actor th prev);
+        raise e
   end
   else f ()
 
@@ -29,11 +39,21 @@ let exec_on_thread ctx (task : Team.parallel_task) =
   let tid = ctx.Team.th.Gpusim.Thread.tid in
   match task.Team.task_mode with
   | Mode.Spmd ->
-      (* All threads execute the region in SPMD mode. *)
-      in_outlined_body ctx (fun () ->
-          with_region_actor ctx (fun () ->
-              Team.invoke_microtask ctx ~fn_id:task.Team.fn_id (fun () ->
-                  task.Team.fn ctx task.Team.payload)))
+      (* All threads execute the region in SPMD mode.  This is the
+         region-dispatch hot path, so the bookkeeping is hand-inlined:
+         the wrapper-combinator shape (in_outlined_body / with_region_actor
+         / invoke_microtask thunks) allocated three closures per region
+         call. *)
+      team.Team.in_region.(tid) <- true;
+      (match
+         with_region_actor ctx (fun () ->
+             Team.charge_microtask ctx ~fn_id:task.Team.fn_id;
+             task.Team.fn ctx task.Team.payload)
+       with
+      | () -> team.Team.in_region.(tid) <- false
+      | exception e ->
+          team.Team.in_region.(tid) <- false;
+          raise e)
   | Mode.Generic ->
       let g = Team.geometry team in
       if Simd_group.is_simd_group_leader g ~tid then begin
@@ -48,16 +68,20 @@ let exec_on_thread ctx (task : Team.parallel_task) =
             Gpusim.Ompsan.set_actor ctx.Team.th tid
           else tid
         in
-        Fun.protect
-          ~finally:(fun () ->
+        (match
+           in_outlined_body ctx (fun () ->
+               Gpusim.Thread.with_simt_factor ctx.Team.th
+                 (float_of_int task.Team.group_size) (fun () ->
+                   Team.invoke_microtask ctx ~fn_id:task.Team.fn_id
+                     (fun () -> task.Team.fn ctx task.Team.payload)))
+         with
+        | () ->
             if !Gpusim.Ompsan.enabled then
-              ignore (Gpusim.Ompsan.set_actor ctx.Team.th prev))
-          (fun () ->
-            in_outlined_body ctx (fun () ->
-                Gpusim.Thread.with_simt_factor ctx.Team.th
-                  (float_of_int task.Team.group_size) (fun () ->
-                    Team.invoke_microtask ctx ~fn_id:task.Team.fn_id
-                      (fun () -> task.Team.fn ctx task.Team.payload))));
+              ignore (Gpusim.Ompsan.set_actor ctx.Team.th prev)
+        | exception e ->
+            if !Gpusim.Ompsan.enabled then
+              ignore (Gpusim.Ompsan.set_actor ctx.Team.th prev);
+            raise e);
         (* Send the termination signal to the simd workers. *)
         Simd.signal_termination ctx
       end
@@ -87,7 +111,7 @@ let effective_task team ~mode ~simd_len ~payload ~fn_id fn =
     payload;
     task_mode;
     group_size = simd_len;
-    payload_location = Sharing.Shared_space;
+    payload_location = Sharing.none;
   }
 
 let enter_region ctx task =
@@ -125,25 +149,26 @@ let parallel ctx ~mode ~simd_len ?(payload = Payload.empty) ?(fn_id = -1) fn =
   | Team.Team_main ->
       (* Teams-generic: signal the workers, wait for them to finish. *)
       bump ctx "parallel.regions";
-      Gpusim.Thread.trace ctx.Team.th ~tag:"parallel.signal"
-        (Printf.sprintf "fn=%d mode=%s gs=%d" task.Team.fn_id
-           (Mode.to_string task.Team.task_mode)
-           task.Team.group_size);
+      if Gpusim.Thread.tracing ctx.Team.th then
+        Gpusim.Thread.trace ctx.Team.th ~tag:"parallel.signal"
+          (Printf.sprintf "fn=%d mode=%s gs=%d" task.Team.fn_id
+             (Mode.to_string task.Team.task_mode)
+             task.Team.group_size);
       enter_region ctx task;
       Payload.pack ctx.Team.th payload;
       let location =
         Sharing.acquire team.Team.sharing ctx.Team.th
-          ~nargs:(Payload.length payload)
+          ~bytes:(Payload.bytes payload)
       in
-      (* the team main publishes through its own slice, after the groups' *)
-      Sharing.publish
-        ~slice:(Team.geometry team).Simd_group.num_groups
-        team.Team.sharing ctx.Team.th location payload;
+      Sharing.publish team.Team.sharing ctx.Team.th location payload;
       task.Team.payload_location <- location;
       team.Team.parallel_signal <- Some task;
       Team.team_barrier_wait ctx;
       (* workers execute the region here *)
       Team.team_barrier_wait ctx;
+      (* past the closing barrier every worker has fetched: the region's
+         slice can go back to the allocator *)
+      Sharing.release team.Team.sharing location;
       team.Team.parallel_signal <- None;
       leave_region team
   | Team.Worker ->

@@ -15,30 +15,49 @@ let active_mode ctx =
    typically inlined — call; the if-cascade/indirect dispatch of §5.5
    only exists on the dynamic paths, where a worker resolves a function
    pointer published by its SIMD main. *)
-let static_call ctx run =
+let charge_static ctx =
   let cost = ctx.Team.team.Team.cfg.Gpusim.Config.cost in
   Gpusim.Thread.tick ctx.Team.th cost.Gpusim.Config.branch;
   ctx.Team.th.Gpusim.Thread.counters.Gpusim.Counters.calls <-
-    ctx.Team.th.Gpusim.Thread.counters.Gpusim.Counters.calls + 1;
+    ctx.Team.th.Gpusim.Thread.counters.Gpusim.Counters.calls + 1
+
+let static_call ctx run =
+  charge_static ctx;
   run ()
 
+(* Both loop drivers hand-inline [with_simt_factor] (inside the workshare
+   loop the whole SIMD group executes in lockstep, so the surrounding
+   region's divergence factor does not apply to the loop body) and charge
+   the call cost directly: the thunk chain the previous shape threaded
+   through [invoke_microtask] allocated three closures per region call,
+   and on the reduction path its captured accumulator boxed a float per
+   loop element. *)
 let run_loop ctx ~dispatch ~fn_id ~trip body payload =
-  (* Inside the workshare loop the whole SIMD group (hence the whole warp)
-     executes in lockstep: the divergence factor of the surrounding region
-     code does not apply to the loop body. *)
-  Gpusim.Thread.with_simt_factor ctx.Team.th 1.0 (fun () ->
-      let call = if dispatch then Team.invoke_microtask ctx ~fn_id else static_call ctx in
-      call (fun () ->
-          Workshare.simd_loop ctx ~trip (fun iv -> body ctx iv payload)))
+  let th = ctx.Team.th in
+  let saved = Gpusim.Thread.simt_factor th in
+  Gpusim.Thread.set_simt_factor th 1.0;
+  if dispatch then Team.charge_microtask ctx ~fn_id else charge_static ctx;
+  Workshare.simd_loop ctx ~trip (fun iv -> body ctx iv payload);
+  Gpusim.Thread.set_simt_factor th saved
 
 let accumulate_loop ctx ~dispatch ~op ~fn_id ~trip red payload =
-  let acc = ref op.Redop.identity in
-  Gpusim.Thread.with_simt_factor ctx.Team.th 1.0 (fun () ->
-      let call = if dispatch then Team.invoke_microtask ctx ~fn_id else static_call ctx in
-      call (fun () ->
-          Workshare.simd_loop ctx ~trip (fun iv ->
-              acc := op.Redop.combine !acc (red ctx iv payload))));
-  !acc
+  let th = ctx.Team.th in
+  let saved = Gpusim.Thread.simt_factor th in
+  Gpusim.Thread.set_simt_factor th 1.0;
+  if dispatch then Team.charge_microtask ctx ~fn_id else charge_static ctx;
+  let acc =
+    if op == Redop.sum then
+      (* the common case: fold with a register accumulator *)
+      Workshare.simd_fold_sum ctx ~trip (fun iv -> red ctx iv payload)
+    else begin
+      let acc = ref op.Redop.identity in
+      Workshare.simd_loop ctx ~trip (fun iv ->
+          acc := op.Redop.combine !acc (red ctx iv payload));
+      !acc
+    end
+  in
+  Gpusim.Thread.set_simt_factor th saved;
+  acc
 
 let simd ctx ?(payload = Payload.empty) ?(fn_id = -1) ~trip body =
   let team = ctx.Team.team in
@@ -71,15 +90,17 @@ let simd ctx ?(payload = Payload.empty) ?(fn_id = -1) ~trip body =
         Payload.pack ctx.Team.th payload;
         let location =
           Sharing.acquire team.Team.sharing ctx.Team.th
-            ~nargs:(Payload.length payload)
+            ~bytes:(Payload.bytes payload)
         in
         slot.Team.simd_args_location <- location;
-        Sharing.publish ~slice:group team.Team.sharing ctx.Team.th location
-          payload;
+        Sharing.publish team.Team.sharing ctx.Team.th location payload;
         Team.sync_warp ctx;
         (* the SIMD main participates in the loop: its group id is 0 *)
         run_loop ctx ~dispatch:false ~fn_id ~trip body payload;
-        Team.sync_warp ctx
+        Team.sync_warp ctx;
+        (* workers are past the loop, hence past their fetch: the slice
+           is dead and the next region in this group can recycle it *)
+        Sharing.release team.Team.sharing location
 
 let simd_reduce ctx ?(payload = Payload.empty) ?(fn_id = -1) ~op ~trip red =
   let team = ctx.Team.team in
@@ -88,11 +109,15 @@ let simd_reduce ctx ?(payload = Payload.empty) ?(fn_id = -1) ~op ~trip red =
   if gs = 1 then begin
     bump ctx "simd.sequential";
     ignore fn_id;
-    let acc = ref op.Redop.identity in
-    static_call ctx (fun () ->
-        Workshare.sequential_loop ctx ~trip (fun iv ->
-            acc := op.Redop.combine !acc (red ctx iv payload)));
-    !acc
+    charge_static ctx;
+    if op == Redop.sum then
+      Workshare.sequential_fold_sum ctx ~trip (fun iv -> red ctx iv payload)
+    else begin
+      let acc = ref op.Redop.identity in
+      Workshare.sequential_loop ctx ~trip (fun iv ->
+          acc := op.Redop.combine !acc (red ctx iv payload));
+      !acc
+    end
   end
   else
     match active_mode ctx with
@@ -113,15 +138,15 @@ let simd_reduce ctx ?(payload = Payload.empty) ?(fn_id = -1) ~op ~trip red =
         Payload.pack ctx.Team.th payload;
         let location =
           Sharing.acquire team.Team.sharing ctx.Team.th
-            ~nargs:(Payload.length payload)
+            ~bytes:(Payload.bytes payload)
         in
         slot.Team.simd_args_location <- location;
-        Sharing.publish ~slice:group team.Team.sharing ctx.Team.th location
-          payload;
+        Sharing.publish team.Team.sharing ctx.Team.th location payload;
         Team.sync_warp ctx;
         let acc = accumulate_loop ctx ~dispatch:false ~op ~fn_id ~trip red payload in
         let total = Reduction.simd_reduce ctx op acc in
         Team.sync_warp ctx;
+        Sharing.release team.Team.sharing location;
         total
 
 let simd_sum ctx ?payload ?fn_id ~trip red =
@@ -134,7 +159,7 @@ let state_machine ctx =
   let g, _ = my_group ctx in
   let fetch_args () =
     let sharers = Simd_group.get_simd_group_size g - 1 in
-    Sharing.fetch ~sharers ~slice:group team.Team.sharing ctx.Team.th
+    Sharing.fetch ~sharers team.Team.sharing ctx.Team.th
       slot.Team.simd_args_location slot.Team.simd_args;
     Payload.unpack ctx.Team.th slot.Team.simd_args
   in
@@ -144,9 +169,10 @@ let state_machine ctx =
     | None, None -> () (* termination: end of the parallel region *)
     | Some fn, _ ->
         bump ctx "simd.state_machine_rounds";
-        Gpusim.Thread.trace ctx.Team.th ~tag:"simd.wake"
-          (Printf.sprintf "fn=%d trip=%d" slot.Team.simd_fn_id
-             slot.Team.simd_trip);
+        if Gpusim.Thread.tracing ctx.Team.th then
+          Gpusim.Thread.trace ctx.Team.th ~tag:"simd.wake"
+            (Printf.sprintf "fn=%d trip=%d" slot.Team.simd_fn_id
+               slot.Team.simd_trip);
         fetch_args ();
         (* workers resolve a published pointer: the §5.5 dispatch *)
         run_loop ctx ~dispatch:true ~fn_id:slot.Team.simd_fn_id

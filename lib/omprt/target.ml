@@ -15,8 +15,7 @@ let team_state_machine _body (ctx : Team.ctx) =
     | Some task ->
         Gpusim.Counters.bump ctx.Team.th.Gpusim.Thread.counters
           "target.state_machine_wakeups" 1.0;
-        Sharing.fetch ~sharers:team.Team.num_workers
-          ~slice:(Team.geometry team).Simd_group.num_groups team.Team.sharing
+        Sharing.fetch ~sharers:team.Team.num_workers team.Team.sharing
           ctx.Team.th task.Team.payload_location task.Team.payload;
         Payload.unpack ctx.Team.th task.Team.payload;
         Parallel.exec_on_thread ctx task;

@@ -100,7 +100,7 @@ let create ~cfg ~arena ~params ~block_id =
       simd_fn_id = -1;
       simd_trip = 0;
       simd_args = Payload.empty;
-      simd_args_location = Sharing.Shared_space;
+      simd_args_location = Sharing.none;
     }
   in
   {
@@ -335,7 +335,9 @@ let charge_alu ctx n =
 let charge_special ctx n =
   charge ctx ctx.team.cfg.Gpusim.Config.cost.Gpusim.Config.special n
 
-let invoke_microtask ctx ~fn_id run =
+(* Charge-only half of [invoke_microtask], so hot callers can charge the
+   dispatch and then make a direct call instead of threading a thunk. *)
+let charge_microtask ctx ~fn_id =
   let cfg = ctx.team.cfg in
   let cost = cfg.Gpusim.Config.cost in
   let c =
@@ -347,5 +349,8 @@ let invoke_microtask ctx ~fn_id run =
   in
   Gpusim.Thread.tick ctx.th c;
   ctx.th.Gpusim.Thread.counters.Gpusim.Counters.calls <-
-    ctx.th.Gpusim.Thread.counters.Gpusim.Counters.calls + 1;
+    ctx.th.Gpusim.Thread.counters.Gpusim.Counters.calls + 1
+
+let invoke_microtask ctx ~fn_id run =
+  charge_microtask ctx ~fn_id;
   run ()

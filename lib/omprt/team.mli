@@ -172,3 +172,7 @@ val invoke_microtask : ctx -> fn_id:int -> (unit -> unit) -> unit
 (** Run an outlined region, charging the §5.5 dispatch cost: an if-cascade
     compare per known region when the id is in the table, the indirect-call
     penalty otherwise. *)
+
+val charge_microtask : ctx -> fn_id:int -> unit
+(** Charge the {!invoke_microtask} dispatch cost without running anything,
+    for callers that follow up with a direct call. *)

@@ -214,6 +214,65 @@ let simd_loop ctx ~trip f =
 
 let sequential_loop ctx ~trip f = run_schedule ctx Static ~id:0 ~num:1 ~trip f
 
+(* Sum-specialized folds over the two loop shapes above.  The generic
+   reduction path accumulates through a [ref] captured by a closure and
+   an [op.combine] closure call, which boxes a float per element; these
+   keep the running sum in a local (register-allocated) accumulator.
+   The tick sequence is identical to running the generic loop with a
+   body doing the same work, so simulated reports do not change. *)
+let sequential_fold_sum ctx ~trip (f : int -> float) =
+  check_geometry_args ~id:0 ~num:1 ~trip;
+  let overhead = step_cost ctx in
+  let th = ctx.Team.th in
+  let acc = ref 0.0 in
+  for i = 0 to trip - 1 do
+    Gpusim.Thread.tick th overhead;
+    acc := !acc +. f i
+  done;
+  Gpusim.Thread.tick th overhead;
+  !acc
+
+let simd_fold_sum ctx ~trip (f : int -> float) =
+  let team = ctx.Team.team in
+  let g = Team.geometry team in
+  let tid = ctx.Team.th.Gpusim.Thread.tid in
+  let id = Simd_group.get_simd_group_id g ~tid in
+  let num = Simd_group.get_simd_group_size g in
+  if num = 1 then sequential_fold_sum ctx ~trip f
+  else begin
+    let th = ctx.Team.th in
+    Team.sync_warp ctx;
+    let prev_actor =
+      if !Gpusim.Ompsan.enabled then Gpusim.Ompsan.set_actor th tid else tid
+    in
+    let overhead = step_cost ctx in
+    let rounds = (trip + num - 1) / num in
+    let acc = ref 0.0 in
+    for r = 0 to rounds - 1 do
+      let iv = id + (r * num) in
+      Gpusim.Thread.tick th overhead;
+      if iv < trip then begin
+        let active = min num (trip - (r * num)) in
+        if active = num then acc := !acc +. f iv
+        else begin
+          (* hand-inlined [with_simt_factor]: its thunk would capture
+             [acc] and force the accumulator into a heap cell *)
+          let saved = Gpusim.Thread.simt_factor th in
+          Gpusim.Thread.set_simt_factor th
+            (saved *. (float_of_int num /. float_of_int active));
+          let v = f iv in
+          Gpusim.Thread.set_simt_factor th saved;
+          acc := !acc +. v
+        end
+      end;
+      Team.lockstep_align ctx
+    done;
+    if !Gpusim.Ompsan.enabled then
+      ignore (Gpusim.Ompsan.set_actor th prev_actor);
+    Gpusim.Thread.tick th overhead;
+    !acc
+  end
+
 (* The executing lane for single/master: OpenMP thread 0's SIMD main —
    i.e. tid 0, which executes region code in both modes. *)
 let master ctx f =

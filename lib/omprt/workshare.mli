@@ -66,6 +66,14 @@ val sequential_loop : Team.ctx -> trip:int -> (int -> unit) -> unit
 (** Plain sequential execution with loop-overhead costing; the degradation
     path for singleton groups and AMD generic mode (§5.4.1). *)
 
+val simd_fold_sum : Team.ctx -> trip:int -> (int -> float) -> float
+val sequential_fold_sum : Team.ctx -> trip:int -> (int -> float) -> float
+(** Sum-specialized counterparts of {!simd_loop}/{!sequential_loop}: the
+    per-iteration results are added into an accumulator that stays in a
+    register instead of flowing through a boxed [ref]/[combine] closure
+    pair.  The tick sequence is identical to the generic loops, so
+    simulated reports are unchanged. *)
+
 val single : Team.ctx -> (unit -> unit) -> unit
 (** [omp single]: the block runs on exactly one lane of the region (the
     first OpenMP thread's SIMD main), followed by the construct's implicit

@@ -105,12 +105,43 @@ let remarks c =
   in
   outlined @ globalized @ modes @ guards @ races
 
+(* Dynamic sharing-space sizing (§5.3.1): the globalization pass knows
+   the largest payload this kernel will ever publish, and the launch
+   geometry bounds how many publishers can hold a slice at once (one per
+   SIMD group, plus the team main).  Reserving exactly that — instead of
+   the full default slab — frees block shared memory for occupancy.
+   Shrink-only: the clause/default budget is never exceeded, so a kernel
+   whose payloads outgrow the budget degrades to the same global
+   fallbacks it always had.
+
+   [OMPSIMD_SHARING_BYTES] pins the reservation to an explicit byte
+   count; [OMPSIMD_SHARING_DYNAMIC=0] disables the heuristic and uses
+   the budget unchanged.  Sizing is a launch-time decision, not a
+   compile-time one: it deliberately stays out of {!cache_key}. *)
+let sharing_reservation ~budget ~num_threads ~simd_len program =
+  match Ompsimd_util.Env.int "OMPSIMD_SHARING_BYTES" ~default:0 with
+  | v when v > 0 -> v
+  | v when v < 0 ->
+      invalid_arg
+        (Printf.sprintf "OMPSIMD_SHARING_BYTES must be positive, got %d" v)
+  | _ ->
+      if not (Ompsimd_util.Env.flag "OMPSIMD_SHARING_DYNAMIC" ~default:true)
+      then budget
+      else
+        let footprint = Ompir.Globalize.footprint_bytes program in
+        let publishers = (num_threads / max 1 simd_len) + 1 in
+        max Omprt.Sharing.min_bytes (min budget (footprint * publishers))
+
 let run ~cfg ?pool ?trace ?(clauses = Clause.none) ~bindings c =
   Gpusim.Ompsan.refresh_from_env ();
   Gpusim.Fault.refresh_from_env ();
   if !Gpusim.Ompsan.enabled then
     Gpusim.Ompsan.set_kernel c.program.Ompir.Outline.kernel.Ompir.Ir.kname;
   let params, _, simdlen = Clause.resolve ~cfg clauses in
+  let sharing_bytes =
+    sharing_reservation ~budget:params.Omprt.Team.sharing_bytes
+      ~num_threads:params.Omprt.Team.num_threads ~simd_len:simdlen c.program
+  in
   let parallel_mode =
     match clauses.Clause.parallel_mode with
     | Some m -> `Force m
@@ -123,7 +154,7 @@ let run ~cfg ?pool ?trace ?(clauses = Clause.none) ~bindings c =
       teams_mode = params.Omprt.Team.teams_mode;
       parallel_mode;
       simd_len = simdlen;
-      sharing_bytes = params.Omprt.Team.sharing_bytes;
+      sharing_bytes;
     }
   in
   match Ompir.Compile.engine_of_env () with

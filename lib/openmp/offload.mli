@@ -59,6 +59,22 @@ val remarks : compiled -> string list
 (** Human-readable optimization remarks: outlined regions, captured
     payloads, globalized variables, chosen execution modes. *)
 
+val sharing_reservation :
+  budget:int ->
+  num_threads:int ->
+  simd_len:int ->
+  Ompir.Outline.program ->
+  int
+(** The sharing-space bytes {!run} reserves per team (§5.3.1):
+    [Globalize.footprint_bytes] times the concurrent-publisher bound
+    (one per SIMD group plus the team main), floored at
+    {!Omprt.Sharing.min_bytes} and capped at [budget] (the clause or
+    default reservation) — shrink-only, so dynamic sizing can reclaim
+    shared memory but never introduce fallbacks the budget would have
+    avoided.  [OMPSIMD_SHARING_BYTES] pins an explicit byte count;
+    [OMPSIMD_SHARING_DYNAMIC=0] returns [budget] unchanged.  A
+    launch-time decision, deliberately outside {!cache_key}. *)
+
 val run :
   cfg:Gpusim.Config.t ->
   ?pool:Gpusim.Pool.t ->

@@ -101,10 +101,8 @@ let test_sharing_ablation () =
         row.Sharing_ablation.fallbacks
       in
       check_bool "monotone in reservation" true
-        (fallbacks 1024 >= fallbacks 2048 && fallbacks 2048 >= fallbacks 4096))
+        (fallbacks 256 >= fallbacks 1024 && fallbacks 1024 >= fallbacks 2048))
     [ 2; 4; 8; 16; 32 ];
-  (* the paper's point: at 2048 B a typical payload stops falling back
-     around group size 8; at 1024 B it still does *)
   let find bytes gs =
     List.find
       (fun (x : Sharing_ablation.row) ->
@@ -112,8 +110,18 @@ let test_sharing_ablation () =
         && x.Sharing_ablation.group_size = gs)
       r.Sharing_ablation.rows
   in
-  check_bool "1024B/gs8 falls back" true
-    ((find 1024 8).Sharing_ablation.fallbacks > 0.0);
+  (* a genuinely undersized slab still overflows: the per-block wave of
+     96-byte payloads peaks above 256 B *)
+  check_bool "256B/gs8 falls back" true
+    ((find 256 8).Sharing_ablation.fallbacks > 0.0);
+  (* the dynamic allocator's win: a 12-arg payload overflowed the old
+     static 1024/17-byte slice, but the live regions fit 1024 B when
+     granted on demand *)
+  check_bool "1024B/gs8 static slice too small" true
+    ((find 1024 8).Sharing_ablation.slice_bytes < 96);
+  check_bool "1024B/gs8 fits dynamically" true
+    ((find 1024 8).Sharing_ablation.fallbacks = 0.0);
+  (* the paper's enlarged reservation is roomy either way *)
   check_bool "2048B/gs8 fits" true
     ((find 2048 8).Sharing_ablation.fallbacks = 0.0)
 

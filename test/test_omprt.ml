@@ -120,21 +120,25 @@ let run_single_thread f =
   ignore
     (Gpusim.Engine.run_block ~cfg ~block_id:0 ~num_threads:1 (fun th -> f th))
 
+let is_shared = function Sharing.Shared_space _ -> true | _ -> false
+let is_fallback = function Sharing.Global_fallback _ -> true | _ -> false
+
 let test_sharing_acquire_paths () =
   let arena = Shared.arena_of_capacity 4096 in
   let s = Sharing.create ~arena ~bytes:2048 in
   Sharing.configure s ~num_groups:3;
-  (* slice is 512 bytes = 64 args *)
   run_single_thread (fun th ->
-      check_bool "fits" true (Sharing.acquire s th ~nargs:64 = Sharing.Shared_space);
+      check_bool "fits" true (is_shared (Sharing.acquire s th ~bytes:1536));
+      (* 1536 live + 1024 > 2048: the slab is genuinely out of room *)
       check_bool "overflows" true
-        (Sharing.acquire s th ~nargs:65 = Sharing.Global_fallback));
+        (is_fallback (Sharing.acquire s th ~bytes:1024)));
   check_int "one fallback" 1 (Sharing.global_fallbacks s);
   check_int "one grant" 1 (Sharing.shared_grants s)
 
 let test_sharing_paper_sizing () =
-  (* The paper's 1024 -> 2048 growth: with many groups the old size
-     overflows on payloads the new size still fits. *)
+  (* The paper's 1024 -> 2048 growth: with 16 concurrent publishers of an
+     80-byte payload the old reservation runs out, the new one never
+     does. *)
   let mk bytes =
     let arena = Shared.arena_of_capacity 8192 in
     let s = Sharing.create ~arena ~bytes in
@@ -143,10 +147,92 @@ let test_sharing_paper_sizing () =
   in
   let old_s = mk 1024 and new_s = mk 2048 in
   run_single_thread (fun th ->
-      check_bool "old overflows at 10 args" true
-        (Sharing.acquire old_s th ~nargs:10 = Sharing.Global_fallback);
-      check_bool "new fits 10 args" true
-        (Sharing.acquire new_s th ~nargs:10 = Sharing.Shared_space))
+      for _ = 1 to 16 do
+        ignore (Sharing.acquire old_s th ~bytes:80);
+        ignore (Sharing.acquire new_s th ~bytes:80)
+      done);
+  check_bool "old runs out at 16 x 80B" true
+    (Sharing.global_fallbacks old_s > 0);
+  check_int "new fits all publishers" 0 (Sharing.global_fallbacks new_s);
+  check_int "new granted all" 16 (Sharing.shared_grants new_s)
+
+let test_sharing_lifo_discipline () =
+  let arena = Shared.arena_of_capacity 4096 in
+  let s = Sharing.create ~arena ~bytes:2048 in
+  Sharing.configure s ~num_groups:0;
+  run_single_thread (fun th ->
+      let a = Sharing.acquire s th ~bytes:512 in
+      let b = Sharing.acquire s th ~bytes:512 in
+      let c = Sharing.acquire s th ~bytes:512 in
+      check_int "stacked" 1536 (Sharing.used_bytes s);
+      check_int "three live" 3 (Sharing.live_slices s);
+      Sharing.release s c;
+      Sharing.release s b;
+      Sharing.release s a;
+      check_int "stack drained" 0 (Sharing.used_bytes s);
+      check_int "none live" 0 (Sharing.live_slices s);
+      (* a fresh acquire reuses the bottom of the slab *)
+      match Sharing.acquire s th ~bytes:2048 with
+      | Sharing.Shared_space { offset; _ } ->
+          check_int "whole slab reusable" 0 offset
+      | Sharing.Global_fallback _ -> Alcotest.fail "expected a shared grant")
+
+let test_sharing_out_of_order_release () =
+  let arena = Shared.arena_of_capacity 4096 in
+  let s = Sharing.create ~arena ~bytes:2048 in
+  Sharing.configure s ~num_groups:0;
+  run_single_thread (fun th ->
+      (* concurrent SIMD mains do not release in stack order *)
+      let a = Sharing.acquire s th ~bytes:512 in
+      let b = Sharing.acquire s th ~bytes:512 in
+      let c = Sharing.acquire s th ~bytes:512 in
+      Sharing.release s a;
+      (* the freed inner hole is recycled before the stack grows *)
+      (match Sharing.acquire s th ~bytes:256 with
+      | Sharing.Shared_space { offset; _ } -> check_int "first fit" 0 offset
+      | Sharing.Global_fallback _ -> Alcotest.fail "expected a shared grant");
+      check_int "no new stack growth" 1536 (Sharing.high_water s);
+      Sharing.release s b;
+      Sharing.release s c;
+      check_int "only the recycled slice lives" 256 (Sharing.used_bytes s);
+      check_int "no fallbacks" 0 (Sharing.global_fallbacks s))
+
+let test_sharing_pool_reuse () =
+  let arena = Shared.arena_of_capacity 4096 in
+  let s = Sharing.create ~arena ~bytes:1024 in
+  Sharing.configure s ~num_groups:0;
+  run_single_thread (fun th ->
+      let hold = Sharing.acquire s th ~bytes:1024 in
+      let t0 = Gpusim.Thread.clock th in
+      let f1 = Sharing.acquire s th ~bytes:512 in
+      let fresh_cost = Gpusim.Thread.clock th -. t0 in
+      check_bool "first overflow is a fallback" true (is_fallback f1);
+      check_int "one pool buffer" 1 (Sharing.pool_slots s);
+      Sharing.release s f1;
+      let t1 = Gpusim.Thread.clock th in
+      let f2 = Sharing.acquire s th ~bytes:512 in
+      let reuse_cost = Gpusim.Thread.clock th -. t1 in
+      check_bool "second overflow is a fallback" true (is_fallback f2);
+      check_int "pool buffer reused, not grown" 1 (Sharing.pool_slots s);
+      check_int "reuse counted" 1 (Sharing.pool_reuses s);
+      check_bool "reuse skips the malloc round-trip" true
+        (reuse_cost < fresh_cost);
+      Sharing.release s f2;
+      Sharing.release s hold)
+
+let test_sharing_configure_reset () =
+  let arena = Shared.arena_of_capacity 4096 in
+  let s = Sharing.create ~arena ~bytes:2048 in
+  Sharing.configure s ~num_groups:0;
+  run_single_thread (fun th ->
+      let a = Sharing.acquire s th ~bytes:512 in
+      (* a reconfigure must not clobber a slice a faster sibling already
+         holds in the next region *)
+      Sharing.configure s ~num_groups:4;
+      check_int "live slice survives reconfigure" 512 (Sharing.used_bytes s);
+      Sharing.release s a;
+      Sharing.configure s ~num_groups:4;
+      check_int "idle reconfigure resets" 0 (Sharing.used_bytes s))
 
 (* --- Team --------------------------------------------------------------- *)
 
@@ -221,13 +307,13 @@ let test_workshare_empty_trip () =
    out[r*len + j] = 2*x[r*len + j] + r.  Exercises distribute-parallel-for
    over rows and simd over the inner loop. *)
 let run_scale_kernel ~teams_mode ~parallel_mode ~simd_len ~rows ~len
-    ?(cfg = cfg) () =
+    ?(cfg = cfg) ?(sharing_bytes = Sharing.default_bytes) () =
   let sp = Memory.space () in
   let n = rows * len in
   let x = Memory.of_float_array sp (Array.init n (fun i -> float_of_int i)) in
   let out = Memory.falloc sp n in
   let p =
-    params ~num_teams:2 ~num_threads:64 ~teams_mode ()
+    params ~num_teams:2 ~num_threads:64 ~teams_mode ~sharing_bytes ()
   in
   let report =
     Target.launch ~cfg ~params:p ~dispatch_table_size:4 (fun ctx ->
@@ -718,6 +804,26 @@ let qcheck_cases =
         in
         let expected = reference_scale ~rows ~len in
         Array.for_all2 (fun a b -> abs_float (a -. b) < 1e-9) out expected);
+    Test.make ~name:"sharing placement never changes results" ~count:25
+      (* the allocator decides WHERE a payload lives (stack slice, recycled
+         hole, or pooled global fallback) — never WHAT the kernel computes.
+         Starve the reservation down to where everything falls back through
+         the pool and the results must still match the sequential
+         reference bit for bit. *)
+      (pair
+         (quad (int_range 1 20) (int_range 0 40) (int_range 0 1)
+            (int_range 0 5))
+         (int_range 0 2))
+      (fun ((rows, len, mode_idx, gs_idx), sb_idx) ->
+        let parallel_mode = List.nth modes mode_idx in
+        let simd_len = List.nth group_sizes gs_idx in
+        let sharing_bytes = List.nth [ 64; 256; 2048 ] sb_idx in
+        let _, out =
+          run_scale_kernel ~teams_mode:Mode.Spmd ~parallel_mode ~simd_len
+            ~rows ~len ~sharing_bytes ()
+        in
+        let expected = reference_scale ~rows ~len in
+        Array.for_all2 (fun a b -> abs_float (a -. b) < 1e-9) out expected);
     Test.make ~name:"sharing slice shrinks with groups" ~count:100
       (int_range 1 64)
       (fun groups ->
@@ -749,6 +855,11 @@ let suite =
         Alcotest.test_case "slices" `Quick test_sharing_slices;
         Alcotest.test_case "acquire paths" `Quick test_sharing_acquire_paths;
         Alcotest.test_case "paper sizing 1024 vs 2048" `Quick test_sharing_paper_sizing;
+        Alcotest.test_case "lifo discipline" `Quick test_sharing_lifo_discipline;
+        Alcotest.test_case "out-of-order release" `Quick
+          test_sharing_out_of_order_release;
+        Alcotest.test_case "pool reuse" `Quick test_sharing_pool_reuse;
+        Alcotest.test_case "configure reset" `Quick test_sharing_configure_reset;
       ] );
     ( "omprt.team",
       [

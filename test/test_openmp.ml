@@ -475,6 +475,36 @@ let test_offload_rejects_bad_kernel () =
   in
   check_bool "compile error" true (Result.is_error (Offload.compile bad))
 
+let with_env pairs f =
+  List.iter (fun (k, v) -> Unix.putenv k v) pairs;
+  Fun.protect f ~finally:(fun () ->
+      List.iter (fun (k, _) -> Unix.putenv k "") pairs)
+
+let test_sharing_reservation_sizing () =
+  match Offload.compile saxpy_kernel with
+  | Error _ -> Alcotest.fail "saxpy must compile"
+  | Ok compiled ->
+      let program = compiled.Offload.program in
+      let footprint = Ompir.Globalize.footprint_bytes program in
+      check_bool "footprint positive" true (footprint > 0);
+      let reserve ~budget =
+        Offload.sharing_reservation ~budget ~num_threads:64 ~simd_len:8
+          program
+      in
+      (* 64 threads / simdlen 8 = 8 groups, plus the team main = 9
+         concurrent publishers *)
+      check_int "dynamic sizing"
+        (max Omprt.Sharing.min_bytes (footprint * 9))
+        (reserve ~budget:65536);
+      (* shrink-only: a tight budget is never exceeded *)
+      check_bool "caps at budget" true
+        (reserve ~budget:Omprt.Sharing.min_bytes <= Omprt.Sharing.min_bytes);
+      with_env [ ("OMPSIMD_SHARING_BYTES", "512") ] (fun () ->
+          check_int "env pin wins" 512 (reserve ~budget:65536));
+      with_env [ ("OMPSIMD_SHARING_DYNAMIC", "0") ] (fun () ->
+          check_int "dynamic disabled returns budget" 65536
+            (reserve ~budget:65536))
+
 let suite =
   [
     ( "openmp.clauses",
@@ -517,5 +547,7 @@ let suite =
         Alcotest.test_case "guardize never wraps directives" `Quick
           test_guardize_never_wraps_directives;
         Alcotest.test_case "rejects bad kernel" `Quick test_offload_rejects_bad_kernel;
+        Alcotest.test_case "sharing reservation sizing" `Quick
+          test_sharing_reservation_sizing;
       ] );
   ]

@@ -35,10 +35,15 @@ run_bench() {
   # Fault injection is pinned OFF the same way (the "serve faulty" row
   # arms its own plan internally): the baseline doubles as the proof
   # that the disarmed fault hooks cost nothing on the hot path.
+  # The sharing knobs are pinned to their defaults (dynamic sizing on,
+  # no explicit reservation) so an inherited override can't shift the
+  # sharing-sensitive rows against the baseline.
   OMPSIMD_SANITIZE=0 \
   OMPSIMD_FAULTS= \
   OMPSIMD_FAULT_SEED= \
   OMPSIMD_WATCHDOG= \
+  OMPSIMD_SHARING_BYTES= \
+  OMPSIMD_SHARING_DYNAMIC= \
   OMPSIMD_DOMAINS="$1" \
   OMPSIMD_BENCH_DEDUP="$2" \
   OMPSIMD_BENCH_SCALE="${OMPSIMD_BENCH_SCALE:-0.05}" \
@@ -104,4 +109,30 @@ for name, old in base["ms_per_run"].items():
 if failed:
     sys.exit(f"FAIL: {len(failed)} row(s) regressed beyond {threshold:.2f}x: " + ", ".join(failed))
 print("bench compare OK: no row regressed beyond %.2fx" % threshold)
+
+# Allocation gate: minor-GC MB per run is measured from a single
+# deterministic simulation run, so it is far less noisy than the timing
+# estimates — a tighter threshold catches allocation regressions (a
+# boxing change, a lost specialization) that timing jitter would hide.
+alloc_threshold = 1.10
+base_alloc = base.get("minor_mb_per_run")
+fresh_alloc = fresh.get("minor_mb_per_run")
+if base_alloc and fresh_alloc:
+    failed = []
+    print(f"{'row':<30} {'committed':>10} {'fresh':>10}  MB/run ratio")
+    for name, old in base_alloc.items():
+        new = fresh_alloc.get(name)
+        if old is None or new is None or old < 1.0:
+            # sub-MB rows are all overhead; skip the ratio
+            continue
+        ratio = new / old
+        flag = "  <-- ALLOC REGRESSION" if ratio > alloc_threshold else ""
+        print(f"{name:<30} {old:>10.1f} {new:>10.1f}  {ratio:4.2f}x{flag}")
+        if ratio > alloc_threshold:
+            failed.append(name)
+    if failed:
+        sys.exit(f"FAIL: {len(failed)} row(s) allocate beyond {alloc_threshold:.2f}x baseline: " + ", ".join(failed))
+    print("alloc compare OK: no row allocates beyond %.2fx baseline" % alloc_threshold)
+else:
+    print("alloc compare skipped: baseline has no minor_mb_per_run entry")
 EOF
