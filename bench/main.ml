@@ -149,6 +149,25 @@ let bench_cases ~pool () =
     ( "serve cold cache",
       fun () ->
         ignore (Serve.Scheduler.run (serve_conf ~cache:0) ~pool serve_trace) );
+    (* the warm-cache trace compiled through an explicit non-default
+       optimization pipeline: the spec lands in the cache key, so the
+       first request per kernel recompiles the optimized tier-2 variant
+       and the rest serve warm — the delta against "serve warm cache" is
+       what the extra passes cost (compile) and buy (run) end to end *)
+    ( "serve warm cache (optimized)",
+      fun () ->
+        let conf = serve_conf ~cache:32 in
+        let conf =
+          {
+            conf with
+            Serve.Scheduler.knobs =
+              {
+                Openmp.Offload.default_knobs with
+                Openmp.Offload.passes = "fold,licm,strength,fuse,tile:32,dce";
+              };
+          }
+        in
+        ignore (Serve.Scheduler.run conf ~pool serve_trace) );
     (* the same warm-cache trace under a 5% per-block abort plan: the
        delta against "serve warm cache" is the recovery overhead
        (relaunch work + backoff bookkeeping) the service pays for fault

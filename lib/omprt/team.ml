@@ -70,7 +70,22 @@ and t = {
   mutable dispatch_table_size : int;
   red_scratch : float array;
   mutable dyn_counter : int;
+  mutable dyn_active : int;
   in_region : bool array;
+  (* Fused-lockstep scratch (see Workshare.simd_loop): each lane deposits
+     its thread handle, loop body and trip count before the entry
+     rendezvous; the lane the engine resumes first drives every lane's
+     rounds directly and bumps the group's sequence number so the parked
+     lanes skip execution when they wake.  [fused_ths] is sized lazily on
+     first use (Barrier-style) because a dummy Thread.t is not
+     constructible here. *)
+  mutable fused_ths : Gpusim.Thread.t array;
+  fused_fns : (int -> unit) array;
+  fused_reds : (int -> float) array;
+  fused_acc : float array;
+  fused_trip : int array;
+  fused_actor : int array;
+  fused_seq : int array;
 }
 
 let block_threads ~(cfg : Gpusim.Config.t) params =
@@ -133,7 +148,15 @@ let create ~cfg ~arena ~params ~block_id =
     dispatch_table_size = 0;
     red_scratch = Array.make num_workers 0.0;
     dyn_counter = 0;
+    dyn_active = 0;
     in_region = Array.make num_workers false;
+    fused_ths = [||];
+    fused_fns = Array.make total (fun (_ : int) -> ());
+    fused_reds = Array.make total (fun (_ : int) -> 0.0);
+    fused_acc = Array.make total 0.0;
+    fused_trip = Array.make total 0;
+    fused_actor = Array.make total 0;
+    fused_seq = Array.make num_workers 0;
   }
 
 type role = Team_main | Worker | Inactive_main_lane
@@ -212,43 +235,44 @@ let warp_barrier_for t (th : Gpusim.Thread.t) ~mask =
       t.wb_memo_bar.(tid) <- Some b;
       b
 
+let lockstep_barrier t (th : Gpusim.Thread.t) ~mask =
+  let tid = th.Gpusim.Thread.tid in
+  let warp = th.Gpusim.Thread.warp.Gpusim.Thread.warp_index in
+  let key = (warp * 0x1_0000_0000) lor mask in
+  match t.ls_memo_bar.(tid) with
+  | Some b when t.ls_memo_key.(tid) = key -> b
+  | _ ->
+      let b =
+        match t.ls_warp_bar.(warp) with
+        | Some b when t.ls_warp_key.(warp) = key -> b
+        | _ ->
+            let b =
+              match Hashtbl.find_opt t.lockstep_barriers key with
+              | Some b -> b
+              | None ->
+                  let b =
+                    Gpusim.Barrier.create
+                      ~name:(Printf.sprintf "lockstep%d:%08x" warp mask)
+                      ~expected:(Ompsimd_util.Mask.popcount mask)
+                      ~cost:0.0 ()
+                  in
+                  Hashtbl.add t.lockstep_barriers key b;
+                  b
+            in
+            t.ls_warp_key.(warp) <- key;
+            t.ls_warp_bar.(warp) <- Some b;
+            b
+      in
+      t.ls_memo_key.(tid) <- key;
+      t.ls_memo_bar.(tid) <- Some b;
+      b
+
 let lockstep_align ctx =
   let g = geometry ctx.team in
   if Simd_group.get_simd_group_size g > 1 then begin
-    let t = ctx.team in
     let tid = ctx.th.Gpusim.Thread.tid in
     let mask = Simd_group.simdmask g ~tid in
-    let warp = ctx.th.Gpusim.Thread.warp.Gpusim.Thread.warp_index in
-    let key = (warp * 0x1_0000_0000) lor mask in
-    let bar =
-      match t.ls_memo_bar.(tid) with
-      | Some b when t.ls_memo_key.(tid) = key -> b
-      | _ ->
-          let b =
-            match t.ls_warp_bar.(warp) with
-            | Some b when t.ls_warp_key.(warp) = key -> b
-            | _ ->
-                let b =
-                  match Hashtbl.find_opt t.lockstep_barriers key with
-                  | Some b -> b
-                  | None ->
-                      let b =
-                        Gpusim.Barrier.create
-                          ~name:(Printf.sprintf "lockstep%d:%08x" warp mask)
-                          ~expected:(Ompsimd_util.Mask.popcount mask)
-                          ~cost:0.0 ()
-                      in
-                      Hashtbl.add t.lockstep_barriers key b;
-                      b
-                in
-                t.ls_warp_key.(warp) <- key;
-                t.ls_warp_bar.(warp) <- Some b;
-                b
-          in
-          t.ls_memo_key.(tid) <- key;
-          t.ls_memo_bar.(tid) <- Some b;
-          b
-    in
+    let bar = lockstep_barrier ctx.team ctx.th ~mask in
     san_warp_arrive ctx.th ~mask bar;
     Gpusim.Engine.barrier_wait bar ctx.th
   end

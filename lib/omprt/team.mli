@@ -94,11 +94,33 @@ and t = {
       (** shared iteration counter for dynamically-scheduled worksharing
           loops (extension): OpenMP threads grab chunks with an atomic
           fetch-add *)
+  mutable dyn_active : int;
+      (** OpenMP threads currently inside a dynamically-scheduled
+          worksharing loop.  While non-zero, simd loops keep the classic
+          barrier-per-round execution: the dynamic chunk-assignment
+          policy is defined by the engine's round-level fiber
+          interleaving (threads with longer chunks park more often and
+          grab fewer), which fused rounds would collapse. *)
   in_region : bool array;
       (** per-worker flag: inside a parallel region's outlined body.
           Used to reject nested [parallel] with a clear error (LLVM
           serializes nested regions; this runtime asks the program to
           restructure instead). *)
+  mutable fused_ths : Gpusim.Thread.t array;
+      (** fused-lockstep deposit slots, per tid (see [Workshare]): the
+          thread handles of the lanes whose simd rounds the driving lane
+          executes.  Lazily sized on first use. *)
+  fused_fns : (int -> unit) array;  (** per-tid deposited loop bodies *)
+  fused_reds : (int -> float) array;
+      (** per-tid deposited reducing bodies *)
+  fused_acc : float array;
+      (** per-tid fold accumulators written by the driving lane *)
+  fused_trip : int array;  (** per-tid deposited trip counts *)
+  fused_actor : int array;
+      (** per-tid saved sanitizer actors across a driven loop *)
+  fused_seq : int array;
+      (** per-group fused-loop sequence numbers: the driving lane bumps
+          the count so woken lanes know their rounds already ran *)
 }
 
 val create :
@@ -138,6 +160,19 @@ val sync_warp : ctx -> unit
 
 val team_barrier_wait : ctx -> unit
 (** Block-wide barrier over workers + team main. *)
+
+val lockstep_barrier : t -> Gpusim.Thread.t -> mask:int -> Gpusim.Barrier.t
+(** The zero-cost alignment barrier for [th]'s (warp, mask) pair —
+    {!lockstep_align}'s barrier resolution, exposed so the fused
+    lockstep executor can feed the same barrier identity to the
+    sanitizer taps without parking on it. *)
+
+val san_warp_arrive : Gpusim.Thread.t -> mask:int -> Gpusim.Barrier.t -> unit
+(** Report a warp-scope rendezvous on [bar] to Ompsan for one lane.  A
+    load-and-branch when the sanitizer is disabled.  The runtime calls
+    this before every engine wait; the fused lockstep executor calls it
+    per lane at each round boundary so the shadow epochs advance exactly
+    as they would under real barriers. *)
 
 val lockstep_align : ctx -> unit
 (** Align the SIMD group's virtual clocks without cost or counter

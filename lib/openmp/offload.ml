@@ -6,9 +6,29 @@ type compiled = {
   may_races : Ompir.Racecheck.finding list;
 }
 
-type knobs = { guardize : bool; fold : bool; racecheck : bool }
+type knobs = {
+  guardize : bool;
+  fold : bool;
+  racecheck : bool;
+  passes : string;
+}
 
-let default_knobs = { guardize = false; fold = true; racecheck = false }
+let default_knobs =
+  { guardize = false; fold = true; racecheck = false; passes = "" }
+
+(* A blank [passes] spec defers to OMPSIMD_PASSES (per the Env
+   convention, unset and blank both mean "default"), so the env knob
+   flows through every call site — including the serve scheduler, whose
+   config carries [default_knobs] — without each one re-reading it.
+   Resolution happens in BOTH [cache_key] and [compile_with], so the key
+   and the artifact always agree and flipping the variable can never
+   alias a differently-optimized cached variant. *)
+let effective_passes knobs =
+  if knobs.passes <> "" then knobs.passes
+  else
+    match Ompsimd_util.Env.var "OMPSIMD_PASSES" with
+    | Some spec -> spec
+    | None -> ""
 
 (* The cache identity of a compilation: the content digest of the IR
    plus every knob that changes what [compile] produces, plus the
@@ -22,19 +42,32 @@ let cache_key ?(knobs = default_knobs) kernel =
     | Ompir.Compile.Staged -> "staged"
     | Ompir.Compile.Walk -> "walk"
   in
-  Printf.sprintf "%s:g%db%dr%d:%s"
+  let passes =
+    (* validate eagerly — a malformed spec must fail fast naming the
+       variable, not surface later as a compile of something else *)
+    let spec = effective_passes knobs in
+    ignore (Ompir.Passes.pipeline_of_spec spec);
+    match String.trim spec with "" -> "default" | s -> s
+  in
+  Printf.sprintf "%s:g%db%dr%d:p[%s]:%s"
     (Ompir.Kdigest.hex kernel)
     (Bool.to_int knobs.guardize) (Bool.to_int knobs.fold)
-    (Bool.to_int knobs.racecheck) engine
+    (Bool.to_int knobs.racecheck) passes engine
 
-let compile ?(guardize = false) ?(fold = true) ?(racecheck = false) kernel =
+let compile ?(guardize = false) ?(fold = true) ?(racecheck = false)
+    ?(passes = "") kernel =
   match Ompir.Check.kernel kernel with
   | Error es -> Error es
   | Ok () ->
-      let kernel =
-        if fold then Ompir.Passes.run Ompir.Passes.default_pipeline kernel
-        else kernel
+      let pipeline =
+        if not fold then []
+        else
+          Ompir.Passes.pipeline_of_spec
+            (effective_passes { guardize; fold; racecheck; passes })
       in
+      match Ompir.Passes.run_verified pipeline kernel with
+      | Error (_pass, es) -> Error es
+      | Ok kernel ->
       let kernel, guards =
         if guardize then Ompir.Spmdize.guardize kernel else (kernel, 0)
       in
@@ -55,7 +88,7 @@ let compile ?(guardize = false) ?(fold = true) ?(racecheck = false) kernel =
 
 let compile_with ~knobs kernel =
   compile ~guardize:knobs.guardize ~fold:knobs.fold ~racecheck:knobs.racecheck
-    kernel
+    ~passes:knobs.passes kernel
 
 let remarks c =
   let outlined =

@@ -18,19 +18,37 @@ type compiled = {
           [~racecheck:true]) *)
 }
 
-type knobs = { guardize : bool; fold : bool; racecheck : bool }
+type knobs = {
+  guardize : bool;
+  fold : bool;
+  racecheck : bool;
+  passes : string;
+      (** optimization-pipeline spec ({!Ompir.Passes.pipeline_of_spec});
+          [""] defers to the [OMPSIMD_PASSES] environment variable, and a
+          blank variable means {!Ompir.Passes.default_pipeline} *)
+}
 (** The compile-relevant knobs, bundled so cache layers can key on
     them; see {!cache_key}. *)
 
 val default_knobs : knobs
-(** [{ guardize = false; fold = true; racecheck = false }] — the
-    defaults of {!compile}. *)
+(** [{ guardize = false; fold = true; racecheck = false; passes = "" }]
+    — the defaults of {!compile}. *)
+
+val effective_passes : knobs -> string
+(** The pipeline spec a compilation with [knobs] will actually run:
+    [knobs.passes], or the [OMPSIMD_PASSES] environment variable when
+    that is blank ([""] when both are). *)
 
 val cache_key : ?knobs:knobs -> Ompir.Ir.kernel -> string
 (** The identity of a compilation for caching: content digest of the
-    kernel ({!Ompir.Kdigest}), the knobs, and the engine selected by
-    [OMPSIMD_EVAL].  Two calls return equal keys iff [compile_with]
-    would produce an interchangeable artifact. *)
+    kernel ({!Ompir.Kdigest}), the knobs — with the pipeline spec
+    resolved through {!effective_passes}, so an optimized variant is a
+    distinct tier-2 artifact and flipping [OMPSIMD_PASSES] can never
+    alias a cached kernel compiled under a different pipeline — and the
+    engine selected by [OMPSIMD_EVAL].  Two calls return equal keys iff
+    [compile_with] would produce an interchangeable artifact.
+    @raise Invalid_argument on a malformed pipeline spec; the message
+    names [OMPSIMD_PASSES] and the offending item. *)
 
 val compile_with :
   knobs:knobs ->
@@ -43,17 +61,24 @@ val compile :
   ?guardize:bool ->
   ?fold:bool ->
   ?racecheck:bool ->
+  ?passes:string ->
   Ompir.Ir.kernel ->
   (compiled, Ompir.Check.error list) result
 (** [guardize] (default false) applies {!Ompir.Spmdize.guardize} first:
     side-effecting sequential statements of parallel bodies are wrapped in
     guard blocks so the regions become SPMD-safe — the paper's §7 plan for
     SPMDizing parallel regions.  [fold] (default true) runs the
-    default optimization pipeline ({!Ompir.Passes.default_pipeline}:
-    constant folding then dead-code elimination) before outlining.
-    [racecheck] (default false) additionally runs the static ompsan
-    layer ({!Ompir.Racecheck}) on the post-fold, post-guardize kernel;
-    findings land in [may_races] and in {!remarks}. *)
+    optimization pipeline before outlining: the spec in [passes] (default
+    [""], deferring to [OMPSIMD_PASSES], which blank means
+    {!Ompir.Passes.default_pipeline}), applied through
+    {!Ompir.Passes.run_verified} so a pass that broke well-formedness
+    surfaces as a compile error instead of a miscompile.  [fold:false]
+    disables the pipeline entirely.  [racecheck] (default false)
+    additionally runs the static ompsan layer ({!Ompir.Racecheck}) on
+    the post-pipeline, post-guardize kernel; findings land in
+    [may_races] and in {!remarks}.
+    @raise Invalid_argument on a malformed [passes] spec; the message
+    names [OMPSIMD_PASSES] and the offending item. *)
 
 val remarks : compiled -> string list
 (** Human-readable optimization remarks: outlined regions, captured

@@ -38,6 +38,13 @@ run_bench() {
   # The sharing knobs are pinned to their defaults (dynamic sizing on,
   # no explicit reservation) so an inherited override can't shift the
   # sharing-sensitive rows against the baseline.
+  # The optimization pipeline and the lockstep executor are pinned to
+  # their defaults too: the recorded numbers measure the default
+  # pipeline (blank OMPSIMD_PASSES) under the fused executor, and an
+  # inherited override of either would shift every row.  The "serve
+  # warm cache (optimized)" row sets its own explicit spec internally.
+  OMPSIMD_PASSES= \
+  OMPSIMD_LOCKSTEP= \
   OMPSIMD_SANITIZE=0 \
   OMPSIMD_FAULTS= \
   OMPSIMD_FAULT_SEED= \
