@@ -98,6 +98,7 @@ let serve_trace =
         deadline = None;
         priority = 0;
         seed = 1 + (i mod 5);
+        tenant = "-";
       })
 
 let serve_conf ~cache =
@@ -149,6 +150,24 @@ let bench_cases ~pool () =
     ( "serve cold cache",
       fun () ->
         ignore (Serve.Scheduler.run (serve_conf ~cache:0) ~pool serve_trace) );
+    (* the same warm-cache trace through the sharded fleet: batching
+       merges same-content queue mates into one grid and the content
+       memo skips repeat launches entirely, so the delta against "serve
+       warm cache" is what the fleet layer buys (fewer real launches)
+       net of its placement/stealing bookkeeping *)
+    ( "serve fleet warm (4 shards)",
+      fun () ->
+        let fconf =
+          {
+            Serve.Fleet.base = serve_conf ~cache:32;
+            shards = 4;
+            batch = 8;
+            steal = true;
+            memo = true;
+            tenants = [];
+          }
+        in
+        ignore (Serve.Fleet.run fconf ~pool serve_trace) );
     (* the warm-cache trace compiled through an explicit non-default
        optimization pipeline: the spec lands in the cache key, so the
        first request per kernel recompiles the optimized tier-2 variant

@@ -354,56 +354,150 @@ let serve_cmd =
     let doc = "Mean inter-arrival gap of the synthetic generator, in ticks." in
     Arg.(value & opt float 2000.0 & info [ "gap" ] ~docv:"TICKS" ~doc)
   in
+  let traffic_term =
+    let doc =
+      "Generate N requests with the fleet traffic generator (heavy-tailed \
+       arrivals, bursts, diurnal waves, flash crowds; see --profile).  \
+       Implies the fleet scheduler."
+    in
+    Arg.(value & opt (some int) None & info [ "traffic" ] ~docv:"N" ~doc)
+  in
+  let profile_term =
+    let doc =
+      "Traffic profile for --traffic: steady, bursty, diurnal, flash or mixed."
+    in
+    Arg.(value & opt string "mixed" & info [ "profile" ] ~docv:"NAME" ~doc)
+  in
+  let shards_term =
+    let doc =
+      "Run the multi-device fleet scheduler with N shards (overrides \
+       OMPSIMD_SERVE_SHARDS)."
+    in
+    Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let batch_term =
+    let doc =
+      "Fleet launch-batching limit: members per merged grid (overrides \
+       OMPSIMD_SERVE_BATCH; implies the fleet scheduler)."
+    in
+    Arg.(value & opt (some int) None & info [ "batch" ] ~docv:"K" ~doc)
+  in
   let json_term =
     let doc = "Also write the full replay snapshot (config, per-request \
                reports, metrics) as JSON to this file."
     in
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
   in
-  let run device requests synthetic seed gap json_path =
+  let results_term =
+    let doc =
+      "Fleet only: also write the placement-invariant per-request results \
+       (outcome, launches, exec, checksum) as JSON to this file — \
+       byte-identical across shard counts and batch limits on \
+       admission-lossless configs."
+    in
+    Arg.(value & opt (some string) None & info [ "results" ] ~docv:"FILE" ~doc)
+  in
+  let write path contents what =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc contents);
+    Printf.printf "%s written to %s\n" what path
+  in
+  let run device requests synthetic seed gap traffic profile shards batch
+      json_path results_path =
     with_device device (fun cfg pool ->
         let specs =
-          match (requests, synthetic) with
-          | Some file, None -> (
+          match (requests, synthetic, traffic) with
+          | Some file, None, None -> (
               try Serve.Request.load_trace file
               with Failure msg ->
                 Printf.eprintf "%s: %s\n" file msg;
                 exit 1)
-          | None, Some n -> Serve.Request.synthetic ~n ~seed ~gap ()
-          | None, None ->
-              prerr_endline "serve: one of --requests or --synthetic is required";
+          | None, Some n, None -> Serve.Request.synthetic ~n ~seed ~gap ()
+          | None, None, Some n -> (
+              try Serve.Traffic.(generate (preset profile ~n ~seed))
+              with Failure msg ->
+                Printf.eprintf "serve: %s\n" msg;
+                exit 1)
+          | None, None, None ->
+              prerr_endline
+                "serve: one of --requests, --synthetic or --traffic is \
+                 required";
               exit 2
-          | Some _, Some _ ->
-              prerr_endline "serve: --requests and --synthetic are exclusive";
+          | _ ->
+              prerr_endline
+                "serve: --requests, --synthetic and --traffic are exclusive";
               exit 2
         in
-        let conf = Serve.Scheduler.config_of_env ~cfg () in
-        let reports, metrics = Serve.Scheduler.run conf ~pool specs in
-        List.iter
-          (fun r -> print_endline (Serve.Scheduler.report_line r))
-          reports;
-        print_newline ();
-        print_string (Serve.Metrics.to_text metrics);
-        match json_path with
-        | None -> ()
-        | Some path ->
-            let oc = open_out path in
-            Fun.protect
-              ~finally:(fun () -> close_out oc)
-              (fun () ->
-                output_string oc
-                  (Serve.Scheduler.snapshot_json conf reports metrics);
-                output_char oc '\n');
-            Printf.printf "snapshot written to %s\n" path)
+        (* The single-device scheduler stays the default path so its
+           replay snapshots are untouched; any fleet knob — a flag here
+           or OMPSIMD_SERVE_SHARDS in the environment — opts into the
+           fleet. *)
+        let fleet_mode =
+          shards <> None || batch <> None || traffic <> None
+          || Ompsimd_util.Env.var "OMPSIMD_SERVE_SHARDS" <> None
+        in
+        if fleet_mode then begin
+          let fconf = Serve.Fleet.config_of_env ~cfg () in
+          let fconf =
+            {
+              fconf with
+              Serve.Fleet.shards =
+                Option.value ~default:fconf.Serve.Fleet.shards shards;
+              batch = Option.value ~default:fconf.Serve.Fleet.batch batch;
+            }
+          in
+          let res =
+            try Serve.Fleet.run fconf ~pool specs
+            with Invalid_argument msg ->
+              Printf.eprintf "serve: %s\n" msg;
+              exit 2
+          in
+          List.iter
+            (fun r -> print_endline (Serve.Fleet.report_line r))
+            res.Serve.Fleet.reports;
+          print_newline ();
+          print_string (Serve.Fleet.to_text res);
+          Option.iter
+            (fun path ->
+              write path (Serve.Fleet.snapshot_json fconf res) "snapshot")
+            json_path;
+          Option.iter
+            (fun path ->
+              write path
+                (Serve.Fleet.results_json res.Serve.Fleet.reports)
+                "results")
+            results_path
+        end
+        else begin
+          let conf = Serve.Scheduler.config_of_env ~cfg () in
+          let reports, metrics = Serve.Scheduler.run conf ~pool specs in
+          List.iter
+            (fun r -> print_endline (Serve.Scheduler.report_line r))
+            reports;
+          print_newline ();
+          print_string (Serve.Metrics.to_text metrics);
+          Option.iter
+            (fun path ->
+              write path
+                (Serve.Scheduler.snapshot_json conf reports metrics
+                ^ "\n")
+                "snapshot")
+            json_path
+        end)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the persistent kernel-launch service over a request trace \
-          (deterministic replay) or a seeded synthetic workload")
+          (deterministic replay) or a seeded synthetic workload — \
+          single-device by default, or the sharded/batching fleet with \
+          --shards/--batch/--traffic")
     Term.(
       const run $ device_term $ requests_term $ synthetic_term $ seed_term
-      $ gap_term $ json_term)
+      $ gap_term $ traffic_term $ profile_term $ shards_term $ batch_term
+      $ json_term $ results_term)
 
 let () =
   let info =

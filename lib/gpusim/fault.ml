@@ -200,6 +200,20 @@ let watchdog_budget () = !watchdog
 let capture_deadlocks () = !armed || !watchdog > 0.0
 let launch_begin () = if !armed then ignore (Atomic.fetch_and_add nonce 1 : int)
 
+(* The fleet scheduler pins each member launch of a batch to a nonce
+   derived from the request identity, so the faults a request draws are
+   a pure function of (plan, request, attempt) — independent of where
+   the fleet placed it, whether it was batched, and what launched
+   before it.  launch_begin stores old+1 and block_begin reads the
+   stored value, so landing on [n] means setting the counter to n-1. *)
+let with_nonce n f =
+  if not !armed then f ()
+  else begin
+    let saved = Atomic.get nonce in
+    Atomic.set nonce (n - 1);
+    Fun.protect ~finally:(fun () -> Atomic.set nonce saved) f
+  end
+
 (* --- per-block decisions ----------------------------------------------- *)
 
 (* Trigger cycles are drawn uniformly in [0, 2000): early enough that

@@ -87,6 +87,15 @@ val capture_deadlocks : unit -> bool
 val launch_begin : unit -> unit
 (** Called once per [Device.launch]; bumps the nonce when armed. *)
 
+val with_nonce : int -> (unit -> 'a) -> 'a
+(** [with_nonce n f] runs [f] with the next armed launch drawing its
+    faults at exactly nonce [n], restoring the counter afterwards so
+    surrounding sequential launches are unaffected.  This is how the
+    fleet scheduler makes injection a pure function of (plan, request,
+    attempt) instead of global dispatch order: batched, sharded and
+    solo replays of the same request inject identical faults.  A no-op
+    when disarmed. *)
+
 val block_begin : block_id:int -> num_threads:int -> warp_size:int -> unit
 (** Draw this block's fault decisions (no-op when disarmed).
     @raise Invalid_argument if a block is already open on this domain. *)

@@ -1,0 +1,16 @@
+(** Discrete-event queue for the virtual-time schedulers: a binary
+    min-heap on (time, rank, seq).  Rank 0 events (completions) sort
+    before rank 1 events (arrivals) at the same tick, and the internal
+    insertion sequence number breaks every remaining tie, so event
+    order is total and deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> float -> int -> 'a -> unit
+(** [push h time rank v] schedules [v] at [time]; lower [rank] wins a
+    same-tick tie, then earlier insertion. *)
+
+val pop : 'a t -> (float * 'a) option
+(** The earliest event, or [None] when the simulation is drained. *)

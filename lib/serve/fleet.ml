@@ -1,0 +1,1098 @@
+(* The serve fleet: N virtual devices behind one admission plane.
+
+   Each shard is a full copy of the single-device scheduler's machinery
+   — its own bounded queue, its own executors, its own per-kernel
+   circuit breakers — driven by one global discrete-event heap in
+   virtual time.  Three mechanisms turn the copies into a fleet:
+
+   * {b Placement} is a consistent-hash ring over the request's
+     engine-free content identity ({!Ompir.Kdigest} of the instantiated
+     template, plus the guardize flag and the resolved pass spec).
+     Same content, same shard: compile artifacts and batch partners
+     concentrate where their cache entry lives, and adding a shard
+     moves only the keys that hash next to it.  The identity
+     deliberately excludes the evaluation engine so a replay places
+     identically under [OMPSIMD_EVAL=walk] and [=compile].
+
+   * {b Work stealing}: a shard whose queue is empty but whose server
+     just freed pulls the best request from the deepest neighbour
+     queue (ties to the lowest shard id) — placement optimizes for
+     locality, stealing keeps the fleet work-conserving when the hash
+     is momentarily unlucky.  Stolen requests run solo (batching is a
+     home-queue affair) and their recovery stays on the thief, whose
+     breaker observed the launch.
+
+   * {b Launch batching}: when a shard dispatches a request and
+     [batch > 1], it drains up to [batch - 1] more queued requests
+     with the same content identity and launch geometry into one
+     merged grid occupying one server.  Requests share no simulator
+     state (each instantiates its own memory space), so the merged
+     grid's per-request sub-reports are computed exactly — counters,
+     checksums and injected-fault sections attribute to the member
+     they belong to, and splitting the merged report is lossless by
+     construction.  The batch pays one compile charge and a merged
+     execution window of max(member cycles) + a per-member merge
+     overhead: the throughput win is that members ride side by side
+     instead of serializing.
+
+   Fault injection stays deterministic under all of this because every
+   member launch pins its {!Gpusim.Fault} nonce to (request id,
+   attempt): the faults a request draws are a pure function of the
+   plan and the request, not of where the fleet placed it or what
+   launched before it.  That is what makes the batching-equivalence
+   and shard-invariance properties hold byte-exactly under chaos
+   plans.
+
+   Admission is per-tenant weighted-fair: when a shard's queue is
+   full, the most over-share tenant — occupancy divided by weight —
+   loses a slot, and a newcomer already over its own share is the one
+   turned away.  A hot tenant therefore sheds first; light tenants
+   keep their seats.  Evicted requests re-enter the normal
+   retry-with-backoff path, so fairness never silently loses a
+   request: the no-lost-request invariant holds fleet-wide.
+
+   Repeated identical requests (same template, size, geometry, data
+   seed) are idempotent — bindings are a pure function of the spec —
+   so with faults disarmed the fleet memoizes launch results by
+   content.  A million-request soak with a bounded spec space costs a
+   few hundred real launches; the memo never changes a single report
+   byte, only host time, and it disables itself while a fault plan is
+   armed (relaunches must draw fresh faults). *)
+
+module Offload = Openmp.Offload
+module Clause = Openmp.Clause
+module Env = Ompsimd_util.Env
+module Counters = Gpusim.Counters
+
+type config = {
+  base : Scheduler.config;
+      (* per-shard queue bound / servers / retries / backoff / breaker,
+         plus the device, the fleet-wide compile-cache capacity and the
+         compile knobs *)
+  shards : int;
+  batch : int;  (* max members per merged grid; 1 disables batching *)
+  steal : bool;
+  memo : bool;  (* content-memoize idempotent launches (disarmed runs only) *)
+  tenants : (string * int) list;  (* fair-admission weights; absent = 1 *)
+}
+
+let parse_tenants spec =
+  String.split_on_char ',' spec
+  |> List.filter_map (fun tok ->
+         let tok = String.trim tok in
+         if tok = "" then None
+         else
+           match String.index_opt tok '=' with
+           | None -> Some (tok, 1)
+           | Some i -> (
+               let name = String.sub tok 0 i in
+               let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+               match int_of_string_opt v with
+               | Some w when w >= 1 && name <> "" -> Some (name, w)
+               | _ ->
+                   invalid_arg
+                     (Printf.sprintf
+                        "OMPSIMD_SERVE_TENANTS: token %S is not name=weight"
+                        tok)))
+
+let config_of_env ~cfg () =
+  {
+    base = Scheduler.config_of_env ~cfg ();
+    shards = Env.int "OMPSIMD_SERVE_SHARDS" ~default:4;
+    batch = Env.int "OMPSIMD_SERVE_BATCH" ~default:8;
+    steal = Env.flag "OMPSIMD_SERVE_STEAL" ~default:true;
+    memo = Env.flag "OMPSIMD_SERVE_MEMO" ~default:true;
+    tenants =
+      (match Env.var "OMPSIMD_SERVE_TENANTS" with
+      | None -> []
+      | Some spec -> parse_tenants spec);
+  }
+
+let weight_of conf tenant =
+  match List.assoc_opt tenant conf.tenants with
+  | Some w -> max 1 w
+  | None -> 1
+
+(* --- consistent-hash placement ----------------------------------------- *)
+
+(* 64 virtual points per shard on an MD5 ring.  MD5 is stable across
+   hosts and OCaml versions, so placement is part of the deterministic
+   replay contract. *)
+let ring_points = 64
+
+let hash_pos s =
+  let d = Digest.string s in
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code d.[i]
+  done;
+  !v land max_int
+
+let make_ring shards =
+  let a =
+    Array.init (shards * ring_points) (fun i ->
+        let s = i / ring_points and v = i mod ring_points in
+        (hash_pos (Printf.sprintf "ompserve-shard-%d-vnode-%d" s v), s))
+  in
+  Array.sort compare a;
+  a
+
+let place ring key =
+  let h = hash_pos key in
+  let n = Array.length ring in
+  (* successor point on the ring (clockwise), wrapping at the top *)
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let pos, _ = ring.(mid) in
+    if pos < h then lo := mid + 1 else hi := mid
+  done;
+  let _, shard = ring.(if !lo = n then 0 else !lo) in
+  shard
+
+(* The engine-free content identity: placement, batching compatibility
+   and the launch memo all key on it (the cache key proper adds the
+   engine, which must never influence where a request lands). *)
+let content_key ~knobs (spec : Request.spec) =
+  let kernel = Request.kernel_of_spec spec in
+  let knobs = { knobs with Offload.guardize = spec.guardize } in
+  Printf.sprintf "%s|%c|%s"
+    (Ompir.Kdigest.hex kernel)
+    (if spec.guardize then 'g' else '-')
+    (Offload.effective_passes knobs)
+
+(* --- bookkeeping types -------------------------------------------------- *)
+
+type pending = {
+  spec : Request.spec;
+  attempts : int;  (* admissions, as in the single-device scheduler *)
+  launches : int;  (* device launches performed *)
+  home : int;  (* the shard the ring placed it on *)
+  ckey : string;  (* content identity (placement) *)
+  bkey : string;  (* ckey + launch geometry (batching compatibility) *)
+  mkey : string;  (* bkey + size + data seed (launch memo) *)
+  stolen : bool;  (* executing (or last executed) on a foreign shard *)
+  relaunched : bool;  (* recovery re-entry: exempt from bound and eviction *)
+}
+
+(* One member's exact sub-report, split out of the merged grid. *)
+type member = {
+  m_pending : pending;  (* launches already includes the one in flight *)
+  m_exec : float;  (* its own simulated device cycles; 0 when hung *)
+  m_failed : bool;
+  m_checksum : float;
+  m_grid : int;
+  m_counters : Counters.t;
+  m_faults : Gpusim.Fault.stats;
+}
+
+type batch_run = {
+  b_shard : int;
+  b_members : member list;  (* dispatch order: leader first *)
+  b_started : float;
+  b_compile : float;
+  b_cache : Scheduler.cache_status;  (* the leader's; C_miss mates report C_join *)
+  b_key : string;  (* cache key = breaker key *)
+}
+
+type event = Arrive of pending | Relaunch of int * pending | Finish of batch_run
+
+type breaker_state = Br_closed | Br_open of float | Br_probing
+
+type breaker = { mutable consecutive : int; mutable br : breaker_state }
+
+type shard_state = {
+  sid : int;
+  mutable queue : pending list;
+  mutable free : int;
+  breakers : (string, breaker) Hashtbl.t;
+  mutable s_placed : int;
+  mutable s_queue_max : int;
+  mutable s_launches : int;
+  mutable s_batches : int;
+  mutable s_batched_requests : int;
+  mutable s_steals : int;
+  mutable s_breaker_opens : int;
+}
+
+type rq_report = {
+  spec : Request.spec;
+  shard : int;  (* where the terminal event happened *)
+  outcome : Scheduler.outcome;
+  attempts : int;
+  launches : int;
+  batched : int;  (* members of its terminal merged grid; 0 = never ran *)
+  stolen : bool;
+  start : float;
+  finish : float;
+  latency : float;
+  compile_ticks : float;
+  exec_ticks : float;
+  cache : Scheduler.cache_status;
+  checksum : float;
+  counters : Counters.t;  (* its own split of the merged report; zeros if never ran *)
+}
+
+type fleet_stats = {
+  batches : int;
+  batched_requests : int;
+  steals : int;
+  tenant_evictions : int;
+  memo_hits : int;
+}
+
+type result = {
+  reports : rq_report list;
+  metrics : Metrics.t;
+  shard_stats : Metrics.shard_stats list;
+  tenant_stats : Metrics.tenant_stats list;
+  fleet : fleet_stats;
+}
+
+(* Virtual cost of folding one more member into a merged grid: the
+   merged launch runs members side by side (their block sets are
+   disjoint, the device schedules them together), so the batch window
+   is the slowest member plus this per-member merge overhead —
+   structural, host-independent, like {!Scheduler.compile_cost}. *)
+let merge_overhead = 64.0
+
+(* Fault identity of a member launch: a pure function of (request,
+   attempt), pinned via {!Gpusim.Fault.with_nonce} so placement, batch
+   shape and dispatch order can never change what a request draws. *)
+let nonce_for (spec : Request.spec) ~launches = 1 + (spec.Request.id * 1021) + launches
+
+(* --- the fleet loop ----------------------------------------------------- *)
+
+let run conf ?pool specs =
+  if conf.shards < 1 then invalid_arg "Fleet.run: shards must be >= 1";
+  if conf.batch < 1 then invalid_arg "Fleet.run: batch must be >= 1";
+  let base = conf.base in
+  if base.Scheduler.servers < 1 then
+    invalid_arg "Fleet.run: servers must be >= 1";
+  if base.Scheduler.queue_bound < 0 then
+    invalid_arg "Fleet.run: negative queue bound";
+  if base.Scheduler.breaker < 0 then
+    invalid_arg "Fleet.run: negative breaker threshold";
+  Gpusim.Fault.refresh_from_env ();
+  Gpusim.Fault.reset ();
+  let ring = make_ring conf.shards in
+  let cache = Cache.create ~capacity:base.Scheduler.cache_capacity in
+  let heap = Eheap.create () in
+  let shards =
+    Array.init conf.shards (fun sid ->
+        {
+          sid;
+          queue = [];
+          free = base.Scheduler.servers;
+          breakers = Hashtbl.create 16;
+          s_placed = 0;
+          s_queue_max = 0;
+          s_launches = 0;
+          s_batches = 0;
+          s_batched_requests = 0;
+          s_steals = 0;
+          s_breaker_opens = 0;
+        })
+  in
+  let reports = ref [] in
+  let retries = ref 0 in
+  let inflight_max = ref 0 in
+  let launches = ref 0 in
+  let blocks = ref 0 in
+  let sim_cycles = ref 0.0 in
+  let global_loads = ref 0 in
+  let global_stores = ref 0 in
+  let atomics = ref 0 in
+  let device_failures = ref 0 in
+  let relaunches = ref 0 in
+  let recovered = ref 0 in
+  let breaker_opens = ref 0 in
+  let fault_stats = ref Gpusim.Fault.zero_stats in
+  let last_time = ref 0.0 in
+  let memo_hits = ref 0 in
+  let tenant_evictions = ref 0 in
+  let evictions_by_tenant : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  (* virtual single-flight: the compile service is fleet-shared, like
+     the host artifact cache — a shard can join a neighbour's window *)
+  let compiling : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  (* content-keyed launch memo; only consulted with faults disarmed *)
+  let memo : (string, member) Hashtbl.t = Hashtbl.create 64 in
+  let memo_armed () = !Gpusim.Fault.armed in
+  (* Key strings are pure functions of (template, size, guardize) under
+     this run's fixed knobs, but computing one rebuilds and re-digests
+     the instantiated IR — which unrolls with the size on chain-style
+     kernels and dominates host time on repeat-heavy traces if paid per
+     placement and per breaker lookup.  Caching the strings changes no
+     bytes: the keys are identical, just not recomputed. *)
+  let ckey_memo : (string * int * bool, string) Hashtbl.t = Hashtbl.create 16 in
+  let ckey_of (spec : Request.spec) =
+    let k = (spec.Request.kernel, spec.Request.size, spec.Request.guardize) in
+    match Hashtbl.find_opt ckey_memo k with
+    | Some c -> c
+    | None ->
+        let c = content_key ~knobs:base.Scheduler.knobs spec in
+        Hashtbl.add ckey_memo k c;
+        c
+  in
+  let okey_memo : (string * int * bool, string) Hashtbl.t = Hashtbl.create 16 in
+  let okey_of (spec : Request.spec) =
+    let k = (spec.Request.kernel, spec.Request.size, spec.Request.guardize) in
+    match Hashtbl.find_opt okey_memo k with
+    | Some key -> key
+    | None ->
+        let knobs =
+          { base.Scheduler.knobs with Offload.guardize = spec.Request.guardize }
+        in
+        let key = Offload.cache_key ~knobs (Request.kernel_of_spec spec) in
+        Hashtbl.add okey_memo k key;
+        key
+  in
+  let record r = reports := r :: !reports in
+  let zero_counters = Counters.create () in
+  let never_ran ~shard (p : pending) outcome now =
+    {
+      spec = p.spec;
+      shard;
+      outcome;
+      attempts = p.attempts;
+      launches = p.launches;
+      batched = 0;
+      stolen = p.stolen;
+      start = -1.0;
+      finish = now;
+      latency = now -. p.spec.Request.at;
+      compile_ticks = 0.0;
+      exec_ticks = 0.0;
+      cache = Scheduler.C_none;
+      checksum = 0.0;
+      counters = zero_counters;
+    }
+  in
+  (* --- per-shard breakers (same policy as the single-device
+     scheduler, but the table is the shard's own: a flaky kernel opens
+     its breaker where it runs, neighbours keep serving it) *)
+  let breaker_for (s : shard_state) key =
+    match Hashtbl.find_opt s.breakers key with
+    | Some b -> b
+    | None ->
+        let b = { consecutive = 0; br = Br_closed } in
+        Hashtbl.add s.breakers key b;
+        b
+  in
+  let breaker_cooldown = 8.0 *. base.Scheduler.backoff in
+  (* `Admit = closed; `Probe = the half-open probe (launch solo);
+     `Shed = open or another probe in flight *)
+  let breaker_admit (s : shard_state) key now =
+    if base.Scheduler.breaker = 0 then `Admit
+    else
+      let b = breaker_for s key in
+      match b.br with
+      | Br_closed -> `Admit
+      | Br_probing -> `Shed
+      | Br_open opened_at ->
+          if now >= opened_at +. breaker_cooldown then begin
+            b.br <- Br_probing;
+            `Probe
+          end
+          else `Shed
+  in
+  let breaker_ok (s : shard_state) key =
+    if base.Scheduler.breaker > 0 then begin
+      let b = breaker_for s key in
+      b.consecutive <- 0;
+      b.br <- Br_closed
+    end
+  in
+  let breaker_fail (s : shard_state) key now =
+    if base.Scheduler.breaker > 0 then begin
+      let b = breaker_for s key in
+      b.consecutive <- b.consecutive + 1;
+      match b.br with
+      | Br_probing ->
+          b.br <- Br_open now;
+          incr breaker_opens;
+          s.s_breaker_opens <- s.s_breaker_opens + 1
+      | Br_closed when b.consecutive >= base.Scheduler.breaker ->
+          b.br <- Br_open now;
+          incr breaker_opens;
+          s.s_breaker_opens <- s.s_breaker_opens + 1
+      | Br_closed | Br_open _ -> ()
+    end
+  in
+  (* --- queue plumbing --------------------------------------------------- *)
+  let better (a : pending) (b : pending) =
+    let x = a.spec and y = b.spec in
+    x.Request.priority > y.Request.priority
+    || (x.Request.priority = y.Request.priority
+       && (x.Request.at < y.Request.at
+          || (x.Request.at = y.Request.at && x.Request.id < y.Request.id)))
+  in
+  let pop_queue (s : shard_state) =
+    match s.queue with
+    | [] -> None
+    | first :: rest ->
+        let best =
+          List.fold_left (fun best p -> if better p best then p else best) first rest
+        in
+        s.queue <- List.filter (fun p -> p != best) s.queue;
+        Some best
+  in
+  let enqueue (s : shard_state) p =
+    s.queue <- p :: s.queue;
+    s.s_queue_max <- max s.s_queue_max (List.length s.queue)
+  in
+  let expired (p : pending) now =
+    match p.spec.Request.deadline with Some d when now >= d -> true | _ -> false
+  in
+  (* admission failure (full queue / fairness loss): the scheduler's
+     retry-with-backoff policy, shared by newcomers and evictees *)
+  let retry_or_drop ~shard now (p : pending) =
+    if p.attempts <= base.Scheduler.max_retries then begin
+      incr retries;
+      let wait =
+        base.Scheduler.backoff *. (2.0 ** float_of_int (p.attempts - 1))
+      in
+      Eheap.push heap (now +. wait) 1 (Arrive { p with attempts = p.attempts + 1 })
+    end
+    else
+      record
+        (never_ran ~shard p
+           (if base.Scheduler.max_retries = 0 then Scheduler.Rejected
+            else Scheduler.Shed)
+           now)
+  in
+  (* --- weighted-fair eviction ------------------------------------------ *)
+  (* Occupancy of tenant t on this queue, over its weight: the tenant
+     maximizing occ/weight is the hog.  Integer cross-multiplication
+     keeps the comparison exact; ties break toward the lexicographically
+     greater name so the decision is total. *)
+  let fair_victim_tenant (s : shard_state) =
+    let occ : (string, int) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (p : pending) ->
+        let t = p.spec.Request.tenant in
+        Hashtbl.replace occ t (1 + Option.value ~default:0 (Hashtbl.find_opt occ t)))
+      s.queue;
+    Hashtbl.fold
+      (fun t o best ->
+        let w = weight_of conf t in
+        match best with
+        | None -> Some (t, o, w)
+        | Some (bt, bo, bw) ->
+            if
+              o * bw > bo * w
+              || (o * bw = bo * w && String.compare t bt > 0)
+            then Some (t, o, w)
+            else best)
+      occ None
+  in
+  (* the newest non-relaunched entry of the victim tenant (the queue
+     list is push-front, so the first match from the head is newest) *)
+  let evict_newest_of (s : shard_state) tenant =
+    let rec split acc = function
+      | [] -> None
+      | (p : pending) :: rest ->
+          if p.spec.Request.tenant = tenant && not p.relaunched then begin
+            s.queue <- List.rev_append acc rest;
+            Some p
+          end
+          else split (p :: acc) rest
+    in
+    split [] s.queue
+  in
+  (* --- launching -------------------------------------------------------- *)
+  let real_launch compiled (p : pending) =
+    let _kernel, bindings, out = Request.instantiate p.spec in
+    let spec = p.spec in
+    let clauses =
+      Clause.(
+        none
+        |> num_teams spec.Request.teams
+        |> num_threads spec.Request.threads
+        |> simdlen spec.Request.simdlen)
+    in
+    let launch () =
+      match Offload.run ~cfg:base.Scheduler.cfg ?pool ~clauses ~bindings compiled with
+      | report -> `Report report
+      | exception Gpusim.Engine.Deadlock _ -> `Hung
+    in
+    match Gpusim.Fault.with_nonce (nonce_for spec ~launches:p.launches) launch with
+    | `Report report ->
+        {
+          m_pending = { p with launches = p.launches + 1 };
+          m_exec = report.Gpusim.Device.time_cycles;
+          m_failed = report.Gpusim.Device.failures <> [];
+          m_checksum = Request.checksum out;
+          m_grid = report.Gpusim.Device.grid;
+          m_counters = report.Gpusim.Device.counters;
+          m_faults = report.Gpusim.Device.faults;
+        }
+    | `Hung ->
+        {
+          m_pending = { p with launches = p.launches + 1 };
+          m_exec = 0.0;
+          m_failed = true;
+          m_checksum = 0.0;
+          m_grid = 0;
+          m_counters = zero_counters;
+          m_faults = Gpusim.Fault.zero_stats;
+        }
+  in
+  let launch_member compiled (p : pending) =
+    if conf.memo && not (memo_armed ()) then
+      match Hashtbl.find_opt memo p.mkey with
+      | Some m ->
+          incr memo_hits;
+          (* the memo stores content results; pending bookkeeping
+             (attempts, shard, steal provenance) is this request's own *)
+          { m with m_pending = { p with launches = p.launches + 1 } }
+      | None ->
+          let m = real_launch compiled p in
+          (* a failed result is still memoizable: with no fault plan
+             armed, failure (watchdog, genuine deadlock) is as
+             deterministic as success *)
+          Hashtbl.add memo p.mkey m;
+          m
+    else real_launch compiled p
+  in
+  let account (s : shard_state) (m : member) =
+    incr launches;
+    s.s_launches <- s.s_launches + 1;
+    blocks := !blocks + m.m_grid;
+    sim_cycles := !sim_cycles +. m.m_exec;
+    global_loads := !global_loads + m.m_counters.Counters.global_loads;
+    global_stores := !global_stores + m.m_counters.Counters.global_stores;
+    atomics := !atomics + m.m_counters.Counters.atomics;
+    fault_stats := Gpusim.Fault.add_stats !fault_stats m.m_faults;
+    if m.m_failed then incr device_failures
+  in
+  (* Dispatch [members] (leader first) as one merged grid on [s].
+     Consumes one server; false when the batch terminated without one
+     (compile failure). *)
+  let start_batch now (s : shard_state) (members_p : pending list) =
+    let leader = List.hd members_p in
+    let knobs =
+      { base.Scheduler.knobs with Offload.guardize = leader.spec.Request.guardize }
+    in
+    (* the IR is only needed to compile (a miss) or to price the compile
+       charge (also a miss); warm dispatches go through the memoized key *)
+    let kernel = lazy (Request.kernel_of_spec leader.spec) in
+    let key = okey_of leader.spec in
+    let status, result =
+      Cache.find_or_compile cache ~key ~compile:(fun () ->
+          Offload.compile_with ~knobs (Lazy.force kernel))
+    in
+    match result with
+    | Error _ ->
+        List.iter
+          (fun p -> record (never_ran ~shard:s.sid p Scheduler.Failed now))
+          members_p;
+        false
+    | Ok compiled ->
+        let b_cache, b_compile =
+          match status with
+          | `Miss ->
+              let c = Scheduler.compile_cost (Lazy.force kernel) in
+              Hashtbl.replace compiling key (now +. c);
+              (Scheduler.C_miss, c)
+          | `Hit | `Joined -> (
+              match Hashtbl.find_opt compiling key with
+              | Some done_at when done_at > now ->
+                  (Scheduler.C_join, done_at -. now)
+              | _ -> (Scheduler.C_hit, 0.0))
+        in
+        let members = List.map (launch_member compiled) members_p in
+        List.iter (account s) members;
+        let k = List.length members in
+        if k >= 2 then begin
+          s.s_batches <- s.s_batches + 1;
+          s.s_batched_requests <- s.s_batched_requests + k
+        end;
+        let b_exec =
+          List.fold_left (fun acc m -> max acc m.m_exec) 0.0 members
+          +. (merge_overhead *. float_of_int (k - 1))
+        in
+        s.free <- s.free - 1;
+        let busy =
+          Array.fold_left
+            (fun acc sh -> acc + (base.Scheduler.servers - sh.free))
+            0 shards
+        in
+        inflight_max := max !inflight_max busy;
+        Eheap.push heap
+          (now +. b_compile +. b_exec)
+          0
+          (Finish
+             {
+               b_shard = s.sid;
+               b_members = members;
+               b_started = now;
+               b_compile;
+               b_cache;
+               b_key = key;
+             });
+        true
+  in
+  (* Pull up to [batch - 1] same-content same-geometry mates out of the
+     shard's own queue, best-first; deadline-expired entries are left
+     behind for their own dispatch to time out. *)
+  let take_batch (s : shard_state) (leader : pending) now =
+    if conf.batch <= 1 then []
+    else begin
+      let compatible, rest =
+        List.partition
+          (fun (p : pending) -> p.bkey = leader.bkey && not (expired p now))
+          s.queue
+      in
+      let ordered = List.sort (fun a b -> if better a b then -1 else 1) compatible in
+      let rec take n = function
+        | [] -> ([], [])
+        | p :: tl ->
+            if n = 0 then ([], p :: tl)
+            else
+              let got, left = take (n - 1) tl in
+              (p :: got, left)
+      in
+      let mates, overflow = take (conf.batch - 1) ordered in
+      s.queue <- overflow @ rest;
+      mates
+    end
+  in
+  (* the deepest neighbour queue, ties to the lowest shard id *)
+  let steal_from (s : shard_state) =
+    if not conf.steal then None
+    else begin
+      let victim = ref None in
+      Array.iter
+        (fun (v : shard_state) ->
+          if v.sid <> s.sid then
+            let depth = List.length v.queue in
+            if depth > 0 then
+              match !victim with
+              | Some (_, best) when best >= depth -> ()
+              | _ -> victim := Some (v, depth))
+        shards;
+      match !victim with
+      | None -> None
+      | Some (v, _) -> (
+          match pop_queue v with
+          | None -> None
+          | Some p ->
+              s.s_steals <- s.s_steals + 1;
+              Some { p with stolen = true })
+    end
+  in
+  let rec dispatch now (s : shard_state) =
+    if s.free > 0 then begin
+      let candidate =
+        match pop_queue s with Some p -> Some p | None -> steal_from s
+      in
+      match candidate with
+      | None -> ()
+      | Some p ->
+          (if expired p now then
+             record (never_ran ~shard:s.sid p Scheduler.Timed_out now)
+           else
+             let key = okey_of p.spec in
+             match breaker_admit s key now with
+             | `Shed -> record (never_ran ~shard:s.sid p Scheduler.Degraded now)
+             | `Probe ->
+                 (* the half-open probe flies alone: one launch decides
+                    whether the breaker closes, a full batch should not
+                    ride on it *)
+                 ignore (start_batch now s [ p ] : bool)
+             | `Admit ->
+                 let mates = if p.stolen then [] else take_batch s p now in
+                 ignore (start_batch now s (p :: mates) : bool));
+          dispatch now s
+    end
+  in
+  let arrive now (p : pending) =
+    let s = shards.(p.home) in
+    (* free server + empty queue: admit past the bound — the sweep
+       below dispatches it immediately, so it never really queues *)
+    if s.free > 0 && s.queue = [] then enqueue s p
+    else if List.length s.queue < base.Scheduler.queue_bound then enqueue s p
+    else begin
+      (* full queue: the weighted-fair decision *)
+      match fair_victim_tenant s with
+      | None -> retry_or_drop ~shard:s.sid now p
+      | Some (vt, vo, vw) ->
+          let nt = p.spec.Request.tenant in
+          let nw = weight_of conf nt in
+          let n_occ =
+            1
+            + List.length
+                (List.filter
+                   (fun (q : pending) -> q.spec.Request.tenant = nt)
+                   s.queue)
+          in
+          (* the newcomer (with its prospective slot) at least as
+             over-share as the hog: it is the hog — turn it away *)
+          if n_occ * vw >= vo * nw then retry_or_drop ~shard:s.sid now p
+          else begin
+            match evict_newest_of s vt with
+            | None -> retry_or_drop ~shard:s.sid now p
+            | Some victim ->
+                incr tenant_evictions;
+                Hashtbl.replace evictions_by_tenant vt
+                  (1
+                  + Option.value ~default:0
+                      (Hashtbl.find_opt evictions_by_tenant vt));
+                retry_or_drop ~shard:s.sid now victim;
+                enqueue s p
+          end
+    end
+  in
+  let relaunch now sid (p : pending) =
+    let s = shards.(sid) in
+    if expired p now then record (never_ran ~shard:sid p Scheduler.Timed_out now)
+    else
+      (* recovery re-enters past the admission bound, like the
+         single-device scheduler: the request was already accepted *)
+      enqueue s { p with relaunched = true }
+  in
+  let finish now (b : batch_run) =
+    let s = shards.(b.b_shard) in
+    s.free <- s.free + 1;
+    let k = List.length b.b_members in
+    List.iteri
+      (fun i (m : member) ->
+        let p = m.m_pending in
+        let spec = p.spec in
+        let cache_status =
+          if i > 0 && b.b_cache = Scheduler.C_miss then Scheduler.C_join
+          else b.b_cache
+        in
+        let finished outcome =
+          record
+            {
+              spec;
+              shard = s.sid;
+              outcome;
+              attempts = p.attempts;
+              launches = p.launches;
+              batched = k;
+              stolen = p.stolen;
+              start = b.b_started;
+              finish = now;
+              latency = now -. spec.Request.at;
+              compile_ticks = b.b_compile;
+              exec_ticks = m.m_exec;
+              cache = cache_status;
+              checksum = m.m_checksum;
+              counters = m.m_counters;
+            }
+        in
+        let past_deadline =
+          match spec.Request.deadline with
+          | Some d when now > d -> true
+          | _ -> false
+        in
+        if not m.m_failed then begin
+          breaker_ok s b.b_key;
+          if p.launches > 1 && not past_deadline then incr recovered;
+          finished (if past_deadline then Scheduler.Timed_out else Scheduler.Completed)
+        end
+        else begin
+          breaker_fail s b.b_key now;
+          if past_deadline then finished Scheduler.Timed_out
+          else if p.launches <= base.Scheduler.max_retries then begin
+            incr relaunches;
+            let wait =
+              base.Scheduler.backoff *. (2.0 ** float_of_int (p.launches - 1))
+            in
+            Eheap.push heap (now +. wait) 1 (Relaunch (s.sid, p))
+          end
+          else finished Scheduler.Degraded
+        end)
+      b.b_members
+  in
+  (* --- seed the heap and drain it --------------------------------------- *)
+  List.iter
+    (fun (spec : Request.spec) ->
+      let ckey = ckey_of spec in
+      let bkey =
+        Printf.sprintf "%s|%dx%dx%d" ckey spec.Request.teams
+          spec.Request.threads spec.Request.simdlen
+      in
+      let mkey =
+        Printf.sprintf "%s|%d|%d" bkey spec.Request.size spec.Request.seed
+      in
+      let home = place ring ckey in
+      shards.(home).s_placed <- shards.(home).s_placed + 1;
+      Eheap.push heap spec.Request.at 1
+        (Arrive
+           {
+             spec;
+             attempts = 1;
+             launches = 0;
+             home;
+             ckey;
+             bkey;
+             mkey;
+             stolen = false;
+             relaunched = false;
+           }))
+    specs;
+  let rec loop () =
+    match Eheap.pop heap with
+    | None -> ()
+    | Some (now, ev) ->
+        last_time := max !last_time now;
+        (match ev with
+        | Arrive p -> arrive now p
+        | Relaunch (sid, p) -> relaunch now sid p
+        | Finish b -> finish now b);
+        (* the work-conserving sweep: every event is a dispatch
+           opportunity for the whole fleet, in shard order — an idle
+           shard only ever sees foreign queues through this, so without
+           it stealing could never fire (no shard gets events of its
+           own while its queue is empty) *)
+        Array.iter (dispatch now) shards;
+        loop ()
+  in
+  loop ();
+  let reports =
+    List.sort
+      (fun (a : rq_report) (b : rq_report) ->
+        compare a.spec.Request.id b.spec.Request.id)
+      !reports
+  in
+  (* --- aggregates -------------------------------------------------------- *)
+  let count o = List.length (List.filter (fun r -> r.outcome = o) reports) in
+  let latencies =
+    reports
+    |> List.filter (fun r -> r.outcome = Scheduler.Completed)
+    |> List.map (fun r -> r.latency)
+    |> Array.of_list
+  in
+  let mean, p50, p95, p99 = Metrics.percentiles latencies in
+  let cstat st = List.length (List.filter (fun r -> r.cache = st) reports) in
+  let queue_max =
+    Array.fold_left (fun acc s -> max acc s.s_queue_max) 0 shards
+  in
+  let metrics =
+    {
+      Metrics.requests = List.length specs;
+      completed = count Scheduler.Completed;
+      rejected = count Scheduler.Rejected;
+      shed = count Scheduler.Shed;
+      timed_out = count Scheduler.Timed_out;
+      failed = count Scheduler.Failed;
+      retries = !retries;
+      queue_max;
+      inflight_max = !inflight_max;
+      cache_hits = cstat Scheduler.C_hit;
+      cache_misses = cstat Scheduler.C_miss;
+      cache_evictions = (Cache.stats cache).Cache.evictions;
+      cache_joins = cstat Scheduler.C_join;
+      latency_mean = mean;
+      latency_p50 = p50;
+      latency_p95 = p95;
+      latency_p99 = p99;
+      makespan = !last_time;
+      sim_cycles = !sim_cycles;
+      launches = !launches;
+      blocks = !blocks;
+      global_loads = !global_loads;
+      global_stores = !global_stores;
+      atomics = !atomics;
+      device_failures = !device_failures;
+      relaunches = !relaunches;
+      recovered = !recovered;
+      degraded = count Scheduler.Degraded;
+      breaker_opens = !breaker_opens;
+      faults_corrected = !fault_stats.Gpusim.Fault.corrected;
+      faults_fatal = !fault_stats.Gpusim.Fault.fatal;
+      faults_stalls = !fault_stats.Gpusim.Fault.stalls;
+      faults_exhausts = !fault_stats.Gpusim.Fault.exhausts;
+      faults_watchdogs = !fault_stats.Gpusim.Fault.watchdogs;
+    }
+  in
+  let shard_stats =
+    Array.to_list
+      (Array.map
+         (fun (s : shard_state) ->
+           let on_shard o =
+             List.length
+               (List.filter (fun r -> r.shard = s.sid && r.outcome = o) reports)
+           in
+           {
+             Metrics.shard = s.sid;
+             s_placed = s.s_placed;
+             s_completed = on_shard Scheduler.Completed;
+             s_shed = on_shard Scheduler.Rejected + on_shard Scheduler.Shed;
+             s_timed_out = on_shard Scheduler.Timed_out;
+             s_degraded = on_shard Scheduler.Degraded;
+             s_launches = s.s_launches;
+             s_batches = s.s_batches;
+             s_batched_requests = s.s_batched_requests;
+             s_steals = s.s_steals;
+             s_queue_max = s.s_queue_max;
+             s_breaker_opens = s.s_breaker_opens;
+           })
+         shards)
+  in
+  let tenant_names =
+    List.sort_uniq String.compare
+      (List.map (fun (r : rq_report) -> r.spec.Request.tenant) reports
+      @ List.map fst conf.tenants)
+  in
+  let tenant_stats =
+    List.map
+      (fun t ->
+        let mine = List.filter (fun r -> r.spec.Request.tenant = t) reports in
+        let n o = List.length (List.filter (fun r -> r.outcome = o) mine) in
+        let completed_lat =
+          mine
+          |> List.filter (fun r -> r.outcome = Scheduler.Completed)
+          |> List.map (fun r -> r.latency)
+        in
+        let lat_mean =
+          match completed_lat with
+          | [] -> 0.0
+          | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+        in
+        {
+          Metrics.tenant = t;
+          weight = weight_of conf t;
+          t_requests = List.length mine;
+          t_completed = n Scheduler.Completed;
+          t_shed = n Scheduler.Rejected + n Scheduler.Shed;
+          t_timed_out = n Scheduler.Timed_out;
+          t_degraded = n Scheduler.Degraded;
+          t_evicted =
+            Option.value ~default:0 (Hashtbl.find_opt evictions_by_tenant t);
+          t_latency_mean = lat_mean;
+        })
+      tenant_names
+  in
+  let fleet =
+    {
+      batches = Array.fold_left (fun a s -> a + s.s_batches) 0 shards;
+      batched_requests =
+        Array.fold_left (fun a s -> a + s.s_batched_requests) 0 shards;
+      steals = Array.fold_left (fun a s -> a + s.s_steals) 0 shards;
+      tenant_evictions = !tenant_evictions;
+      memo_hits = !memo_hits;
+    }
+  in
+  { reports; metrics; shard_stats; tenant_stats; fleet }
+
+(* --- rendering ---------------------------------------------------------- *)
+
+let report_line (r : rq_report) =
+  let spec = r.spec in
+  Printf.sprintf
+    "req %3d %-8s size=%-3d prio=%d tenant=%-6s shard=%d%s batch=%d %-9s attempts=%d launches=%d cache=%-4s arrive=%.1f start=%.1f finish=%.1f latency=%.1f compile=%.1f exec=%.1f checksum=%Lx"
+    spec.Request.id spec.Request.kernel spec.Request.size spec.Request.priority
+    spec.Request.tenant r.shard
+    (if r.stolen then "*" else "")
+    r.batched
+    (Scheduler.outcome_to_string r.outcome)
+    r.attempts r.launches
+    (Scheduler.cache_status_to_string r.cache)
+    spec.Request.at r.start r.finish r.latency r.compile_ticks r.exec_ticks
+    (Int64.bits_of_float r.checksum)
+
+let report_json (r : rq_report) =
+  let spec = r.spec in
+  Printf.sprintf
+    "{\"id\": %d, \"kernel\": \"%s\", \"size\": %d, \"prio\": %d, \"tenant\": \"%s\", \"shard\": %d, \"stolen\": %b, \"batch\": %d, \"outcome\": \"%s\", \"attempts\": %d, \"launches\": %d, \"cache\": \"%s\", \"arrive\": %.3f, \"start\": %.3f, \"finish\": %.3f, \"latency\": %.3f, \"compile\": %.3f, \"exec\": %.3f, \"checksum\": \"%Lx\"}"
+    spec.Request.id spec.Request.kernel spec.Request.size spec.Request.priority
+    spec.Request.tenant r.shard r.stolen r.batched
+    (Scheduler.outcome_to_string r.outcome)
+    r.attempts r.launches
+    (Scheduler.cache_status_to_string r.cache)
+    spec.Request.at r.start r.finish r.latency r.compile_ticks r.exec_ticks
+    (Int64.bits_of_float r.checksum)
+
+(* The placement/batch/steal-invariant core of a replay: what each
+   request computed and how it ended, with no timing and no shard
+   assignment.  For configs that lose no requests to admission (ample
+   queues, no deadlines) this is byte-identical across shard counts
+   and batch limits — the fleet's analogue of the single-device
+   engine/pool invariance. *)
+let result_json (r : rq_report) =
+  Printf.sprintf
+    "{\"id\": %d, \"tenant\": \"%s\", \"outcome\": \"%s\", \"launches\": %d, \"exec\": %.3f, \"checksum\": \"%Lx\"}"
+    r.spec.Request.id r.spec.Request.tenant
+    (Scheduler.outcome_to_string r.outcome)
+    r.launches r.exec_ticks
+    (Int64.bits_of_float r.checksum)
+
+let results_json reports =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"results\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b (result_json r))
+    reports;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let fleet_stats_json f =
+  Printf.sprintf
+    "{\"batches\": %d, \"batched_requests\": %d, \"steals\": %d, \"tenant_evictions\": %d, \"memo_hits\": %d}"
+    f.batches f.batched_requests f.steals f.tenant_evictions f.memo_hits
+
+let snapshot_json conf (res : result) =
+  let b = Buffer.create 8192 in
+  let base = conf.base in
+  Printf.ksprintf (Buffer.add_string b)
+    "{\n\
+     \"config\": {\"device\": \"%s\", \"shards\": %d, \"batch\": %d, \"steal\": %b, \"memo\": %b, \"tenants\": \"%s\", \"queue_bound\": %d, \"servers\": %d, \"cache_capacity\": %d, \"max_retries\": %d, \"backoff\": %.3f, \"breaker\": %d},\n"
+    base.Scheduler.cfg.Gpusim.Config.name conf.shards conf.batch conf.steal
+    conf.memo
+    (String.concat ","
+       (List.map (fun (t, w) -> Printf.sprintf "%s=%d" t w) conf.tenants))
+    base.Scheduler.queue_bound base.Scheduler.servers
+    base.Scheduler.cache_capacity base.Scheduler.max_retries
+    base.Scheduler.backoff base.Scheduler.breaker;
+  Buffer.add_string b "\"requests\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b (report_json r))
+    res.reports;
+  Buffer.add_string b "\n],\n\"shards\": [\n";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b (Metrics.shard_stats_to_json s))
+    res.shard_stats;
+  Buffer.add_string b "\n],\n\"tenants\": [\n";
+  List.iteri
+    (fun i t ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b (Metrics.tenant_stats_to_json t))
+    res.tenant_stats;
+  Buffer.add_string b "\n],\n\"fleet\": ";
+  Buffer.add_string b (fleet_stats_json res.fleet);
+  Buffer.add_string b ",\n\"metrics\": ";
+  Buffer.add_string b (Metrics.to_json res.metrics);
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b
+
+let to_text (res : result) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Metrics.to_text res.metrics);
+  let f = res.fleet in
+  Printf.ksprintf (Buffer.add_string b)
+    "  fleet       batches %d (members %d)  steals %d  tenant-evictions %d  memo-hits %d\n"
+    f.batches f.batched_requests f.steals f.tenant_evictions f.memo_hits;
+  List.iter
+    (fun s ->
+      Buffer.add_string b "  ";
+      Buffer.add_string b (Metrics.shard_stats_line s);
+      Buffer.add_char b '\n')
+    res.shard_stats;
+  List.iter
+    (fun t ->
+      Buffer.add_string b "  ";
+      Buffer.add_string b (Metrics.tenant_stats_line t);
+      Buffer.add_char b '\n')
+    res.tenant_stats;
+  Buffer.contents b

@@ -1,0 +1,137 @@
+(** The serve fleet: N virtual devices behind one admission plane.
+
+    Each shard replicates the single-device {!Scheduler} machinery — a
+    bounded admission queue, [servers] executors, per-kernel circuit
+    breakers — all driven by one global event heap in virtual time.
+    Requests are placed by a consistent-hash ring over their engine-free
+    content identity ({!Ompir.Kdigest} + guardize + resolved pass spec),
+    idle shards steal from the deepest neighbour queue, and a dispatching
+    shard drains same-content same-geometry queue mates into one merged
+    grid ({i launch batching}): one compile charge, one server, a merged
+    execution window, and exact per-request sub-reports (requests share
+    no simulator state, so splitting the merged report is lossless by
+    construction).
+
+    Admission is per-tenant weighted-fair: on a full queue the most
+    over-share tenant (queue occupancy over weight) loses its newest
+    slot to an under-share newcomer; the evictee re-enters the normal
+    retry-with-backoff path, so fairness never loses a request.
+
+    Determinism: nothing reads the host clock, placement hashes MD5,
+    and every member launch pins its {!Gpusim.Fault} nonce to (request
+    id, attempt) — injected faults are a pure function of the plan and
+    the request, independent of shard count, batch shape and dispatch
+    order.  A replay of the same trace under the same environment is
+    bit-identical; {!results_json} is additionally invariant across
+    shard counts and batch limits for configs that lose no requests to
+    admission. *)
+
+type config = {
+  base : Scheduler.config;
+      (** per-shard queue bound / servers / retries / backoff / breaker,
+          plus the device, compile knobs and the fleet-wide compile-cache
+          capacity *)
+  shards : int;
+  batch : int;  (** max members per merged grid; 1 disables batching *)
+  steal : bool;  (** idle shards pull from the deepest neighbour queue *)
+  memo : bool;
+      (** memoize idempotent launch results by content (same template,
+          size, geometry, data seed); automatically bypassed while a
+          fault plan is armed, and never changes a report byte — only
+          host time *)
+  tenants : (string * int) list;
+      (** fair-admission weights, e.g. [("alice", 3)]; absent tenants
+          weigh 1 *)
+}
+
+val parse_tenants : string -> (string * int) list
+(** Parse ["alice=3,bob=1"] (a bare name means weight 1).
+    @raise Invalid_argument on a malformed token. *)
+
+val config_of_env : cfg:Gpusim.Config.t -> unit -> config
+(** {!Scheduler.config_of_env} plus [OMPSIMD_SERVE_SHARDS] (default 4),
+    [OMPSIMD_SERVE_BATCH] (8), [OMPSIMD_SERVE_STEAL] (1),
+    [OMPSIMD_SERVE_MEMO] (1) and [OMPSIMD_SERVE_TENANTS] (empty). *)
+
+val weight_of : config -> string -> int
+(** The tenant's fair-admission weight (>= 1; unknown tenants weigh 1). *)
+
+val content_key : knobs:Openmp.Offload.knobs -> Request.spec -> string
+(** The engine-free content identity placement and batching key on:
+    kernel digest, guardize flag, resolved pass spec.  Unlike
+    {!Openmp.Offload.cache_key} it excludes the evaluation engine, so a
+    replay places identically under either [OMPSIMD_EVAL]. *)
+
+val make_ring : int -> (int * int) array
+val place : (int * int) array -> string -> int
+(** The consistent-hash ring: 64 MD5 points per shard, sorted;
+    [place ring key] is the shard owning [key]'s clockwise successor
+    point.  Exposed for the placement-stability tests. *)
+
+type rq_report = {
+  spec : Request.spec;
+  shard : int;  (** where the terminal event happened *)
+  outcome : Scheduler.outcome;
+  attempts : int;
+  launches : int;
+  batched : int;  (** members of its terminal merged grid; 0 = never ran *)
+  stolen : bool;  (** last executed on a foreign shard *)
+  start : float;  (** -1 when the request never dispatched *)
+  finish : float;
+  latency : float;
+  compile_ticks : float;
+  exec_ticks : float;  (** its own member cycles, not the batch window *)
+  cache : Scheduler.cache_status;
+      (** the batch leader's status; mates of a miss report [C_join] *)
+  checksum : float;
+  counters : Gpusim.Counters.t;
+      (** its own exact split of the merged report; zeros if it never ran *)
+}
+
+type fleet_stats = {
+  batches : int;  (** merged-grid launches with >= 2 members *)
+  batched_requests : int;  (** members that rode a merged grid *)
+  steals : int;
+  tenant_evictions : int;  (** queue slots reclaimed by fair admission *)
+  memo_hits : int;  (** launches served from the content memo *)
+}
+
+type result = {
+  reports : rq_report list;  (** sorted by request id *)
+  metrics : Metrics.t;  (** the fleet-wide aggregate *)
+  shard_stats : Metrics.shard_stats list;
+  tenant_stats : Metrics.tenant_stats list;
+  fleet : fleet_stats;
+}
+
+val merge_overhead : float
+(** Virtual cycles added to a merged grid's window per extra member. *)
+
+val nonce_for : Request.spec -> launches:int -> int
+(** The pinned fault nonce of a member launch: a pure function of
+    (request id, prior launches). *)
+
+val run : config -> ?pool:Gpusim.Pool.t -> Request.spec list -> result
+(** Replay a trace through the fleet.  @raise Invalid_argument on a
+    non-positive shard or batch count (and the base config checks). *)
+
+val report_line : rq_report -> string
+val report_json : rq_report -> string
+
+val results_json : rq_report list -> string
+(** The placement/batch/steal-invariant core of a replay: per request
+    its tenant, outcome, launch count, own execution cycles and
+    checksum — no timing, no shard assignment.  For configs that lose
+    no requests to admission (ample queues, no deadlines) this is
+    byte-identical across shard counts and batch limits. *)
+
+val fleet_stats_json : fleet_stats -> string
+
+val snapshot_json : config -> result -> string
+(** The full machine-readable snapshot: config, per-request reports,
+    per-shard and per-tenant breakdowns, fleet counters, aggregate
+    metrics.  Bit-identical across [OMPSIMD_EVAL] and
+    [OMPSIMD_DOMAINS], like the single-device snapshot. *)
+
+val to_text : result -> string
+(** Aggregate metrics plus fleet, per-shard and per-tenant lines. *)

@@ -118,3 +118,62 @@ let to_json m =
     m.faults_watchdogs;
   p "}";
   Buffer.contents b
+
+(* --- fleet breakdowns --------------------------------------------------
+   Per-shard and per-tenant slices of the same snapshot, produced by
+   {!Fleet.run}.  The scalar record above stays the fleet-wide
+   aggregate; these are the isolation picture: which virtual device
+   absorbed what, and which client paid for it. *)
+
+type shard_stats = {
+  shard : int;
+  s_placed : int;  (* requests the ring routed here (first arrival) *)
+  s_completed : int;
+  s_shed : int;  (* rejected + shed + fair-admission evictions resolved here *)
+  s_timed_out : int;
+  s_degraded : int;
+  s_launches : int;  (* member launches executed on this shard *)
+  s_batches : int;  (* merged-grid launches (batch size >= 2) *)
+  s_batched_requests : int;  (* members that rode a merged grid *)
+  s_steals : int;  (* requests this shard pulled from a neighbour's queue *)
+  s_queue_max : int;
+  s_breaker_opens : int;
+}
+
+type tenant_stats = {
+  tenant : string;
+  weight : int;
+  t_requests : int;
+  t_completed : int;
+  t_shed : int;  (* rejected + shed: admission losses *)
+  t_timed_out : int;
+  t_degraded : int;
+  t_evicted : int;  (* queue slots reclaimed from this tenant by fair admission *)
+  t_latency_mean : float;  (* over its completed requests *)
+}
+
+let shard_stats_to_json s =
+  Printf.sprintf
+    "{\"shard\": %d, \"placed\": %d, \"completed\": %d, \"shed\": %d, \"timed_out\": %d, \"degraded\": %d, \"launches\": %d, \"batches\": %d, \"batched_requests\": %d, \"steals\": %d, \"queue_max\": %d, \"breaker_opens\": %d}"
+    s.shard s.s_placed s.s_completed s.s_shed s.s_timed_out s.s_degraded
+    s.s_launches s.s_batches s.s_batched_requests s.s_steals s.s_queue_max
+    s.s_breaker_opens
+
+let tenant_stats_to_json t =
+  Printf.sprintf
+    "{\"tenant\": \"%s\", \"weight\": %d, \"requests\": %d, \"completed\": %d, \"shed\": %d, \"timed_out\": %d, \"degraded\": %d, \"evicted\": %d, \"latency_mean\": %s}"
+    t.tenant t.weight t.t_requests t.t_completed t.t_shed t.t_timed_out
+    t.t_degraded t.t_evicted (jf t.t_latency_mean)
+
+let shard_stats_line s =
+  Printf.sprintf
+    "shard %2d placed=%d completed=%d shed=%d timed-out=%d degraded=%d launches=%d batches=%d batched=%d steals=%d queue-max=%d breaker-opens=%d"
+    s.shard s.s_placed s.s_completed s.s_shed s.s_timed_out s.s_degraded
+    s.s_launches s.s_batches s.s_batched_requests s.s_steals s.s_queue_max
+    s.s_breaker_opens
+
+let tenant_stats_line t =
+  Printf.sprintf
+    "tenant %-8s weight=%d requests=%d completed=%d shed=%d timed-out=%d degraded=%d evicted=%d latency-mean=%.1f"
+    t.tenant t.weight t.t_requests t.t_completed t.t_shed t.t_timed_out
+    t.t_degraded t.t_evicted t.t_latency_mean

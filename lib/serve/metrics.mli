@@ -58,3 +58,44 @@ val to_text : t -> string
 val to_json : t -> string
 (** Single-line JSON object with a fixed field order and fixed decimal
     rendering — byte-diffable across replays. *)
+
+(** {2 Fleet breakdowns}
+
+    Per-shard and per-tenant slices of a fleet replay, produced by
+    {!Fleet.run} alongside the aggregate record above. *)
+
+type shard_stats = {
+  shard : int;
+  s_placed : int;  (** requests the placement ring routed here *)
+  s_completed : int;
+  s_shed : int;
+      (** rejected + shed + fair-admission evictions resolved on this
+          shard's queue *)
+  s_timed_out : int;
+  s_degraded : int;
+  s_launches : int;  (** member launches executed on this shard *)
+  s_batches : int;  (** merged-grid launches (batch size >= 2) *)
+  s_batched_requests : int;  (** members that rode a merged grid *)
+  s_steals : int;  (** requests this shard pulled from a neighbour *)
+  s_queue_max : int;
+  s_breaker_opens : int;
+}
+
+type tenant_stats = {
+  tenant : string;
+  weight : int;  (** fair-admission weight (default 1) *)
+  t_requests : int;
+  t_completed : int;
+  t_shed : int;  (** rejected + shed: admission losses *)
+  t_timed_out : int;
+  t_degraded : int;
+  t_evicted : int;
+      (** queue slots reclaimed from this tenant by weighted-fair
+          admission (each eviction re-enters the retry path) *)
+  t_latency_mean : float;  (** over its completed requests *)
+}
+
+val shard_stats_to_json : shard_stats -> string
+val tenant_stats_to_json : tenant_stats -> string
+val shard_stats_line : shard_stats -> string
+val tenant_stats_line : tenant_stats -> string

@@ -24,6 +24,7 @@ type spec = {
   deadline : float option;  (* absolute ticks (trace syntax is relative) *)
   priority : int;  (* higher dispatches first *)
   seed : int;  (* binding-data seed *)
+  tenant : string;  (* fair-admission identity; "-" = the default tenant *)
 }
 
 (* --- the kernel-template catalog -------------------------------------- *)
@@ -260,7 +261,7 @@ let checksum arr =
    [deadline] are in virtual ticks; [deadline] is relative to [at].
 
      kernel=rowsum size=64 at=0 teams=2 threads=64 simdlen=8 \
-       deadline=500000 prio=1 seed=3 guardize=1                       *)
+       deadline=500000 prio=1 seed=3 guardize=1 tenant=alice          *)
 
 let default_spec =
   {
@@ -275,6 +276,7 @@ let default_spec =
     deadline = None;
     priority = 0;
     seed = 1;
+    tenant = "-";
   }
 
 let spec_of_tokens ~id ~line_no tokens =
@@ -310,6 +312,9 @@ let spec_of_tokens ~id ~line_no tokens =
         | "prio" -> { spec with priority = int () }
         | "seed" -> { spec with seed = int () }
         | "guardize" -> { spec with guardize = int () <> 0 }
+        | "tenant" ->
+            if value = "" then fail "tenant wants a non-empty name"
+            else { spec with tenant = value }
         | _ -> fail "unknown key %S" key)
   in
   let spec = List.fold_left parse_kv { default_spec with id } tokens in

@@ -18,7 +18,17 @@ type spec = {
   deadline : float option;  (** absolute completion deadline, ticks *)
   priority : int;  (** higher dispatches first *)
   seed : int;  (** binding-data seed *)
+  tenant : string;
+      (** the client this request bills to — the identity the fleet's
+          weighted-fair admission protects neighbours from; ["-"] is
+          the default tenant *)
 }
+
+val default_spec : spec
+(** The trace parser's baseline: id 0, [saxpy] at size 32, one team of
+    32 threads, simdlen 8, no deadline, priority 0, seed 1, tenant
+    ["-"].  Convenient for [{ default_spec with ... }] construction in
+    generators. *)
 
 val catalog_names : string list
 (** [rowsum; saxpy; stencil; hist; chain] — reduction, streaming,

@@ -123,70 +123,11 @@ type breaker_state = Br_closed | Br_open of float (* opened at *) | Br_probing
 
 type breaker = { mutable consecutive : int; mutable br : breaker_state }
 
-(* Binary min-heap on (time, rank, seq): completions (rank 0) before
-   arrivals (rank 1) at the same tick — a freed server picks up the
-   simultaneous arrival instead of bouncing it to the queue — and the
-   insertion sequence number makes every comparison strict. *)
-module Heap = struct
-  type 'a t = {
-    mutable a : (float * int * int * 'a) array;
-    mutable n : int;
-    mutable seq : int;
-  }
-
-  let create () = { a = [||]; n = 0; seq = 0 }
-
-  let less (t1, r1, s1, _) (t2, r2, s2, _) =
-    t1 < t2 || (t1 = t2 && (r1 < r2 || (r1 = r2 && s1 < s2)))
-
-  let push h time rank v =
-    h.seq <- h.seq + 1;
-    let item = (time, rank, h.seq, v) in
-    if h.n = Array.length h.a then begin
-      let cap = max 16 (2 * h.n) in
-      let a = Array.make cap item in
-      Array.blit h.a 0 a 0 h.n;
-      h.a <- a
-    end;
-    h.a.(h.n) <- item;
-    h.n <- h.n + 1;
-    let rec sift_up i =
-      if i > 0 then begin
-        let p = (i - 1) / 2 in
-        if less h.a.(i) h.a.(p) then begin
-          let tmp = h.a.(p) in
-          h.a.(p) <- h.a.(i);
-          h.a.(i) <- tmp;
-          sift_up p
-        end
-      end
-    in
-    sift_up (h.n - 1)
-
-  let pop h =
-    if h.n = 0 then None
-    else begin
-      let (time, _, _, v) = h.a.(0) in
-      h.n <- h.n - 1;
-      h.a.(0) <- h.a.(h.n);
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < h.n && less h.a.(l) h.a.(!smallest) then smallest := l;
-        if r < h.n && less h.a.(r) h.a.(!smallest) then smallest := r;
-        if !smallest = !i then continue := false
-        else begin
-          let tmp = h.a.(!smallest) in
-          h.a.(!smallest) <- h.a.(!i);
-          h.a.(!i) <- tmp;
-          i := !smallest
-        end
-      done;
-      Some (time, v)
-    end
-end
+(* The event queue lives in {!Eheap}, shared with the fleet scheduler:
+   a (time, rank, seq) min-heap where completions (rank 0) beat
+   arrivals (rank 1) at the same tick and the sequence number makes
+   every comparison strict. *)
+module Heap = Eheap
 
 (* --- the service loop -------------------------------------------------- *)
 
@@ -570,8 +511,9 @@ let run conf ?pool specs =
 let report_line (r : rq_report) =
   let spec = r.spec in
   Printf.sprintf
-    "req %3d %-8s size=%-3d prio=%d %-9s attempts=%d launches=%d cache=%-4s arrive=%.1f start=%.1f finish=%.1f latency=%.1f compile=%.1f exec=%.1f checksum=%Lx"
+    "req %3d %-8s size=%-3d prio=%d tenant=%-6s %-9s attempts=%d launches=%d cache=%-4s arrive=%.1f start=%.1f finish=%.1f latency=%.1f compile=%.1f exec=%.1f checksum=%Lx"
     spec.Request.id spec.Request.kernel spec.Request.size spec.Request.priority
+    spec.Request.tenant
     (outcome_to_string r.outcome)
     r.attempts r.launches
     (cache_status_to_string r.cache)
@@ -581,8 +523,9 @@ let report_line (r : rq_report) =
 let report_json (r : rq_report) =
   let spec = r.spec in
   Printf.sprintf
-    "{\"id\": %d, \"kernel\": \"%s\", \"size\": %d, \"prio\": %d, \"outcome\": \"%s\", \"attempts\": %d, \"launches\": %d, \"cache\": \"%s\", \"arrive\": %.3f, \"start\": %.3f, \"finish\": %.3f, \"latency\": %.3f, \"compile\": %.3f, \"exec\": %.3f, \"checksum\": \"%Lx\"}"
+    "{\"id\": %d, \"kernel\": \"%s\", \"size\": %d, \"prio\": %d, \"tenant\": \"%s\", \"outcome\": \"%s\", \"attempts\": %d, \"launches\": %d, \"cache\": \"%s\", \"arrive\": %.3f, \"start\": %.3f, \"finish\": %.3f, \"latency\": %.3f, \"compile\": %.3f, \"exec\": %.3f, \"checksum\": \"%Lx\"}"
     spec.Request.id spec.Request.kernel spec.Request.size spec.Request.priority
+    spec.Request.tenant
     (outcome_to_string r.outcome)
     r.attempts r.launches
     (cache_status_to_string r.cache)

@@ -1,0 +1,166 @@
+(* Deterministic synthetic traffic for the fleet.
+
+   Everything a production serve tier gets hit with, in virtual time
+   and from one seed: heavy-tailed (bounded-Pareto) inter-arrival gaps,
+   periodic bursts, a diurnal sine wave modulating the arrival rate,
+   and flash crowds — a pile of near-simultaneous requests for the
+   {e same} content, which is exactly what launch batching and the
+   compile cache exist for.  Tenants are Zipf-hot: a couple of heavy
+   clients and a long light tail, so weighted-fair admission has
+   something to defend against.
+
+   The generator is a pure function of the profile: same profile, same
+   trace, byte for byte.  It never reads the environment or the host
+   clock, and it draws from a single {!Ompsimd_util.Prng} stream in
+   arrival order, so adding requests at the end never perturbs the
+   front of the trace. *)
+
+module Prng = Ompsimd_util.Prng
+
+type profile = {
+  n : int;
+  seed : int;
+  tenants : string list;  (* Zipf-hot: first is heaviest; [] = all "-" *)
+  mean_gap : float;  (* mean inter-arrival gap, virtual ticks *)
+  tail_alpha : float;  (* bounded-Pareto shape; smaller = heavier tail *)
+  burst_every : int;  (* every k-th request opens a burst; 0 = off *)
+  burst_size : int;  (* extra requests at ~zero gap *)
+  diurnal_period : float;  (* sine wave over arrival time; 0 = off *)
+  diurnal_amp : float;  (* 0..1: rate swing around the mean *)
+  flash_every : int;  (* every k-th request opens a flash crowd; 0 = off *)
+  flash_size : int;  (* same-content requests an arrival tick apart *)
+  deadline_frac : float;  (* fraction of requests carrying a deadline *)
+  sizes : int list;  (* problem sizes to draw from *)
+}
+
+let preset name ~n ~seed =
+  let base =
+    {
+      n;
+      seed;
+      tenants = [ "alpha"; "beta"; "gamma"; "delta" ];
+      mean_gap = 900.0;
+      tail_alpha = 1.6;
+      burst_every = 0;
+      burst_size = 0;
+      diurnal_period = 0.0;
+      diurnal_amp = 0.0;
+      flash_every = 0;
+      flash_size = 0;
+      deadline_frac = 0.0;
+      sizes = [ 16; 24; 32; 48 ];
+    }
+  in
+  match name with
+  | "steady" -> base
+  | "bursty" -> { base with burst_every = 19; burst_size = 6; mean_gap = 1100.0 }
+  | "diurnal" ->
+      { base with diurnal_period = 60_000.0; diurnal_amp = 0.7; mean_gap = 800.0 }
+  | "flash" -> { base with flash_every = 37; flash_size = 8; mean_gap = 1000.0 }
+  | "mixed" ->
+      {
+        base with
+        burst_every = 23;
+        burst_size = 5;
+        diurnal_period = 80_000.0;
+        diurnal_amp = 0.5;
+        flash_every = 41;
+        flash_size = 6;
+        deadline_frac = 0.1;
+      }
+  | other -> Printf.ksprintf failwith "Traffic.preset: unknown profile %S" other
+
+let preset_names = [ "steady"; "bursty"; "diurnal"; "flash"; "mixed" ]
+
+(* Bounded Pareto on [1, 64) — the heavy tail without unbounded gaps
+   (an unbounded draw could push one request past everything else and
+   make makespan a lottery).  Mean of the raw draw is normalized out so
+   [mean_gap] stays the profile's actual mean gap. *)
+let pareto_gap rng ~alpha ~mean =
+  let u = Prng.uniform rng in
+  let u = if u >= 0.999999 then 0.999999 else u in
+  let raw = (1.0 -. u) ** (-1.0 /. alpha) in
+  let raw = if raw > 64.0 then 64.0 else raw in
+  (* alpha/(alpha-1) is the raw mean for alpha > 1; dividing keeps the
+     configured mean *)
+  let norm = if alpha > 1.0 then alpha /. (alpha -. 1.0) else 2.0 in
+  mean *. raw /. norm
+
+let pick_tenant rng = function
+  | [] -> "-"
+  | tenants ->
+      let n = List.length tenants in
+      let k = Prng.zipf rng ~n ~s:1.1 in
+      List.nth tenants (k - 1)
+
+let templates = [| "rowsum"; "saxpy"; "stencil"; "hist"; "chain" |]
+
+let generate (p : profile) =
+  if p.n < 0 then invalid_arg "Traffic.generate: negative n";
+  if p.mean_gap <= 0.0 then invalid_arg "Traffic.generate: mean_gap must be positive";
+  let sizes = Array.of_list (if p.sizes = [] then [ 32 ] else p.sizes) in
+  let rng = Prng.create ~seed:(0x7aff1c + p.seed) in
+  let specs = ref [] in
+  let id = ref 0 in
+  let now = ref 0.0 in
+  let emit ?(gap = 0.0) ?like () =
+    now := !now +. gap;
+    let spec =
+      match like with
+      | Some (s : Request.spec) ->
+          (* a flash-crowd follower: same content and geometry, its own
+             identity and arrival tick *)
+          { s with Request.id = !id; at = !now; tenant = pick_tenant rng p.tenants }
+      | None ->
+          let kernel = templates.(Prng.zipf rng ~n:(Array.length templates) ~s:1.2 - 1) in
+          let size = sizes.(Prng.int rng (Array.length sizes)) in
+          let deadline =
+            if p.deadline_frac > 0.0 && Prng.uniform rng < p.deadline_frac then
+              Some (!now +. 20_000.0 +. Prng.float rng 60_000.0)
+            else None
+          in
+          {
+            Request.id = !id;
+            at = !now;
+            kernel;
+            size;
+            teams = 2;
+            threads = 32;
+            simdlen = (if Prng.bool rng then 8 else 4);
+            guardize = Prng.int rng 8 = 0;
+            deadline;
+            priority = (if Prng.int rng 10 = 0 then 1 else 0);
+            seed = 1 + Prng.int rng 5;
+            tenant = pick_tenant rng p.tenants;
+          }
+    in
+    incr id;
+    specs := spec :: !specs;
+    spec
+  in
+  let k = ref 0 in
+  while !id < p.n do
+    incr k;
+    let gap = pareto_gap rng ~alpha:p.tail_alpha ~mean:p.mean_gap in
+    (* the diurnal wave stretches or squeezes the gap by where the
+       arrival lands in the period *)
+    let gap =
+      if p.diurnal_period > 0.0 then begin
+        let phase = 2.0 *. Float.pi *. !now /. p.diurnal_period in
+        let rate = 1.0 +. (p.diurnal_amp *. sin phase) in
+        let rate = if rate < 0.1 then 0.1 else rate in
+        gap /. rate
+      end
+      else gap
+    in
+    let leader = emit ~gap () in
+    if p.flash_every > 0 && !k mod p.flash_every = 0 then
+      for _ = 2 to min p.flash_size (p.n - !id + 1) do
+        ignore (emit ~gap:1.0 ~like:leader () : Request.spec)
+      done
+    else if p.burst_every > 0 && !k mod p.burst_every = 0 then
+      for _ = 2 to min p.burst_size (p.n - !id + 1) do
+        ignore (emit ~gap:2.0 () : Request.spec)
+      done
+  done;
+  List.rev !specs

@@ -1,0 +1,42 @@
+(** Deterministic synthetic traffic for the fleet soak harness.
+
+    A {!profile} describes an arrival process in virtual time:
+    heavy-tailed (bounded-Pareto) inter-arrival gaps, periodic bursts,
+    a diurnal sine wave modulating the rate, and flash crowds —
+    near-simultaneous requests for the {e same} content, the case
+    launch batching and the compile cache exist for.  Tenants are
+    Zipf-hot so weighted-fair admission has heavy clients to contain.
+
+    {!generate} is a pure function of the profile: same profile, same
+    trace, byte for byte — it never reads the environment or the host
+    clock.  That makes 100k-request soaks replayable: the fleet
+    snapshot of a seeded soak is bit-identical on every machine. *)
+
+type profile = {
+  n : int;  (** requests to generate *)
+  seed : int;
+  tenants : string list;
+      (** Zipf-hot tenant pool, heaviest first; [[]] bills all to ["-"] *)
+  mean_gap : float;  (** mean inter-arrival gap, virtual ticks *)
+  tail_alpha : float;  (** bounded-Pareto shape; smaller = heavier tail *)
+  burst_every : int;  (** every k-th request opens a burst; 0 = off *)
+  burst_size : int;  (** extra requests at ~zero gap per burst *)
+  diurnal_period : float;  (** sine period over arrival time; 0 = off *)
+  diurnal_amp : float;  (** 0..1, rate swing around the mean *)
+  flash_every : int;  (** every k-th request opens a flash crowd; 0 = off *)
+  flash_size : int;  (** same-content requests an arrival tick apart *)
+  deadline_frac : float;  (** fraction of requests carrying a deadline *)
+  sizes : int list;  (** problem sizes to draw from *)
+}
+
+val preset : string -> n:int -> seed:int -> profile
+(** [steady], [bursty], [diurnal], [flash] or [mixed] (everything at
+    once, plus occasional deadlines).  @raise Failure on an unknown
+    name. *)
+
+val preset_names : string list
+
+val generate : profile -> Request.spec list
+(** The trace: [profile.n] specs with ids [0 .. n-1] in arrival order.
+    @raise Invalid_argument on a negative [n] or non-positive
+    [mean_gap]. *)

@@ -66,6 +66,7 @@ let spec ?(at = 0.0) ?(kernel = "saxpy") ?(size = 64) ?(teams = 4)
     deadline;
     priority;
     seed;
+    tenant = "-";
   }
 
 (* One device-level launch of a serve catalog template: the same

@@ -9,12 +9,14 @@
 module Scheduler = Serve.Scheduler
 module Request = Serve.Request
 module Metrics = Serve.Metrics
+module Fleet = Serve.Fleet
+module Traffic = Serve.Traffic
 
 let cfg = Gpusim.Config.small
 
 let spec ?(at = 0.0) ?(kernel = "saxpy") ?(size = 16) ?(teams = 1)
     ?(threads = 32) ?(simdlen = 8) ?(guardize = false) ?deadline
-    ?(priority = 0) ?(seed = 1) id =
+    ?(priority = 0) ?(seed = 1) ?(tenant = "-") id =
   {
     Request.id;
     at;
@@ -27,6 +29,7 @@ let spec ?(at = 0.0) ?(kernel = "saxpy") ?(size = 16) ?(teams = 1)
     deadline;
     priority;
     seed;
+    tenant;
   }
 
 let conf ?(queue_bound = 4) ?(servers = 1) ?(cache = 8) ?(retries = 0)
@@ -283,6 +286,291 @@ let test_deterministic_replay () =
   Alcotest.(check string) "walk engine matches staged" staged_seq walk_seq;
   Alcotest.(check string) "walk + pool matches too" staged_seq walk_pool
 
+(* --- the fleet --------------------------------------------------------- *)
+
+let fconf ?(shards = 2) ?(batch = 4) ?(steal = true) ?(memo = true)
+    ?(tenants = []) ?(queue_bound = 4) ?(servers = 1) ?(cache = 8)
+    ?(retries = 0) ?(backoff = 500.0) ?(breaker = 4) () =
+  {
+    Fleet.base = conf ~queue_bound ~servers ~cache ~retries ~backoff ~breaker ();
+    shards;
+    batch;
+    steal;
+    memo;
+    tenants;
+  }
+
+let with_env2 bindings f =
+  List.fold_right (fun (k, v) acc () -> with_env k v acc) bindings f ()
+
+let f_outcome (res : Fleet.result) id =
+  (List.nth res.Fleet.reports id).Fleet.outcome
+
+let test_tenant_parsing () =
+  Alcotest.(check (list (pair string int)))
+    "weights and bare names"
+    [ ("alice", 3); ("bob", 1) ]
+    (Fleet.parse_tenants "alice=3, bob");
+  (match Fleet.parse_tenants "alice=zero" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "malformed weight must be rejected");
+  let c = fconf ~tenants:[ ("alice", 3) ] () in
+  Alcotest.(check int) "configured weight" 3 (Fleet.weight_of c "alice");
+  Alcotest.(check int) "unknown tenants weigh 1" 1 (Fleet.weight_of c "bob");
+  let specs = Request.parse_trace "kernel=saxpy tenant=alice\nkernel=rowsum\n" in
+  Alcotest.(check string) "trace tenant token" "alice"
+    (List.nth specs 0).Request.tenant;
+  Alcotest.(check string) "default tenant" "-" (List.nth specs 1).Request.tenant
+
+let test_placement_stability () =
+  (* the ring is deterministic, and growing it moves only the keys that
+     hash next to the new shard's points — nowhere near a full reshuffle *)
+  let keys = List.init 200 (Printf.sprintf "content-key-%d") in
+  let r4 = Fleet.make_ring 4 and r5 = Fleet.make_ring 5 in
+  List.iter
+    (fun k ->
+      Alcotest.(check int)
+        "placement is a pure function of the key" (Fleet.place r4 k)
+        (Fleet.place (Fleet.make_ring 4) k))
+    (List.filteri (fun i _ -> i < 10) keys);
+  let moved =
+    List.length (List.filter (fun k -> Fleet.place r4 k <> Fleet.place r5 k) keys)
+  in
+  Alcotest.(check bool) "a fifth shard takes some keys" true (moved > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "but only its share (%d/200 moved)" moved)
+    true
+    (moved < 100)
+
+let test_fleet_batching () =
+  (* one shard, one server, five same-content arrivals: the first
+     dispatches solo, the rest wait out its service time and ride one
+     merged grid — and every member's report is its own *)
+  let specs = List.init 5 (fun i -> spec ~at:(float_of_int i) ~seed:3 i) in
+  let res =
+    Fleet.run (fconf ~shards:1 ~batch:4 ~queue_bound:8 ~memo:false ()) specs
+  in
+  Alcotest.(check int) "all completed" 5 res.Fleet.metrics.Metrics.completed;
+  Alcotest.(check int) "one merged grid" 1 res.Fleet.fleet.Fleet.batches;
+  Alcotest.(check int) "four members rode it" 4
+    res.Fleet.fleet.Fleet.batched_requests;
+  let r4 = List.nth res.Fleet.reports 4 in
+  Alcotest.(check int) "a member knows its batch" 4 r4.Fleet.batched;
+  Alcotest.(check bool) "identical content, identical checksum" true
+    (List.for_all
+       (fun (r : Fleet.rq_report) ->
+         r.Fleet.checksum = (List.hd res.Fleet.reports).Fleet.checksum)
+       res.Fleet.reports);
+  let solo =
+    Fleet.run (fconf ~shards:1 ~batch:1 ~queue_bound:8 ~memo:false ()) specs
+  in
+  Alcotest.(check int) "batch=1 never merges" 0 solo.Fleet.fleet.Fleet.batches;
+  Alcotest.(check bool) "batching finishes the backlog sooner" true
+    (res.Fleet.metrics.Metrics.makespan < solo.Fleet.metrics.Metrics.makespan)
+
+let test_work_stealing () =
+  (* identical content places everything on one home shard; with
+     stealing the idle neighbours drain its backlog *)
+  let specs = List.init 8 (fun i -> spec ~at:(float_of_int i *. 2.0) ~seed:5 i) in
+  let run steal =
+    Fleet.run
+      (fconf ~shards:4 ~batch:1 ~steal ~queue_bound:16 ~memo:false ())
+      specs
+  in
+  let stolen = run true and home_only = run false in
+  Alcotest.(check int) "everything completes either way" 8
+    stolen.Fleet.metrics.Metrics.completed;
+  Alcotest.(check bool) "idle shards stole" true
+    (stolen.Fleet.fleet.Fleet.steals > 0);
+  Alcotest.(check int) "stealing off means zero steals" 0
+    home_only.Fleet.fleet.Fleet.steals;
+  Alcotest.(check bool) "stealing shortens the backlog" true
+    (stolen.Fleet.metrics.Metrics.makespan
+    < home_only.Fleet.metrics.Metrics.makespan);
+  Alcotest.(check bool) "stolen requests are marked" true
+    (List.exists (fun (r : Fleet.rq_report) -> r.Fleet.stolen)
+       stolen.Fleet.reports)
+
+let test_fair_admission () =
+  (* a hog fills the only queue; a light newcomer takes the hog's
+     newest slot (the evictee is turned away — retries 0), unless the
+     hog's configured weight says it deserves the queue *)
+  let specs =
+    List.init 4 (fun i -> spec ~at:(float_of_int i) ~tenant:"hog" ~seed:2 i)
+    @ [ spec ~at:4.0 ~tenant:"light" ~seed:2 4 ]
+  in
+  let run tenants =
+    Fleet.run
+      (fconf ~shards:1 ~batch:1 ~queue_bound:3 ~retries:0 ~tenants ()) specs
+  in
+  let fair = run [] in
+  Alcotest.check outcome "the hog's newest request lost its slot"
+    Scheduler.Rejected (f_outcome fair 3);
+  Alcotest.check outcome "the light tenant kept its seat" Scheduler.Completed
+    (f_outcome fair 4);
+  Alcotest.(check int) "the eviction is counted" 1
+    fair.Fleet.fleet.Fleet.tenant_evictions;
+  let hog_stats =
+    List.find
+      (fun (t : Metrics.tenant_stats) -> t.Metrics.tenant = "hog")
+      fair.Fleet.tenant_stats
+  in
+  Alcotest.(check int) "and billed to the hog" 1 hog_stats.Metrics.t_evicted;
+  (* weight 3 entitles the hog to its three slots: same arithmetic now
+     turns the newcomer away instead *)
+  let weighted = run [ ("hog", 3) ] in
+  Alcotest.check outcome "a weighted hog keeps its queue" Scheduler.Completed
+    (f_outcome weighted 3);
+  Alcotest.check outcome "and the newcomer is the one rejected"
+    Scheduler.Rejected (f_outcome weighted 4);
+  Alcotest.(check int) "no eviction happened" 0
+    weighted.Fleet.fleet.Fleet.tenant_evictions
+
+let test_traffic_determinism () =
+  let p = Traffic.preset "mixed" ~n:50 ~seed:9 in
+  let a = Traffic.generate p and b = Traffic.generate p in
+  Alcotest.(check bool) "same profile, same trace" true (a = b);
+  Alcotest.(check int) "n honored" 50 (List.length a);
+  Alcotest.(check bool) "ids are the trace order" true
+    (List.for_all2 (fun (s : Request.spec) i -> s.Request.id = i) a
+       (List.init 50 Fun.id));
+  Alcotest.(check bool) "arrivals are monotone" true
+    (fst
+       (List.fold_left
+          (fun (ok, prev) (s : Request.spec) -> (ok && s.Request.at >= prev, s.Request.at))
+          (true, 0.0) a));
+  Alcotest.(check bool) "tenants are drawn from the pool" true
+    (List.for_all (fun (s : Request.spec) -> List.mem s.Request.tenant p.Traffic.tenants) a);
+  match Traffic.preset "nope" ~n:1 ~seed:1 with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "unknown profile must be rejected"
+
+(* qcheck: whatever the shard count, batch limit, steal setting and
+   (sometimes) an armed chaos plan do to the schedule, the fleet loses
+   nothing: every request id gets exactly one terminal report and the
+   outcome tally adds back up to the trace length. *)
+let fleet_no_lost_request =
+  QCheck.Test.make ~count:8 ~name:"fleet loses no request"
+    QCheck.(triple (int_range 1 5) (oneofl [ 1; 4; 8 ]) small_nat)
+    (fun (shards, batch, seed) ->
+      let profile =
+        List.nth Traffic.preset_names (seed mod List.length Traffic.preset_names)
+      in
+      let specs = Traffic.(generate (preset profile ~n:25 ~seed)) in
+      let env =
+        if seed mod 2 = 0 then
+          [
+            ("OMPSIMD_FAULTS", "abort=0.25,flip=0.2:0.5");
+            ("OMPSIMD_FAULT_SEED", string_of_int (seed + 1));
+          ]
+        else []
+      in
+      with_env2 env (fun () ->
+          let res =
+            Fleet.run
+              (fconf ~shards ~batch ~steal:(seed mod 3 <> 0) ~retries:2
+                 ~queue_bound:4 ~servers:2 ())
+              specs
+          in
+          let m = res.Fleet.metrics in
+          List.length res.Fleet.reports = 25
+          && List.for_all2
+               (fun (r : Fleet.rq_report) i -> r.Fleet.spec.Request.id = i)
+               res.Fleet.reports (List.init 25 Fun.id)
+          && m.Metrics.completed + m.Metrics.rejected + m.Metrics.shed
+             + m.Metrics.timed_out + m.Metrics.failed + m.Metrics.degraded
+             = 25))
+
+(* qcheck: the determinism contract, fleet edition.  The full snapshot
+   is byte-identical across evaluation engines and pool widths; the
+   per-request results are additionally byte-identical across shard
+   counts and batch limits on an admission-lossless config (roomy
+   queue, deadline-free profile) — even with a chaos plan armed, since
+   fault identity is pinned per (request, attempt). *)
+let fleet_replay_invariance =
+  QCheck.Test.make ~count:4 ~name:"fleet replay invariance"
+    QCheck.(pair small_nat bool)
+    (fun (seed, armed) ->
+      let profile = if seed mod 2 = 0 then "flash" else "bursty" in
+      let specs = Traffic.(generate (preset profile ~n:20 ~seed)) in
+      let env =
+        if armed then
+          [
+            ("OMPSIMD_FAULTS", "abort=0.3,flip=0.2:0.5");
+            ("OMPSIMD_FAULT_SEED", string_of_int (seed + 2));
+          ]
+        else []
+      in
+      with_env2 env (fun () ->
+          let c = fconf ~shards:2 ~batch:4 ~queue_bound:10_000 ~retries:2
+                    ~breaker:0 ~servers:2 ()
+          in
+          let snap ?pool engine =
+            with_env "OMPSIMD_EVAL" engine (fun () ->
+                Fleet.snapshot_json c (Fleet.run c ?pool specs))
+          in
+          let pool = Gpusim.Pool.create ~domains:3 () in
+          let reference = snap "" in
+          let results (shards, batch) =
+            Fleet.results_json
+              (Fleet.run { c with Fleet.shards; batch } specs).Fleet.reports
+          in
+          let r11 = results (1, 1) in
+          String.equal reference (snap ~pool "")
+          && String.equal reference (snap "walk")
+          && String.equal reference (snap ~pool "walk")
+          && String.equal r11 (results (3, 8))
+          && String.equal r11 (results (4, 1))))
+
+(* qcheck: launch batching is semantically invisible.  The same trace
+   through one shard with batching on and off yields, per request,
+   the same outcome, launch count, execution cycles, checksum bits and
+   bit-identical device counters — including under an armed fault
+   plan, where the pinned nonce keeps each member's faults its own.
+   The memo is off so every report comes from a real launch, and the
+   breaker is off because failure ordering differs between merged and
+   solo schedules. *)
+let fleet_batching_equivalence =
+  QCheck.Test.make ~count:6 ~name:"fleet batching equivalence"
+    QCheck.(triple (int_range 2 8) small_nat bool)
+    (fun (batch, seed, armed) ->
+      let specs =
+        List.init 12 (fun i ->
+            spec
+              ~at:(float_of_int (i / 4) *. 100.0)
+              ~kernel:(if i mod 2 = 0 then "saxpy" else "rowsum")
+              ~size:256 ~teams:2
+              ~seed:(1 + (i mod 3))
+              i)
+      in
+      let env =
+        if armed then
+          [
+            ("OMPSIMD_FAULTS", "abort=0.6,flip=0.3:0.5");
+            ("OMPSIMD_FAULT_SEED", string_of_int (seed + 3));
+          ]
+        else []
+      in
+      with_env2 env (fun () ->
+          let run batch =
+            (Fleet.run
+               (fconf ~shards:1 ~batch ~memo:false ~breaker:0 ~retries:2
+                  ~queue_bound:10_000 ~servers:2 ())
+               specs)
+              .Fleet.reports
+          in
+          let batched = run batch and solo = run 1 in
+          List.exists (fun (r : Fleet.rq_report) -> r.Fleet.batched >= 2) batched
+          && List.for_all2
+               (fun (a : Fleet.rq_report) (b : Fleet.rq_report) ->
+                 a.Fleet.outcome = b.Fleet.outcome
+                 && a.Fleet.launches = b.Fleet.launches
+                 && a.Fleet.exec_ticks = b.Fleet.exec_ticks
+                 && Int64.bits_of_float a.Fleet.checksum
+                    = Int64.bits_of_float b.Fleet.checksum
+                 && Gpusim.Counters.equal a.Fleet.counters b.Fleet.counters)
+               batched solo))
+
 let test_priority_order () =
   (* three queued requests drain highest-priority-first *)
   let reports, _ =
@@ -327,5 +615,20 @@ let suite =
           test_deterministic_replay;
         Alcotest.test_case "dispatch is highest-priority-first" `Quick
           test_priority_order;
+        Alcotest.test_case "fleet: tenant parsing and weights" `Quick
+          test_tenant_parsing;
+        Alcotest.test_case "fleet: consistent-hash placement stability" `Quick
+          test_placement_stability;
+        Alcotest.test_case "fleet: launch batching merges the backlog" `Quick
+          test_fleet_batching;
+        Alcotest.test_case "fleet: idle shards steal work" `Quick
+          test_work_stealing;
+        Alcotest.test_case "fleet: weighted-fair admission evicts the hog"
+          `Quick test_fair_admission;
+        Alcotest.test_case "fleet: traffic generator is deterministic" `Quick
+          test_traffic_determinism;
+        QCheck_alcotest.to_alcotest fleet_no_lost_request;
+        QCheck_alcotest.to_alcotest fleet_replay_invariance;
+        QCheck_alcotest.to_alcotest fleet_batching_equivalence;
       ] );
   ]

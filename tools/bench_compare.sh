@@ -43,6 +43,14 @@ run_bench() {
   # pipeline (blank OMPSIMD_PASSES) under the fused executor, and an
   # inherited override of either would shift every row.  The "serve
   # warm cache (optimized)" row sets its own explicit spec internally.
+  # The fleet knobs are pinned blank the same way: the fleet row builds
+  # its explicit config internally, and an inherited shard/batch/steal
+  # override must not reshape it against the baseline.
+  OMPSIMD_SERVE_SHARDS= \
+  OMPSIMD_SERVE_BATCH= \
+  OMPSIMD_SERVE_STEAL= \
+  OMPSIMD_SERVE_MEMO= \
+  OMPSIMD_SERVE_TENANTS= \
   OMPSIMD_PASSES= \
   OMPSIMD_LOCKSTEP= \
   OMPSIMD_SANITIZE=0 \
@@ -102,6 +110,11 @@ failed = []
 # disabled-sanitizer slowdown ship ungated.
 if fresh["ms_per_run"].get("reduction ablation (E6)") is None:
     sys.exit("FAIL: fresh run has no estimate for 'reduction ablation (E6)'")
+# The fleet row is required the same way: it is the only row exercising
+# the sharded scheduler, so a silently missing estimate would let a
+# fleet-layer slowdown ship ungated.
+if fresh["ms_per_run"].get("serve fleet warm (4 shards)") is None:
+    sys.exit("FAIL: fresh run has no estimate for 'serve fleet warm (4 shards)'")
 print(f"{'row':<30} {'committed':>10} {'fresh':>10}  ratio")
 for name, old in base["ms_per_run"].items():
     new = fresh["ms_per_run"].get(name)

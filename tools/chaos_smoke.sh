@@ -21,6 +21,12 @@ plan='abort=0.4,flip=0.3:0.5,stall=0.2'
 out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
 
+# Pin the fleet knobs to their unset defaults so the classic
+# single-device sections replay byte-identically even if the caller's
+# shell exports them; the fleet section below opts in via flags.
+export OMPSIMD_SERVE_SHARDS= OMPSIMD_SERVE_BATCH= OMPSIMD_SERVE_STEAL=
+export OMPSIMD_SERVE_MEMO= OMPSIMD_SERVE_TENANTS=
+
 dune build bin/ompsimd_run.exe
 run=./_build/default/bin/ompsimd_run.exe
 
@@ -56,6 +62,44 @@ OMPSIMD_FAULTS="abort=0" OMPSIMD_FAULT_SEED=7 \
   "$run" serve --requests "$trace" --json "$out/armed_zero.json" > /dev/null
 diff -q "$out/off.json" "$out/armed_zero.json" \
   || { echo "FAIL: a zero-rate plan perturbed a fault-free replay"; exit 1; }
+
+# --- the fleet scheduler, armed ----------------------------------------
+# Fault nonces are pinned per (request, attempt), so the armed fleet
+# snapshot must also be byte-identical across engines and pools, and on
+# an admission-lossless breaker-free config the per-request results
+# (outcome, launches, checksum) must not change with the shard count or
+# batch limit — every request meets the exact same fault stream no
+# matter which shard replays it or which merged grid carries it.
+fref=""
+for engine in compile walk; do
+  for domains in 0 3; do
+    json="$out/chaos_fleet_${engine}_${domains}.json"
+    echo "== fleet seed=7 OMPSIMD_EVAL=$engine OMPSIMD_DOMAINS=$domains =="
+    OMPSIMD_FAULTS="$plan" OMPSIMD_FAULT_SEED=7 \
+    OMPSIMD_EVAL="$engine" OMPSIMD_DOMAINS="$domains" \
+      "$run" serve --requests "$trace" --shards 4 --batch 8 --json "$json" \
+      > /dev/null
+    if [ -z "$fref" ]; then
+      fref="$json"
+    else
+      diff -q "$fref" "$json" \
+        || { echo "FAIL: armed fleet snapshot differs from $fref"; exit 1; }
+    fi
+  done
+done
+grep -q '"device_failures": 0,' "$fref" \
+  && { echo "FAIL: armed fleet run injected no device failure"; exit 1; }
+
+for combo in "1 1" "4 8"; do
+  set -- $combo
+  OMPSIMD_FAULTS="$plan" OMPSIMD_FAULT_SEED=7 \
+  OMPSIMD_SERVE_QUEUE=100000 OMPSIMD_SERVE_BREAKER=0 \
+    "$run" serve --traffic 120 --profile flash --seed 5 \
+    --shards "$1" --batch "$2" --results "$out/chaos_results_$1_$2.json" \
+    > /dev/null
+done
+diff -q "$out/chaos_results_1_1.json" "$out/chaos_results_4_8.json" \
+  || { echo "FAIL: armed results changed with the shard/batch shape"; exit 1; }
 
 grep -o '"recovery": {[^}]*}' "$out/chaos_7_compile_0.json"
 echo "chaos smoke OK: fault snapshots bit-identical across engines and pools"

@@ -16,6 +16,13 @@ trace=examples/serve.requests
 out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
 
+# Pin the fleet knobs to their unset defaults so the classic
+# single-device sections below replay byte-identically even if the
+# caller's shell exports them (a set OMPSIMD_SERVE_SHARDS would route
+# `serve` through the fleet scheduler).
+export OMPSIMD_SERVE_SHARDS= OMPSIMD_SERVE_BATCH= OMPSIMD_SERVE_STEAL=
+export OMPSIMD_SERVE_MEMO= OMPSIMD_SERVE_TENANTS=
+
 dune build bin/ompsimd_run.exe
 run=./_build/default/bin/ompsimd_run.exe
 
@@ -48,5 +55,56 @@ grep -q '"cache_hits": 0,' "$ref" \
 grep -q '"timed_out": 0,' "$ref" \
   && { echo "FAIL: trace enforced no deadline"; exit 1; }
 
+# --- the fleet scheduler -----------------------------------------------
+# Same contract, fleet edition: the sharded/batching scheduler's full
+# snapshot (per-request reports with shard/batch attribution, per-shard
+# and per-tenant breakdowns) must be byte-identical across every engine
+# x pool combination, for both the example trace and generated traffic.
+fref=""
+for engine in compile walk; do
+  for domains in 0 3; do
+    json="$out/fleet_${engine}_${domains}.json"
+    echo "== fleet OMPSIMD_EVAL=$engine OMPSIMD_DOMAINS=$domains =="
+    OMPSIMD_EVAL="$engine" OMPSIMD_DOMAINS="$domains" \
+      "$run" serve --requests "$trace" --shards 4 --batch 8 --json "$json" \
+      > "$out/fleet_${engine}_${domains}.log"
+    OMPSIMD_EVAL="$engine" OMPSIMD_DOMAINS="$domains" \
+      "$run" serve --traffic 200 --profile mixed --seed 7 \
+      --shards 4 --batch 8 --json "$json.traffic" > /dev/null
+    if [ -z "$fref" ]; then
+      fref="$json"
+    else
+      diff -q "$fref" "$json" \
+        || { echo "FAIL: fleet trace snapshot differs from $fref"; exit 1; }
+      diff -q "$fref.traffic" "$json.traffic" \
+        || { echo "FAIL: fleet traffic snapshot differs"; exit 1; }
+    fi
+  done
+done
+
+# Placement invariance: on an admission-lossless config the per-request
+# results (outcome, launches, exec, checksum) must not change with the
+# shard count or the batch limit — only the timing may.
+for combo in "1 1" "4 8" "6 2"; do
+  set -- $combo
+  OMPSIMD_SERVE_QUEUE=100000 \
+    "$run" serve --traffic 200 --profile flash --seed 11 \
+    --shards "$1" --batch "$2" --results "$out/results_$1_$2.json" > /dev/null
+done
+diff -q "$out/results_1_1.json" "$out/results_4_8.json" \
+  || { echo "FAIL: results changed with the shard/batch shape"; exit 1; }
+diff -q "$out/results_1_1.json" "$out/results_6_2.json" \
+  || { echo "FAIL: results changed with the shard/batch shape"; exit 1; }
+
+# the fleet replay must have exercised its machinery
+fstats="$(grep -o '"fleet": {[^}]*}' "$fref.traffic")"
+case "$fstats" in
+  *'"batches": 0,'*) echo "FAIL: fleet traffic produced no merged grids"; exit 1 ;;
+esac
+case "$fstats" in
+  *'"steals": 0,'*) echo "FAIL: fleet traffic produced no steals"; exit 1 ;;
+esac
+
 tail -n 8 "$out/serve_compile_0.log"
+tail -n 4 "$out/fleet_compile_0.log"
 echo "serve smoke OK: snapshots bit-identical across engines and pools"
