@@ -99,6 +99,7 @@ let serve_trace =
         priority = 0;
         seed = 1 + (i mod 5);
         tenant = "-";
+        device = None;
       })
 
 let serve_conf ~cache =
@@ -165,6 +166,28 @@ let bench_cases ~pool () =
             steal = true;
             memo = true;
             tenants = [];
+            devices = [];
+            affinity = true;
+          }
+        in
+        ignore (Serve.Fleet.run fconf ~pool serve_trace) );
+    (* the same trace over four shards carrying four different zoo
+       devices with affinity placement on: the delta against the
+       homogeneous fleet row is the price of heterogeneity — per-device
+       memo partitions (each content/device pair really launches once)
+       plus the affinity table and sub-ring bookkeeping *)
+    ( "serve fleet warm (hetero 4 shards)",
+      fun () ->
+        let fconf =
+          {
+            Serve.Fleet.base = serve_conf ~cache:32;
+            shards = 4;
+            batch = 8;
+            steal = true;
+            memo = true;
+            tenants = [];
+            devices = Serve.Fleet.parse_devices "w32-hw,w64-hw,w16-sw,w32-l2tiny";
+            affinity = true;
           }
         in
         ignore (Serve.Fleet.run fconf ~pool serve_trace) );

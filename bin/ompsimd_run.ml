@@ -6,21 +6,15 @@
 
 open Cmdliner
 
-let device_of_name = function
-  | "a100" -> Ok Gpusim.Config.a100
-  | "a100q" -> Ok Gpusim.Config.a100_quarter
-  | "amd" -> Ok Gpusim.Config.amd_like
-  | "small" -> Ok Gpusim.Config.small
-  | other ->
-      Error (Printf.sprintf "unknown device %S (a100|a100q|amd|small)" other)
-
 let device_term =
   let doc =
-    "Simulated device: a100, a100q (quarter-size, the default — relative \
-     results match the full device at a quarter the simulation cost), amd \
-     or small."
+    "Simulated device: a zoo name (a100, a100q, amd, small, w8-hw ... \
+     w32-l2tiny — see `info --zoo`), key=value,... overrides, or both \
+     (e.g. w64-sw,num_sms=4).  Defaults to $(b,OMPSIMD_DEVICE) from the \
+     environment, then a100q (quarter-size: relative results match the \
+     full device at a quarter the simulation cost)."
   in
-  Arg.(value & opt string "a100q" & info [ "device"; "d" ] ~docv:"DEVICE" ~doc)
+  Arg.(value & opt string "" & info [ "device"; "d" ] ~docv:"DEVICE" ~doc)
 
 let scale_term =
   let doc = "Problem-size multiplier (use < 1.0 for quick runs)." in
@@ -39,7 +33,11 @@ let refresh_env_and_pool () =
   Gpusim.Pool.get_default ()
 
 let with_device name f =
-  match device_of_name name with
+  let resolved =
+    if String.trim name = "" then Gpusim.Zoo.of_env ()
+    else Gpusim.Zoo.resolve name
+  in
+  match resolved with
   | Error msg ->
       prerr_endline msg;
       exit 2
@@ -295,13 +293,56 @@ let compile_cmd =
     Term.(const run $ file_arg $ guardize_term $ no_fold_term $ racecheck_term)
 
 let info_cmd =
-  let run device =
-    with_device device (fun cfg pool ->
-        Format.printf "%a@." Gpusim.Config.pp cfg)
+  let zoo_term =
+    let doc = "List the device zoo instead of one configuration." in
+    Arg.(value & flag & info [ "zoo" ] ~doc)
+  in
+  let run device zoo =
+    if zoo then Format.printf "%a@." Gpusim.Zoo.pp_table ()
+    else
+      with_device device (fun cfg _pool ->
+          Format.printf "%a@.spec: %s@." Gpusim.Config.pp cfg
+            (Gpusim.Config.to_spec cfg))
   in
   Cmd.v
-    (Cmd.info "info" ~doc:"Print the simulated device configuration")
-    Term.(const run $ device_term)
+    (Cmd.info "info"
+       ~doc:"Print the simulated device configuration (or the zoo registry)")
+    Term.(const run $ device_term $ zoo_term)
+
+let sweep_cmd =
+  let devices_term =
+    let doc =
+      "Comma-separated zoo entries to sweep (default: the full zoo, \
+       w8-hw ... w32-l2tiny)."
+    in
+    Arg.(value & opt (some string) None & info [ "devices" ] ~docv:"NAMES" ~doc)
+  in
+  let run scale csv devices =
+    let entries =
+      match devices with
+      | None -> Gpusim.Zoo.sweep
+      | Some s ->
+          String.split_on_char ',' s
+          |> List.filter (fun n -> String.trim n <> "")
+          |> List.map (fun n ->
+                 match Gpusim.Zoo.find (String.trim n) with
+                 | Some e -> e
+                 | None ->
+                     Printf.eprintf "sweep: unknown zoo entry %S\n"
+                       (String.trim n);
+                     exit 2)
+    in
+    let pool = refresh_env_and_pool () in
+    let r = Experiments.Zoo_sweep.run ~scale ~pool ~entries () in
+    Experiments.Zoo_sweep.print r;
+    write_csv csv (Experiments.Zoo_sweep.to_csv r)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Re-run the paper's headline figures across the device zoo and \
+          report which relative claims hold or invert per configuration")
+    Term.(const run $ scale_term $ csv_term $ devices_term)
 
 let all_cmd =
   let run device scale =
@@ -439,7 +480,12 @@ let serve_cmd =
           || Ompsimd_util.Env.var "OMPSIMD_SERVE_SHARDS" <> None
         in
         if fleet_mode then begin
-          let fconf = Serve.Fleet.config_of_env ~cfg () in
+          let fconf =
+            try Serve.Fleet.config_of_env ~cfg ()
+            with Invalid_argument msg ->
+              Printf.eprintf "serve: %s\n" msg;
+              exit 2
+          in
           let fconf =
             {
               fconf with
@@ -521,6 +567,7 @@ let () =
             schedule_cmd;
             kernel_cmd;
             serve_cmd;
+            sweep_cmd;
             compile_cmd;
             info_cmd;
             all_cmd;

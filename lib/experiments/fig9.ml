@@ -16,6 +16,12 @@ type t = { rows : row list; group_sizes : int list }
 
 let group_sizes = [ 2; 4; 8; 16; 32 ]
 
+(* On non-32-wide zoo devices the paper's sweep keeps its shape but only
+   group sizes dividing the warp are legal (a group never spans warps). *)
+let group_sizes_for (cfg : Gpusim.Config.t) =
+  let ws = cfg.Gpusim.Config.warp_size in
+  List.filter (fun g -> g <= ws && ws mod g = 0) [ 2; 4; 8; 16; 32; 64 ]
+
 let scaled scale n = max 1 (int_of_float (float_of_int n *. scale))
 
 (* Problem sizes derive from the device so the sweep is shape-faithful on
@@ -35,7 +41,7 @@ let warm_measure run =
   let (_ : Harness.run) = run ~reset_l2:true in
   Harness.time (run ~reset_l2:false)
 
-let spmv_rows ~pool ~scale ~cfg =
+let spmv_rows ~pool ~scale ~cfg ~group_sizes =
   (* the simd variants launch 8 blocks per SM (realistic occupancy for
      latency staggering); the 32-thread two-level teams are much smaller,
      so the original code launches proportionally more of them.  The
@@ -54,9 +60,11 @@ let spmv_rows ~pool ~scale ~cfg =
   (* the two-level code launches many small teams, as the original
      OpenACC-derived source does: ~32 rows per 32-thread team *)
   let baseline_teams = min rows (3 * num_teams) in
+  let baseline_threads = max 32 cfg.Gpusim.Config.warp_size in
   let baseline =
     warm_measure (fun ~reset_l2 ->
-        Spmv.run_two_level ~cfg ?pool ~reset_l2 ~num_teams:baseline_teams ~threads:32 t)
+        Spmv.run_two_level ~cfg ?pool ~reset_l2 ~num_teams:baseline_teams
+          ~threads:baseline_threads t)
   in
   List.map
     (fun group_size ->
@@ -76,7 +84,7 @@ let spmv_rows ~pool ~scale ~cfg =
 
 (* su3_bench: teams and parallel both SPMD; baseline is the same kernel
    with the 36-iteration loop serial in each thread (group size 1). *)
-let su3_rows ~pool ~dedup ~scale ~cfg =
+let su3_rows ~pool ~dedup ~scale ~cfg ~group_sizes =
   let t = Su3.generate { Su3.sites = scaled scale (2 * lanes_of cfg); seed = 2 } in
   let num_teams = teams_of cfg in
   let baseline =
@@ -102,7 +110,7 @@ let su3_rows ~pool ~dedup ~scale ~cfg =
 (* The ideal kernel's outer loop is deliberately too small to fill the
    device two-level (the §1 "thread level does not provide enough
    parallelism" scenario): the third level is what recovers occupancy. *)
-let ideal_rows ~pool ~dedup ~scale ~cfg =
+let ideal_rows ~pool ~dedup ~scale ~cfg ~group_sizes =
   let t =
     Ideal.generate
       { Ideal.default_shape with Ideal.rows = scaled scale (lanes_of cfg / 4) }
@@ -129,14 +137,17 @@ let ideal_rows ~pool ~dedup ~scale ~cfg =
       })
     group_sizes
 
-let run ?(scale = 1.0) ?pool ?(dedup = false) ~cfg () =
+let run ?(scale = 1.0) ?pool ?(dedup = false) ?group_sizes:gs ~cfg () =
+  let group_sizes =
+    match gs with Some l -> l | None -> group_sizes_for cfg
+  in
   {
     rows =
       List.concat
         [
-          spmv_rows ~pool ~scale ~cfg;
-          su3_rows ~pool ~dedup ~scale ~cfg;
-          ideal_rows ~pool ~dedup ~scale ~cfg;
+          spmv_rows ~pool ~scale ~cfg ~group_sizes;
+          su3_rows ~pool ~dedup ~scale ~cfg ~group_sizes;
+          ideal_rows ~pool ~dedup ~scale ~cfg ~group_sizes;
         ];
     group_sizes;
   }

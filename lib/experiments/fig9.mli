@@ -21,12 +21,18 @@ type t = {
 }
 
 val group_sizes : int list
-(** 2, 4, 8, 16, 32 — the sweep of Fig 9. *)
+(** 2, 4, 8, 16, 32 — the sweep of Fig 9 on the paper's 32-wide warp. *)
+
+val group_sizes_for : Gpusim.Config.t -> int list
+(** The sweep restricted to group sizes dividing the device's warp —
+    identical to {!group_sizes} on 32-wide devices, extended to 64 on
+    64-wide ones.  The default for {!run}. *)
 
 val run :
   ?scale:float ->
   ?pool:Gpusim.Pool.t ->
   ?dedup:bool ->
+  ?group_sizes:int list ->
   cfg:Gpusim.Config.t ->
   unit ->
   t

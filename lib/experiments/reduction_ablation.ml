@@ -13,7 +13,12 @@ type t = { rows : row list }
 
 let scaled scale n = max 1 (int_of_float (float_of_int n *. scale))
 
-let run ?(scale = 1.0) ?pool ~cfg () =
+let run ?(scale = 1.0) ?pool ?group_sizes ~cfg () =
+  let group_sizes =
+    match group_sizes with
+    | Some l -> l
+    | None -> Fig9.group_sizes_for cfg
+  in
   let shape =
     {
       Spmv.default_shape with
@@ -40,7 +45,7 @@ let run ?(scale = 1.0) ?pool ~cfg () =
           reduction_cycles = reduction;
           improvement = atomic /. reduction;
         })
-      [ 2; 4; 8; 16; 32 ]
+      group_sizes
   in
   { rows }
 

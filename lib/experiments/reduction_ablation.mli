@@ -17,6 +17,12 @@ type row = {
 type t = { rows : row list }
 
 val run :
-  ?scale:float -> ?pool:Gpusim.Pool.t -> cfg:Gpusim.Config.t -> unit -> t
+  ?scale:float ->
+  ?pool:Gpusim.Pool.t ->
+  ?group_sizes:int list ->
+  cfg:Gpusim.Config.t ->
+  unit ->
+  t
+(** [group_sizes] defaults to {!Fig9.group_sizes_for}[ cfg]. *)
 val to_table : t -> Ompsimd_util.Table.t
 val print : t -> unit

@@ -3,6 +3,9 @@ type t = {
   name : string;
   expected : int;
   cost : float;
+  spin : bool;
+      (* software spin barrier: the whole cost retires instructions, so
+         all of it is issue-occupying busy time (no hidden stall part) *)
   (* Parked threads and continuations as two parallel flat arrays (SoA):
      a park is two array stores and a release walks the arrays in place —
      no per-waiter record, no list cell, no closure.  The arrays are
@@ -24,13 +27,14 @@ type t = {
    reports, so the allocation order does not affect determinism. *)
 let next_id = Atomic.make 0
 
-let create ?(name = "barrier") ~expected ~cost () =
+let create ?(name = "barrier") ?(spin = false) ~expected ~cost () =
   if expected <= 0 then invalid_arg "Barrier.create: expected must be positive";
   {
     id = Atomic.fetch_and_add next_id 1;
     name;
     expected;
     cost;
+    spin;
     ths = [||];
     ks = [||];
     nwaiters = 0;
@@ -51,7 +55,7 @@ let set_live_mark t = t.live_mark <- true
 let charge t tmax th =
   Thread.align_clock th tmax;
   if t.cost > 0.0 then begin
-    let busy_part = Float.min t.cost 2.0 in
+    let busy_part = if t.spin then t.cost else Float.min t.cost 2.0 in
     Thread.tick th busy_part;
     Thread.tick_wait th (t.cost -. busy_part)
   end

@@ -17,8 +17,12 @@
 
 type t
 
-val create : ?name:string -> expected:int -> cost:float -> unit -> t
-(** @raise Invalid_argument if [expected <= 0]. *)
+val create : ?name:string -> ?spin:bool -> expected:int -> cost:float -> unit -> t
+(** [spin] (default [false]) marks a software spin barrier: its whole
+    [cost] occupies issue slots (a spin loop retires instructions),
+    where a hardware barrier's cost beyond the issue of the instruction
+    itself is hideable pipeline-drain stall.
+    @raise Invalid_argument if [expected <= 0]. *)
 
 val id : t -> int
 (** Process-unique identity, stable for the barrier's lifetime.  Two

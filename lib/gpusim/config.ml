@@ -16,6 +16,19 @@ type cost = {
   launch_overhead : float;
 }
 
+type barrier_impl = Hw_barrier | Sw_barrier | No_barrier
+
+let barrier_impl_to_string = function
+  | Hw_barrier -> "hw"
+  | Sw_barrier -> "sw"
+  | No_barrier -> "none"
+
+let barrier_impl_of_string = function
+  | "hw" -> Ok Hw_barrier
+  | "sw" -> Ok Sw_barrier
+  | "none" -> Ok No_barrier
+  | s -> Error (Printf.sprintf "unknown barrier impl %S (hw|sw|none)" s)
+
 type t = {
   name : string;
   warp_size : int;
@@ -35,7 +48,7 @@ type t = {
   l2_sectors : int;
   issue_dep_stall : float;
   overlap_alpha : float;
-  has_warp_barrier : bool;
+  barrier_impl : barrier_impl;
   cost : cost;
 }
 
@@ -78,7 +91,7 @@ let a100 =
     l2_sectors = 1_300_000;
     issue_dep_stall = 4.0;
     overlap_alpha = 0.15;
-    has_warp_barrier = true;
+    barrier_impl = Hw_barrier;
     cost = default_cost;
   }
 
@@ -92,7 +105,7 @@ let with_sms t n =
     l2_sectors = max 1 (t.l2_sectors * n / t.num_sms);
   }
 
-let amd_like = { a100 with name = "sim-amd"; has_warp_barrier = false }
+let amd_like = { a100 with name = "sim-amd"; barrier_impl = No_barrier }
 
 let a100_quarter = { (with_sms a100 27) with name = "sim-a100-quarter" }
 
@@ -108,14 +121,22 @@ let small =
     shared_mem_per_block = 16 * 1024;
   }
 
+let max_warp_size = Ompsimd_util.Mask.max_lanes
+
 let validate t =
   let check cond msg acc = if cond then acc else Error msg in
   Ok ()
-  |> check (t.warp_size > 0 && t.warp_size <= 32) "warp_size must be in [1,32]"
+  |> check
+       (t.warp_size > 0 && t.warp_size <= max_warp_size)
+       (Printf.sprintf "warp_size must be in [1,%d]" max_warp_size)
   |> check (t.num_sms > 0) "num_sms must be positive"
   |> check
-       (t.max_threads_per_block mod t.warp_size = 0)
-       "max_threads_per_block must be a warp multiple"
+       (t.max_threads_per_block > 0
+       (* the guard keeps [mod] total: every condition in this chain is
+          evaluated even after an earlier check has failed *)
+       && t.warp_size > 0
+       && t.max_threads_per_block mod t.warp_size = 0)
+       "max_threads_per_block must be a positive warp multiple"
   |> check
        (t.max_threads_per_sm >= t.max_threads_per_block)
        "SM thread capacity below block limit"
@@ -137,11 +158,170 @@ let validate t =
   |> check (t.l2_sectors > 0) "l2_sectors must be positive"
   |> check (t.issue_dep_stall >= 1.0) "issue_dep_stall must be >= 1"
 
+let checked t =
+  match validate t with
+  | Ok () -> t
+  | Error msg ->
+      invalid_arg (Printf.sprintf "Config %S invalid: %s" t.name msg)
+
+(* --- software-emulated masked barriers --------------------------------- *)
+
+(* A device without a hardware masked warp sync can still give the generic
+   state machine a blocking rendezvous by spinning on shared-memory flags
+   (the Vortex software path): every participant stores its arrival flag,
+   the leader scans the group, then every lane loads the release flag.
+   Contrast with the hardware barrier: the cost scales with the
+   participant count, and all of it occupies issue slots (a spin loop
+   retires instructions), where the hardware barrier is mostly hideable
+   pipeline-drain stall. *)
+
+let warp_barrier_cost t ~participants =
+  match t.barrier_impl with
+  | No_barrier -> 0.0
+  | Hw_barrier -> t.cost.warp_barrier
+  | Sw_barrier ->
+      t.cost.warp_barrier
+      +. (t.cost.smem_access *. (2.0 +. (2.0 *. float_of_int participants)))
+
+let warp_barrier_spins t =
+  match t.barrier_impl with
+  | Sw_barrier -> true
+  | Hw_barrier | No_barrier -> false
+
+(* Per-block shared-memory footprint of the software barrier's flag
+   arrays: one 4-byte flag per thread plus one release word per warp.
+   Charged against shared-memory occupancy so a sw-barrier device pays
+   residency for its synchronization scaffolding. *)
+let sw_barrier_smem_bytes t ~threads =
+  match t.barrier_impl with
+  | Hw_barrier | No_barrier -> 0
+  | Sw_barrier -> (4 * threads) + (4 * ((threads + t.warp_size - 1) / t.warp_size))
+
+(* --- spec strings ------------------------------------------------------ *)
+
+(* [key=value,...] overrides over a base device — the OMPSIMD_DEVICE
+   syntax.  Keys cover the shape fields; costs stay with the base.  The
+   emitted spec round-trips: [of_spec ~base (to_spec t) = Ok t] whenever
+   [t] shares [base]'s cost table. *)
+
+let to_spec t =
+  String.concat ","
+    [
+      Printf.sprintf "name=%s" t.name;
+      Printf.sprintf "warp_size=%d" t.warp_size;
+      Printf.sprintf "num_sms=%d" t.num_sms;
+      Printf.sprintf "max_threads_per_block=%d" t.max_threads_per_block;
+      Printf.sprintf "max_threads_per_sm=%d" t.max_threads_per_sm;
+      Printf.sprintf "max_blocks_per_sm=%d" t.max_blocks_per_sm;
+      Printf.sprintf "shared_mem_per_block=%d" t.shared_mem_per_block;
+      Printf.sprintf "shared_mem_per_sm=%d" t.shared_mem_per_sm;
+      Printf.sprintf "issue_lanes_per_sm=%d" t.issue_lanes_per_sm;
+      Printf.sprintf "dram_bw_per_sm=%g" t.dram_bw_per_sm;
+      Printf.sprintf "dram_bw_device=%g" t.dram_bw_device;
+      Printf.sprintf "line_bytes=%d" t.line_bytes;
+      Printf.sprintf "linebuf_lines=%d" t.linebuf_lines;
+      Printf.sprintf "coalesce_window=%g" t.coalesce_window;
+      Printf.sprintf "l1_txn_per_cycle=%g" t.l1_txn_per_cycle;
+      Printf.sprintf "l2_sectors=%d" t.l2_sectors;
+      Printf.sprintf "issue_dep_stall=%g" t.issue_dep_stall;
+      Printf.sprintf "overlap_alpha=%g" t.overlap_alpha;
+      Printf.sprintf "barrier=%s" (barrier_impl_to_string t.barrier_impl);
+    ]
+
+let of_spec ~base spec =
+  let ( let* ) = Result.bind in
+  let parse_int key v =
+    match int_of_string_opt (String.trim v) with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "key %S: %S is not an integer" key v)
+  in
+  let parse_float key v =
+    match float_of_string_opt (String.trim v) with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "key %S: %S is not a number" key v)
+  in
+  let apply acc item =
+    let* t = acc in
+    let item = String.trim item in
+    if item = "" then Ok t
+    else
+      match String.index_opt item '=' with
+      | None ->
+          Error
+            (Printf.sprintf "item %S is not a key=value pair" item)
+      | Some i -> (
+          let key = String.trim (String.sub item 0 i) in
+          let v = String.sub item (i + 1) (String.length item - i - 1) in
+          match key with
+          | "name" -> Ok { t with name = String.trim v }
+          | "warp_size" ->
+              let* n = parse_int key v in
+              Ok { t with warp_size = n }
+          | "num_sms" ->
+              let* n = parse_int key v in
+              Ok { t with num_sms = n }
+          | "max_threads_per_block" ->
+              let* n = parse_int key v in
+              Ok { t with max_threads_per_block = n }
+          | "max_threads_per_sm" ->
+              let* n = parse_int key v in
+              Ok { t with max_threads_per_sm = n }
+          | "max_blocks_per_sm" ->
+              let* n = parse_int key v in
+              Ok { t with max_blocks_per_sm = n }
+          | "shared_mem_per_block" ->
+              let* n = parse_int key v in
+              Ok { t with shared_mem_per_block = n }
+          | "shared_mem_per_sm" ->
+              let* n = parse_int key v in
+              Ok { t with shared_mem_per_sm = n }
+          | "issue_lanes_per_sm" ->
+              let* n = parse_int key v in
+              Ok { t with issue_lanes_per_sm = n }
+          | "dram_bw_per_sm" ->
+              let* f = parse_float key v in
+              Ok { t with dram_bw_per_sm = f }
+          | "dram_bw_device" ->
+              let* f = parse_float key v in
+              Ok { t with dram_bw_device = f }
+          | "line_bytes" ->
+              let* n = parse_int key v in
+              Ok { t with line_bytes = n }
+          | "linebuf_lines" ->
+              let* n = parse_int key v in
+              Ok { t with linebuf_lines = n }
+          | "coalesce_window" ->
+              let* f = parse_float key v in
+              Ok { t with coalesce_window = f }
+          | "l1_txn_per_cycle" ->
+              let* f = parse_float key v in
+              Ok { t with l1_txn_per_cycle = f }
+          | "l2_sectors" ->
+              let* n = parse_int key v in
+              Ok { t with l2_sectors = n }
+          | "issue_dep_stall" ->
+              let* f = parse_float key v in
+              Ok { t with issue_dep_stall = f }
+          | "overlap_alpha" ->
+              let* f = parse_float key v in
+              Ok { t with overlap_alpha = f }
+          | "barrier" ->
+              let* b = barrier_impl_of_string (String.trim v) in
+              Ok { t with barrier_impl = b }
+          | _ -> Error (Printf.sprintf "unknown key %S" key))
+  in
+  let* t =
+    List.fold_left apply (Ok base) (String.split_on_char ',' spec)
+  in
+  let* () = validate t in
+  Ok t
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>device %s: %d SMs, warp %d, <=%d thr/block, <=%d thr/SM,@ %d B \
      smem/block, %d B smem/SM, issue %d lanes/cycle,@ bw %.1f B/cyc/SM \
-     (%.0f device), warp-barrier=%b@]"
+     (%.0f device), warp-barrier=%s@]"
     t.name t.num_sms t.warp_size t.max_threads_per_block t.max_threads_per_sm
     t.shared_mem_per_block t.shared_mem_per_sm t.issue_lanes_per_sm
-    t.dram_bw_per_sm t.dram_bw_device t.has_warp_barrier
+    t.dram_bw_per_sm t.dram_bw_device
+    (barrier_impl_to_string t.barrier_impl)

@@ -27,6 +27,25 @@ type cost = {
   launch_overhead : float;  (** fixed kernel-launch cost in cycles *)
 }
 
+type barrier_impl =
+  | Hw_barrier
+      (** NVIDIA-style hardware masked warp sync: fixed cost, mostly
+          hideable pipeline-drain stall. *)
+  | Sw_barrier
+      (** Software-emulated masked barrier (the Vortex path): lanes spin
+          on shared-memory flags, so the cost scales with the participant
+          count, occupies issue slots for its full duration, and charges
+          a per-block shared-memory flag footprint against occupancy. *)
+  | No_barrier
+      (** No masked warp sync at all.  Models the AMD gap of §5.4.1: the
+          runtime degrades generic-mode simd loops to sequential
+          execution on the SIMD main thread. *)
+
+val barrier_impl_to_string : barrier_impl -> string
+(** ["hw"], ["sw"], ["none"] — the spec-string encoding. *)
+
+val barrier_impl_of_string : string -> (barrier_impl, string) result
+
 type t = {
   name : string;
   warp_size : int;
@@ -72,10 +91,9 @@ type t = {
           roofline leg plus [alpha] times the remaining legs.  0 models
           perfect compute/memory/latency overlap; real devices leak a
           fraction of the hidden legs into wall time. *)
-  has_warp_barrier : bool;
-      (** NVIDIA-style masked warp sync available.  [false] models the AMD
-          gap of §5.4.1: the runtime then degrades generic-mode simd loops
-          to sequential execution on the SIMD main thread. *)
+  barrier_impl : barrier_impl;
+      (** How (and whether) the device implements the masked warp sync
+          the generic state machine rendezvous needs. *)
   cost : cost;
 }
 
@@ -85,7 +103,7 @@ val a100 : t
 (** NVIDIA A100-40GB-like device (the paper's testbed), 108 SMs. *)
 
 val amd_like : t
-(** Same shape but [has_warp_barrier = false] (cf. §5.4.1). *)
+(** Same shape but [barrier_impl = No_barrier] (cf. §5.4.1). *)
 
 val a100_quarter : t
 (** A 27-SM quarter of the A100 with proportional device bandwidth — the
@@ -102,7 +120,43 @@ val with_sms : t -> int -> t
     this to run shape-faithful sweeps on a smaller device.
     @raise Invalid_argument on non-positive counts. *)
 
+val max_warp_size : int
+(** Widest representable warp (64) — bounded by {!Ompsimd_util.Mask}. *)
+
 val validate : t -> (unit, string) result
-(** Structural sanity: warp size divides limits, capacities positive, etc. *)
+(** Structural sanity: warp size divides [max_threads_per_block],
+    capacities positive, etc. *)
+
+val checked : t -> t
+(** Identity on valid configs.
+    @raise Invalid_argument naming the device and the failed invariant
+    otherwise — the construction-time guard zoo entries and spec parsing
+    go through, so a sweep can never build an impossible device. *)
+
+val warp_barrier_cost : t -> participants:int -> float
+(** Cost in cycles of one masked warp rendezvous with the given number of
+    participating lanes under the device's {!barrier_impl}: the flat
+    [cost.warp_barrier] on hardware, participant-scaled shared-memory
+    flag traffic on the software emulation, [0] when there is no barrier
+    (the runtime never creates one then). *)
+
+val warp_barrier_spins : t -> bool
+(** Whether the warp barrier's cost occupies issue slots for its full
+    duration (software spin loops do; hardware barriers hide all but the
+    issue of the instruction itself). *)
+
+val sw_barrier_smem_bytes : t -> threads:int -> int
+(** Per-block shared-memory footprint of the software barrier's flag
+    arrays ([0] unless [barrier_impl = Sw_barrier]). *)
+
+val to_spec : t -> string
+(** Render the shape fields as a [key=value,...] spec string.  Costs are
+    not included; [of_spec ~base (to_spec t)] rebuilds [t] exactly when
+    [t.cost == base.cost]. *)
+
+val of_spec : base:t -> string -> (t, string) result
+(** Apply [key=value,...] overrides to [base] and validate the result.
+    Unknown keys, malformed values and invalid shapes all fail fast with
+    a message naming the offending key (the [OMPSIMD_DEVICE] contract). *)
 
 val pp : Format.formatter -> t -> unit

@@ -47,7 +47,12 @@ let simulate_block ~cfg ?trace ~block ~init ~body block_id =
       Engine.run_block ~cfg ?trace ~block_id ~num_threads:block (fun th ->
           body state th)
     in
-    (Occupancy.of_result result ~smem_bytes:(Shared.high_water arena),
+    (* A software-barrier device pays shared-memory residency for its
+       per-block flag arrays on top of whatever the kernel allocated. *)
+    (Occupancy.of_result result
+       ~smem_bytes:
+         (Shared.high_water arena
+         + Config.sw_barrier_smem_bytes cfg ~threads:block),
      result.Engine.counters)
   with
   | exception Fault.Fatal f ->

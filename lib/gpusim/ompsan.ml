@@ -444,15 +444,15 @@ let leave_state_machine (th : Thread.t) =
    main runs region code and crosses block-scope barriers. *)
 let check_divergence st ~tid ~warp ~mask ~block_scope ~bar_id ~bar_name =
   if not st.sm_flag.(tid) then
-    let lane_bit = 1 lsl (tid mod st.st_ws) in
+    let lane = tid mod st.st_ws in
     Array.iteri
       (fun ptid entry ->
         match entry with
         | Some p
           when ptid <> tid && (not p.p_block_scope) && (not p.p_sm)
                && p.p_warp = warp && p.p_bar <> bar_id
-               && (if block_scope then p.p_mask land lane_bit <> 0
-                   else p.p_mask land mask <> 0) ->
+               && (if block_scope then Ompsimd_util.Mask.mem p.p_mask lane
+                   else not (Ompsimd_util.Mask.disjoint p.p_mask mask)) ->
             add_finding st (3, p.p_bar, bar_id)
               (Divergence
                  {

@@ -92,10 +92,14 @@ let exec_on_thread ctx (task : Team.parallel_task) =
 let effective_task team ~mode ~simd_len ~payload ~fn_id fn =
   let cfg = team.Team.cfg in
   let ws = cfg.Gpusim.Config.warp_size in
-  (* §5.4.1: no warp barrier means generic-mode groups cannot rendezvous;
-     degrade to singleton groups (sequential simd loops). *)
+  (* §5.4.1: no warp barrier at all means generic-mode groups cannot
+     rendezvous; degrade to singleton groups (sequential simd loops).  A
+     software-emulated barrier keeps generic mode functional — just
+     costlier per rendezvous. *)
   let simd_len =
-    if Mode.equal mode Mode.Generic && not cfg.Gpusim.Config.has_warp_barrier
+    if
+      Mode.equal mode Mode.Generic
+      && cfg.Gpusim.Config.barrier_impl = Gpusim.Config.No_barrier
     then 1
     else simd_len
   in

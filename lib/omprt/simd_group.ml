@@ -1,6 +1,11 @@
 module Mask = Ompsimd_util.Mask
 
-type t = { group_size : int; num_groups : int; groups_per_warp : int }
+type t = {
+  warp_size : int;
+  group_size : int;
+  num_groups : int;
+  groups_per_warp : int;
+}
 
 let make ~warp_size ~num_workers ~group_size =
   if group_size <= 0 || group_size > warp_size || warp_size mod group_size <> 0
@@ -14,6 +19,7 @@ let make ~warp_size ~num_workers ~group_size =
          "Simd_group.make: %d workers not a positive multiple of group %d"
          num_workers group_size);
   {
+    warp_size;
     group_size;
     num_groups = num_workers / group_size;
     groups_per_warp = warp_size / group_size;
@@ -26,7 +32,8 @@ let is_simd_group_leader t ~tid = get_simd_group_id t ~tid = 0
 
 let simdmask t ~tid =
   let group_in_warp = get_simd_group t ~tid mod t.groups_per_warp in
-  Mask.group ~group_size:t.group_size ~group_index:group_in_warp
+  Mask.group ~warp_size:t.warp_size ~group_size:t.group_size
+    ~group_index:group_in_warp
 
 let leader_tid t ~group =
   if group < 0 || group >= t.num_groups then

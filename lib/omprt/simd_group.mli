@@ -11,6 +11,7 @@
     [isSimdGroupLeader] and [simdmask]. *)
 
 type t = private {
+  warp_size : int;  (** lanes per warp on the device the team runs on *)
   group_size : int;  (** threads per group; divides the warp size *)
   num_groups : int;  (** groups in the team *)
   groups_per_warp : int;

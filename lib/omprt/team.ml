@@ -218,11 +218,14 @@ let warp_barrier_for t (th : Gpusim.Thread.t) ~mask =
               | Some b -> b
               | None ->
                   let b =
+                    let participants = Mask.popcount mask in
                     Gpusim.Barrier.create
                       ~name:(Printf.sprintf "warp%d:%08x" warp mask)
-                      ~expected:(Mask.popcount mask)
+                      ~spin:(Gpusim.Config.warp_barrier_spins t.cfg)
+                      ~expected:participants
                       ~cost:
-                        t.cfg.Gpusim.Config.cost.Gpusim.Config.warp_barrier ()
+                        (Gpusim.Config.warp_barrier_cost t.cfg ~participants)
+                      ()
                   in
                   Hashtbl.add t.warp_barriers key b;
                   b
@@ -280,20 +283,23 @@ let lockstep_align ctx =
 let sync_warp ctx =
   let g = geometry ctx.team in
   if Simd_group.get_simd_group_size g > 1 then
-    if ctx.team.cfg.Gpusim.Config.has_warp_barrier then begin
-      let mask = Simd_group.simdmask g ~tid:ctx.th.Gpusim.Thread.tid in
-      let bar = warp_barrier_for ctx.team ctx.th ~mask in
-      ctx.th.Gpusim.Thread.counters.Gpusim.Counters.warp_barriers <-
-        ctx.th.Gpusim.Thread.counters.Gpusim.Counters.warp_barriers + 1;
-      san_warp_arrive ctx.th ~mask bar;
-      Gpusim.Engine.barrier_wait bar ctx.th
-    end
-    else
-      (* No explicit wavefront barrier (§5.4.1), but AMD wavefronts are
-         implicitly lockstep, which is all the SPMD path needs; the
-         generic state machine — which needs a *blocking* rendezvous —
-         was already degraded to singleton groups by __parallel. *)
-      lockstep_align ctx
+    match ctx.team.cfg.Gpusim.Config.barrier_impl with
+    | Gpusim.Config.Hw_barrier | Gpusim.Config.Sw_barrier ->
+        (* Hardware masked sync, or its software emulation (spin on
+           shared-memory flags) — either way a real blocking rendezvous;
+           they differ only in cost shape (see Config.warp_barrier_cost). *)
+        let mask = Simd_group.simdmask g ~tid:ctx.th.Gpusim.Thread.tid in
+        let bar = warp_barrier_for ctx.team ctx.th ~mask in
+        ctx.th.Gpusim.Thread.counters.Gpusim.Counters.warp_barriers <-
+          ctx.th.Gpusim.Thread.counters.Gpusim.Counters.warp_barriers + 1;
+        san_warp_arrive ctx.th ~mask bar;
+        Gpusim.Engine.barrier_wait bar ctx.th
+    | Gpusim.Config.No_barrier ->
+        (* No explicit wavefront barrier (§5.4.1), but AMD wavefronts are
+           implicitly lockstep, which is all the SPMD path needs; the
+           generic state machine — which needs a *blocking* rendezvous —
+           was already degraded to singleton groups by __parallel. *)
+        lockstep_align ctx
 
 let team_barrier_wait ctx =
   ctx.th.Gpusim.Thread.counters.Gpusim.Counters.block_barriers <-

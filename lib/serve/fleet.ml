@@ -74,6 +74,10 @@ type config = {
   steal : bool;
   memo : bool;  (* content-memoize idempotent launches (disarmed runs only) *)
   tenants : (string * int) list;  (* fair-admission weights; absent = 1 *)
+  devices : Gpusim.Config.t list;
+      (* per-shard device configs, cycled across shard ids; [] means
+         every shard runs the base device (the pre-zoo fleet) *)
+  affinity : bool;  (* content->config affinity placement (hetero only) *)
 }
 
 let parse_tenants spec =
@@ -95,6 +99,21 @@ let parse_tenants spec =
                         "OMPSIMD_SERVE_TENANTS: token %S is not name=weight"
                         tok)))
 
+(* OMPSIMD_FLEET_DEVICES is a comma-separated list of zoo names (no
+   key=value overrides — a comma already separates shards), resolved
+   and validated up front so a misspelt device fails the replay before
+   any request moves. *)
+let parse_devices spec =
+  String.split_on_char ',' spec
+  |> List.filter_map (fun tok ->
+         let tok = String.trim tok in
+         if tok = "" then None
+         else
+           match Gpusim.Zoo.resolve tok with
+           | Ok cfg -> Some cfg
+           | Error msg ->
+               invalid_arg (Printf.sprintf "OMPSIMD_FLEET_DEVICES: %s" msg))
+
 let config_of_env ~cfg () =
   {
     base = Scheduler.config_of_env ~cfg ();
@@ -106,6 +125,11 @@ let config_of_env ~cfg () =
       (match Env.var "OMPSIMD_SERVE_TENANTS" with
       | None -> []
       | Some spec -> parse_tenants spec);
+    devices =
+      (match Env.var "OMPSIMD_FLEET_DEVICES" with
+      | None -> []
+      | Some spec -> parse_devices spec);
+    affinity = Env.flag "OMPSIMD_FLEET_AFFINITY" ~default:true;
   }
 
 let weight_of conf tenant =
@@ -128,14 +152,21 @@ let hash_pos s =
   done;
   !v land max_int
 
-let make_ring shards =
+(* A ring over an arbitrary shard-id subset: the vnode labels depend
+   only on the shard id, so the sub-ring of a device group is literally
+   the full ring with the other shards' points removed — membership
+   changes move only the keys whose successor point left. *)
+let make_ring_of sids =
+  let sids = Array.of_list sids in
   let a =
-    Array.init (shards * ring_points) (fun i ->
-        let s = i / ring_points and v = i mod ring_points in
+    Array.init (Array.length sids * ring_points) (fun i ->
+        let s = sids.(i / ring_points) and v = i mod ring_points in
         (hash_pos (Printf.sprintf "ompserve-shard-%d-vnode-%d" s v), s))
   in
   Array.sort compare a;
   a
+
+let make_ring shards = make_ring_of (List.init shards Fun.id)
 
 let place ring key =
   let h = hash_pos key in
@@ -239,6 +270,9 @@ type fleet_stats = {
   steals : int;
   tenant_evictions : int;
   memo_hits : int;
+  affinity_moves : int;
+      (* first arrivals the device-affinity (or a device= pin) routed
+         off the plain content ring; 0 on homogeneous fleets *)
 }
 
 type result = {
@@ -275,7 +309,103 @@ let run conf ?pool specs =
     invalid_arg "Fleet.run: negative breaker threshold";
   Gpusim.Fault.refresh_from_env ();
   Gpusim.Fault.reset ();
+  (* heterogeneity: each shard carries a device config, the [devices]
+     list cycled across shard ids; [] keeps the pre-zoo homogeneous
+     fleet on the base device.  Every config re-validates here so a
+     hand-built impossible device fails before any request moves. *)
+  List.iter
+    (fun d -> ignore (Gpusim.Config.checked d : Gpusim.Config.t))
+    conf.devices;
+  let devs =
+    let n = List.length conf.devices in
+    Array.init conf.shards (fun sid ->
+        if n = 0 then base.Scheduler.cfg else List.nth conf.devices (sid mod n))
+  in
+  let devnames =
+    (* distinct device names, sorted: the affinity cost table and the
+       exploration hash are keyed on names, never shard ids, so every
+       placement decision is invariant under permuting the device
+       multiset across shards *)
+    List.sort_uniq String.compare
+      (Array.to_list (Array.map (fun (d : Gpusim.Config.t) -> d.Gpusim.Config.name) devs))
+  in
+  let hetero = List.length devnames > 1 in
   let ring = make_ring conf.shards in
+  (* Device-group sub-rings label their vnodes by (device name, member
+     index within the group), not by raw shard id: the content ->
+     group-member mapping is then invariant under shuffling the device
+     multiset across shard ids, which is what makes heterogeneous
+     results shuffle-invariant (the member's id changes, its workload
+     does not). *)
+  let group_points dn =
+    let sids =
+      Array.of_list
+        (List.filter
+           (fun sid -> devs.(sid).Gpusim.Config.name = dn)
+           (List.init conf.shards Fun.id))
+    in
+    Array.init
+      (Array.length sids * ring_points)
+      (fun i ->
+        let j = i / ring_points and v = i mod ring_points in
+        ( hash_pos
+            (Printf.sprintf "ompserve-dev-%s-member-%d-vnode-%d" dn j v),
+          sids.(j) ))
+  in
+  let subrings : (string, (int * int) array) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun dn ->
+      let a = group_points dn in
+      Array.sort compare a;
+      Hashtbl.add subrings dn a)
+    devnames;
+  let subring dn = Hashtbl.find subrings dn in
+  let dev_by_name : (string, Gpusim.Config.t) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (fun (d : Gpusim.Config.t) ->
+      if not (Hashtbl.mem dev_by_name d.Gpusim.Config.name) then
+        Hashtbl.add dev_by_name d.Gpusim.Config.name d)
+    devs;
+  (* A device can host a request only if the launch geometry fits: the
+     thread count must be a positive multiple of ITS warp width (warp
+     widths differ across the zoo) within its block limit.  Placement
+     and stealing both respect this, so a 32-thread request never lands
+     on a 64-lane wavefront device that would reject the launch. *)
+  let fits (cfg : Gpusim.Config.t) (spec : Request.spec) =
+    spec.Request.threads > 0
+    && spec.Request.threads mod cfg.Gpusim.Config.warp_size = 0
+    && spec.Request.threads <= cfg.Gpusim.Config.max_threads_per_block
+  in
+  let fits_name dn spec = fits (Hashtbl.find dev_by_name dn) spec in
+  (* rings over unions of device groups (for hetero fleets with
+     affinity off, or when geometry rules out some groups): the union
+     of the groups' member-labelled points, so these too are invariant
+     under device shuffles; built lazily, memoized by the name list *)
+  let union_rings : (string, (int * int) array) Hashtbl.t = Hashtbl.create 4 in
+  let ring_for names =
+    let key = String.concat "," names in
+    match Hashtbl.find_opt union_rings key with
+    | Some r -> r
+    | None ->
+        let r = Array.concat (List.map group_points names) in
+        Array.sort compare r;
+        Hashtbl.add union_rings key r;
+        r
+  in
+  (* per-(content, device-name) observed member cycles; the affinity
+     estimator is the *minimum* observed exec, not a moving average:
+     min is commutative and idempotent, so the table's state at any
+     virtual instant is a pure function of the set of finishes before
+     it — simultaneous finishes can process in any order without
+     perturbing a single placement decision *)
+  let aff : (string, float) Hashtbl.t = Hashtbl.create 64 in
+  let aff_key ckey dn = ckey ^ "\x00" ^ dn in
+  let observe_exec ckey dn exec =
+    let k = aff_key ckey dn in
+    match Hashtbl.find_opt aff k with
+    | Some c when c <= exec -> ()
+    | _ -> Hashtbl.replace aff k exec
+  in
   let cache = Cache.create ~capacity:base.Scheduler.cache_capacity in
   let heap = Eheap.create () in
   let shards =
@@ -310,6 +440,7 @@ let run conf ?pool specs =
   let fault_stats = ref Gpusim.Fault.zero_stats in
   let last_time = ref 0.0 in
   let memo_hits = ref 0 in
+  let affinity_moves = ref 0 in
   let tenant_evictions = ref 0 in
   let evictions_by_tenant : (string, int) Hashtbl.t = Hashtbl.create 8 in
   (* virtual single-flight: the compile service is fleet-shared, like
@@ -427,8 +558,8 @@ let run conf ?pool specs =
        && (x.Request.at < y.Request.at
           || (x.Request.at = y.Request.at && x.Request.id < y.Request.id)))
   in
-  let pop_queue (s : shard_state) =
-    match s.queue with
+  let pop_queue_where pred (s : shard_state) =
+    match List.filter pred s.queue with
     | [] -> None
     | first :: rest ->
         let best =
@@ -437,6 +568,7 @@ let run conf ?pool specs =
         s.queue <- List.filter (fun p -> p != best) s.queue;
         Some best
   in
+  let pop_queue s = pop_queue_where (fun _ -> true) s in
   let enqueue (s : shard_state) p =
     s.queue <- p :: s.queue;
     s.s_queue_max <- max s.s_queue_max (List.length s.queue)
@@ -500,8 +632,52 @@ let run conf ?pool specs =
     in
     split [] s.queue
   in
+  (* --- placement --------------------------------------------------------- *)
+  (* Where a (re-)arrival lands.  A [device=] pin wins when some shard
+     carries it; then the affinity table picks the device name whose
+     observed cost for this content is lowest (unmeasured devices cost
+     0.0, so every device gets explored before any is ruled out), and
+     the device group's sub-ring picks the shard.  Exploration ties
+     break by hashing the content key over the tied *names* — never a
+     shard id — so the request->device assignment, and with it every
+     launch result, is invariant under shuffling the device multiset
+     across shard ids. *)
+  let place_for (p : pending) =
+    if not hetero then place ring p.ckey
+    else begin
+      let cands = List.filter (fun dn -> fits_name dn p.spec) devnames in
+      (* no device fits: fall through to the plain ring and let the
+         launch fail exactly as a homogeneous fleet would *)
+      let cands = if cands = [] then devnames else cands in
+      let pinned =
+        match p.spec.Request.device with
+        | Some dn when List.mem dn cands -> Some dn
+        | _ -> None
+      in
+      match pinned with
+      | Some dn -> place (subring dn) p.ckey
+      | None ->
+          if not conf.affinity then place (ring_for cands) p.ckey
+          else begin
+            let costs =
+              List.map
+                (fun dn ->
+                  ( dn,
+                    Option.value ~default:0.0
+                      (Hashtbl.find_opt aff (aff_key p.ckey dn)) ))
+                cands
+            in
+            let best =
+              List.fold_left (fun acc (_, c) -> Float.min acc c) infinity costs
+            in
+            let tied = List.filter (fun (_, c) -> c = best) costs in
+            let dn, _ = List.nth tied (hash_pos p.ckey mod List.length tied) in
+            place (subring dn) p.ckey
+          end
+    end
+  in
   (* --- launching -------------------------------------------------------- *)
-  let real_launch compiled (p : pending) =
+  let real_launch ~cfg compiled (p : pending) =
     let _kernel, bindings, out = Request.instantiate p.spec in
     let spec = p.spec in
     let clauses =
@@ -512,7 +688,7 @@ let run conf ?pool specs =
         |> simdlen spec.Request.simdlen)
     in
     let launch () =
-      match Offload.run ~cfg:base.Scheduler.cfg ?pool ~clauses ~bindings compiled with
+      match Offload.run ~cfg ?pool ~clauses ~bindings compiled with
       | report -> `Report report
       | exception Gpusim.Engine.Deadlock _ -> `Hung
     in
@@ -538,22 +714,27 @@ let run conf ?pool specs =
           m_faults = Gpusim.Fault.zero_stats;
         }
   in
-  let launch_member compiled (p : pending) =
+  let launch_member (s : shard_state) compiled (p : pending) =
+    let cfg = devs.(s.sid) in
+    (* the memo keys on content *and* device: exec cycles (and under a
+       zoo config, occupancy and counters) are functions of the device,
+       so a result observed on one config must never serve another *)
+    let mkey = p.mkey ^ "|" ^ cfg.Gpusim.Config.name in
     if conf.memo && not (memo_armed ()) then
-      match Hashtbl.find_opt memo p.mkey with
+      match Hashtbl.find_opt memo mkey with
       | Some m ->
           incr memo_hits;
           (* the memo stores content results; pending bookkeeping
              (attempts, shard, steal provenance) is this request's own *)
           { m with m_pending = { p with launches = p.launches + 1 } }
       | None ->
-          let m = real_launch compiled p in
+          let m = real_launch ~cfg compiled p in
           (* a failed result is still memoizable: with no fault plan
              armed, failure (watchdog, genuine deadlock) is as
              deterministic as success *)
-          Hashtbl.add memo p.mkey m;
+          Hashtbl.add memo mkey m;
           m
-    else real_launch compiled p
+    else real_launch ~cfg compiled p
   in
   let account (s : shard_state) (m : member) =
     incr launches;
@@ -601,7 +782,7 @@ let run conf ?pool specs =
                   (Scheduler.C_join, done_at -. now)
               | _ -> (Scheduler.C_hit, 0.0))
         in
-        let members = List.map (launch_member compiled) members_p in
+        let members = List.map (launch_member s compiled) members_p in
         List.iter (account s) members;
         let k = List.length members in
         if k >= 2 then begin
@@ -658,14 +839,23 @@ let run conf ?pool specs =
       mates
     end
   in
-  (* the deepest neighbour queue, ties to the lowest shard id *)
+  (* The deepest neighbour queue, ties to the lowest shard id.  On a
+     heterogeneous fleet stealing is a device-group affair: a thief
+     only raids shards carrying its own device — a foreign-width warp
+     could not launch the work anyway, and a cross-device steal would
+     make the executing device (and so the request's cycles) depend on
+     shard numbering, breaking shuffle invariance. *)
   let steal_from (s : shard_state) =
     if not conf.steal then None
     else begin
+      let raidable (v : shard_state) =
+        (not hetero)
+        || devs.(v.sid).Gpusim.Config.name = devs.(s.sid).Gpusim.Config.name
+      in
       let victim = ref None in
       Array.iter
         (fun (v : shard_state) ->
-          if v.sid <> s.sid then
+          if v.sid <> s.sid && raidable v then
             let depth = List.length v.queue in
             if depth > 0 then
               match !victim with
@@ -708,6 +898,15 @@ let run conf ?pool specs =
     end
   in
   let arrive now (p : pending) =
+    (* placement happens at arrival-processing time, not trace-seed
+       time: a retry re-places, so a content key whose cheap device was
+       discovered between attempts migrates on its next arrival *)
+    let home = place_for p in
+    if p.attempts = 1 && not p.relaunched then begin
+      shards.(home).s_placed <- shards.(home).s_placed + 1;
+      if home <> place ring p.ckey then incr affinity_moves
+    end;
+    let p = { p with home } in
     let s = shards.(p.home) in
     (* free server + empty queue: admit past the bound — the sweep
        below dispatches it immediately, so it never really queues *)
@@ -755,6 +954,14 @@ let run conf ?pool specs =
   let finish now (b : batch_run) =
     let s = shards.(b.b_shard) in
     s.free <- s.free + 1;
+    (* feed the affinity table: each healthy member's own cycles on
+       this shard's device (memo replays feed the same value back —
+       min is idempotent) *)
+    let dn = devs.(b.b_shard).Gpusim.Config.name in
+    List.iter
+      (fun (m : member) ->
+        if not m.m_failed then observe_exec m.m_pending.ckey dn m.m_exec)
+      b.b_members;
     let k = List.length b.b_members in
     List.iteri
       (fun i (m : member) ->
@@ -820,7 +1027,6 @@ let run conf ?pool specs =
         Printf.sprintf "%s|%d|%d" bkey spec.Request.size spec.Request.seed
       in
       let home = place ring ckey in
-      shards.(home).s_placed <- shards.(home).s_placed + 1;
       Eheap.push heap spec.Request.at 1
         (Arrive
            {
@@ -920,6 +1126,7 @@ let run conf ?pool specs =
            in
            {
              Metrics.shard = s.sid;
+             s_device = devs.(s.sid).Gpusim.Config.name;
              s_placed = s.s_placed;
              s_completed = on_shard Scheduler.Completed;
              s_shed = on_shard Scheduler.Rejected + on_shard Scheduler.Shed;
@@ -976,6 +1183,7 @@ let run conf ?pool specs =
       steals = Array.fold_left (fun a s -> a + s.s_steals) 0 shards;
       tenant_evictions = !tenant_evictions;
       memo_hits = !memo_hits;
+      affinity_moves = !affinity_moves;
     }
   in
   { reports; metrics; shard_stats; tenant_stats; fleet }
@@ -1035,17 +1243,20 @@ let results_json reports =
 
 let fleet_stats_json f =
   Printf.sprintf
-    "{\"batches\": %d, \"batched_requests\": %d, \"steals\": %d, \"tenant_evictions\": %d, \"memo_hits\": %d}"
+    "{\"batches\": %d, \"batched_requests\": %d, \"steals\": %d, \"tenant_evictions\": %d, \"memo_hits\": %d, \"affinity_moves\": %d}"
     f.batches f.batched_requests f.steals f.tenant_evictions f.memo_hits
+    f.affinity_moves
 
 let snapshot_json conf (res : result) =
   let b = Buffer.create 8192 in
   let base = conf.base in
   Printf.ksprintf (Buffer.add_string b)
     "{\n\
-     \"config\": {\"device\": \"%s\", \"shards\": %d, \"batch\": %d, \"steal\": %b, \"memo\": %b, \"tenants\": \"%s\", \"queue_bound\": %d, \"servers\": %d, \"cache_capacity\": %d, \"max_retries\": %d, \"backoff\": %.3f, \"breaker\": %d},\n"
-    base.Scheduler.cfg.Gpusim.Config.name conf.shards conf.batch conf.steal
-    conf.memo
+     \"config\": {\"device\": \"%s\", \"devices\": \"%s\", \"affinity\": %b, \"shards\": %d, \"batch\": %d, \"steal\": %b, \"memo\": %b, \"tenants\": \"%s\", \"queue_bound\": %d, \"servers\": %d, \"cache_capacity\": %d, \"max_retries\": %d, \"backoff\": %.3f, \"breaker\": %d},\n"
+    base.Scheduler.cfg.Gpusim.Config.name
+    (String.concat ","
+       (List.map (fun (d : Gpusim.Config.t) -> d.Gpusim.Config.name) conf.devices))
+    conf.affinity conf.shards conf.batch conf.steal conf.memo
     (String.concat ","
        (List.map (fun (t, w) -> Printf.sprintf "%s=%d" t w) conf.tenants))
     base.Scheduler.queue_bound base.Scheduler.servers
@@ -1081,8 +1292,9 @@ let to_text (res : result) =
   Buffer.add_string b (Metrics.to_text res.metrics);
   let f = res.fleet in
   Printf.ksprintf (Buffer.add_string b)
-    "  fleet       batches %d (members %d)  steals %d  tenant-evictions %d  memo-hits %d\n"
-    f.batches f.batched_requests f.steals f.tenant_evictions f.memo_hits;
+    "  fleet       batches %d (members %d)  steals %d  tenant-evictions %d  memo-hits %d  affinity-moves %d\n"
+    f.batches f.batched_requests f.steals f.tenant_evictions f.memo_hits
+    f.affinity_moves;
   List.iter
     (fun s ->
       Buffer.add_string b "  ";

@@ -17,6 +17,17 @@
     slot to an under-share newcomer; the evictee re-enters the normal
     retry-with-backoff path, so fairness never loses a request.
 
+    Heterogeneous fleets give each shard its own device config (the
+    [devices] list, usually {!Gpusim.Zoo} entries, cycled across shard
+    ids).  Placement then becomes (content, device)-aware: the fleet
+    tracks the minimum observed member cycles per (content key, device
+    name) and routes each arrival to the cheapest device's sub-ring —
+    hot kernels migrate to the architecture that runs them fastest,
+    and a trace can pin a request with [device=<zoo name>].  The
+    affinity estimator is deliberately a minimum, not a moving
+    average: min is order-insensitive, so placement stays deterministic
+    under simultaneous finishes.
+
     Determinism: nothing reads the host clock, placement hashes MD5,
     and every member launch pins its {!Gpusim.Fault} nonce to (request
     id, attempt) — injected faults are a pure function of the plan and
@@ -24,7 +35,9 @@
     order.  A replay of the same trace under the same environment is
     bit-identical; {!results_json} is additionally invariant across
     shard counts and batch limits for configs that lose no requests to
-    admission. *)
+    admission, and — because affinity keys on device {e names}, never
+    shard ids — across shuffles of the device multiset over shard
+    ids. *)
 
 type config = {
   base : Scheduler.config;
@@ -42,16 +55,34 @@ type config = {
   tenants : (string * int) list;
       (** fair-admission weights, e.g. [("alice", 3)]; absent tenants
           weigh 1 *)
+  devices : Gpusim.Config.t list;
+      (** per-shard device configs (usually {!Gpusim.Zoo} entries),
+          cycled across shard ids; [[]] keeps the homogeneous fleet on
+          the base device.  Each config is re-validated at [run]. *)
+  affinity : bool;
+      (** content->device affinity placement on heterogeneous fleets:
+          requests route to the device whose minimum observed member
+          cycles for their content key is lowest (unmeasured devices
+          cost 0, so all get explored), then to a shard of that device
+          by the device group's sub-ring.  No effect when every shard
+          carries the same device. *)
 }
 
 val parse_tenants : string -> (string * int) list
 (** Parse ["alice=3,bob=1"] (a bare name means weight 1).
     @raise Invalid_argument on a malformed token. *)
 
+val parse_devices : string -> Gpusim.Config.t list
+(** Parse a comma-separated list of {!Gpusim.Zoo} names
+    (["w32-hw,w64-sw"]) into per-shard device configs.
+    @raise Invalid_argument naming the unknown device. *)
+
 val config_of_env : cfg:Gpusim.Config.t -> unit -> config
 (** {!Scheduler.config_of_env} plus [OMPSIMD_SERVE_SHARDS] (default 4),
     [OMPSIMD_SERVE_BATCH] (8), [OMPSIMD_SERVE_STEAL] (1),
-    [OMPSIMD_SERVE_MEMO] (1) and [OMPSIMD_SERVE_TENANTS] (empty). *)
+    [OMPSIMD_SERVE_MEMO] (1), [OMPSIMD_SERVE_TENANTS] (empty),
+    [OMPSIMD_FLEET_DEVICES] (empty = homogeneous) and
+    [OMPSIMD_FLEET_AFFINITY] (1). *)
 
 val weight_of : config -> string -> int
 (** The tenant's fair-admission weight (>= 1; unknown tenants weigh 1). *)
@@ -94,6 +125,10 @@ type fleet_stats = {
   steals : int;
   tenant_evictions : int;  (** queue slots reclaimed by fair admission *)
   memo_hits : int;  (** launches served from the content memo *)
+  affinity_moves : int;
+      (** first arrivals that device affinity (or a [device=] pin)
+          routed off the plain content ring; always 0 on a homogeneous
+          fleet *)
 }
 
 type result = {

@@ -127,6 +127,7 @@ let to_json m =
 
 type shard_stats = {
   shard : int;
+  s_device : string;  (* the shard's device config name *)
   s_placed : int;  (* requests the ring routed here (first arrival) *)
   s_completed : int;
   s_shed : int;  (* rejected + shed + fair-admission evictions resolved here *)
@@ -154,8 +155,9 @@ type tenant_stats = {
 
 let shard_stats_to_json s =
   Printf.sprintf
-    "{\"shard\": %d, \"placed\": %d, \"completed\": %d, \"shed\": %d, \"timed_out\": %d, \"degraded\": %d, \"launches\": %d, \"batches\": %d, \"batched_requests\": %d, \"steals\": %d, \"queue_max\": %d, \"breaker_opens\": %d}"
-    s.shard s.s_placed s.s_completed s.s_shed s.s_timed_out s.s_degraded
+    "{\"shard\": %d, \"device\": \"%s\", \"placed\": %d, \"completed\": %d, \"shed\": %d, \"timed_out\": %d, \"degraded\": %d, \"launches\": %d, \"batches\": %d, \"batched_requests\": %d, \"steals\": %d, \"queue_max\": %d, \"breaker_opens\": %d}"
+    s.shard s.s_device s.s_placed s.s_completed s.s_shed s.s_timed_out
+    s.s_degraded
     s.s_launches s.s_batches s.s_batched_requests s.s_steals s.s_queue_max
     s.s_breaker_opens
 
@@ -167,8 +169,9 @@ let tenant_stats_to_json t =
 
 let shard_stats_line s =
   Printf.sprintf
-    "shard %2d placed=%d completed=%d shed=%d timed-out=%d degraded=%d launches=%d batches=%d batched=%d steals=%d queue-max=%d breaker-opens=%d"
-    s.shard s.s_placed s.s_completed s.s_shed s.s_timed_out s.s_degraded
+    "shard %2d [%s] placed=%d completed=%d shed=%d timed-out=%d degraded=%d launches=%d batches=%d batched=%d steals=%d queue-max=%d breaker-opens=%d"
+    s.shard s.s_device s.s_placed s.s_completed s.s_shed s.s_timed_out
+    s.s_degraded
     s.s_launches s.s_batches s.s_batched_requests s.s_steals s.s_queue_max
     s.s_breaker_opens
 

@@ -66,6 +66,9 @@ val to_json : t -> string
 
 type shard_stats = {
   shard : int;
+  s_device : string;
+      (** the shard's device config name (heterogeneous fleets differ
+          per shard; homogeneous fleets repeat the base device) *)
   s_placed : int;  (** requests the placement ring routed here *)
   s_completed : int;
   s_shed : int;

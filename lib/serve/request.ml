@@ -25,6 +25,9 @@ type spec = {
   priority : int;  (* higher dispatches first *)
   seed : int;  (* binding-data seed *)
   tenant : string;  (* fair-admission identity; "-" = the default tenant *)
+  device : string option;
+      (* zoo-name placement pin for heterogeneous fleets; ignored when
+         no shard carries that device *)
 }
 
 (* --- the kernel-template catalog -------------------------------------- *)
@@ -277,6 +280,7 @@ let default_spec =
     priority = 0;
     seed = 1;
     tenant = "-";
+    device = None;
   }
 
 let spec_of_tokens ~id ~line_no tokens =
@@ -315,6 +319,9 @@ let spec_of_tokens ~id ~line_no tokens =
         | "tenant" ->
             if value = "" then fail "tenant wants a non-empty name"
             else { spec with tenant = value }
+        | "device" ->
+            if value = "" then fail "device wants a zoo name"
+            else { spec with device = Some value }
         | _ -> fail "unknown key %S" key)
   in
   let spec = List.fold_left parse_kv { default_spec with id } tokens in

@@ -22,6 +22,12 @@ type spec = {
       (** the client this request bills to — the identity the fleet's
           weighted-fair admission protects neighbours from; ["-"] is
           the default tenant *)
+  device : string option;
+      (** placement pin for heterogeneous fleets: a {!Gpusim.Zoo} name
+          (trace token [device=w64-sw]).  The fleet routes the request
+          to a shard carrying that device; a pin no fleet shard
+          satisfies is ignored rather than failed, so one trace replays
+          under any fleet makeup *)
 }
 
 val default_spec : spec

@@ -132,6 +132,7 @@ let generate (p : profile) =
             priority = (if Prng.int rng 10 = 0 then 1 else 0);
             seed = 1 + Prng.int rng 5;
             tenant = pick_tenant rng p.tenants;
+            device = None;
           }
     in
     incr id;

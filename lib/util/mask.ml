@@ -1,38 +1,44 @@
 type t = int
 
-let warp_size = 32
-let full = 0xFFFFFFFF
+let max_lanes = 64
+
+(* Encoding: bits 0..7 hold the base lane, bits 8..15 hold the length.
+   The empty mask is the canonical 0 (len = 0 forces base = 0). *)
+
 let empty = 0
+let base m = m land 0xFF
+let len m = (m lsr 8) land 0xFF
+let make ~base ~len = if len = 0 then 0 else base lor (len lsl 8)
+
+let full ~warp_size =
+  if warp_size < 1 || warp_size > max_lanes then
+    invalid_arg "Mask.full: warp size out of range";
+  make ~base:0 ~len:warp_size
 
 let lane i =
-  if i < 0 || i >= warp_size then invalid_arg "Mask.lane: lane out of range";
-  1 lsl i
+  if i < 0 || i >= max_lanes then invalid_arg "Mask.lane: lane out of range";
+  make ~base:i ~len:1
 
-let valid_group_size size = size >= 1 && size <= warp_size && warp_size mod size = 0
-
-let group ~group_size ~group_index =
-  if not (valid_group_size group_size) then
-    invalid_arg "Mask.group: group_size must divide the warp";
+let group ~warp_size ~group_size ~group_index =
+  if warp_size < 1 || warp_size > max_lanes then
+    invalid_arg "Mask.group: warp size out of range";
+  if group_size < 1 || group_size > warp_size || warp_size mod group_size <> 0
+  then invalid_arg "Mask.group: group_size must divide the warp";
   let groups = warp_size / group_size in
   if group_index < 0 || group_index >= groups then
     invalid_arg "Mask.group: group_index out of range";
-  let base = (1 lsl group_size) - 1 in
-  base lsl (group_index * group_size)
+  make ~base:(group_index * group_size) ~len:group_size
 
-let mem m i = m land (1 lsl i) <> 0
-
-let popcount m =
-  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
-  go m 0
+let mem m i = i >= base m && i < base m + len m
+let popcount m = len m
 
 let lowest m =
   if m = 0 then invalid_arg "Mask.lowest: empty mask";
-  let rec go i = if m land (1 lsl i) <> 0 then i else go (i + 1) in
-  go 0
+  base m
 
 let iter f m =
-  for i = 0 to warp_size - 1 do
-    if mem m i then f i
+  for i = base m to base m + len m - 1 do
+    f i
   done
 
 let fold f init m =
@@ -42,9 +48,27 @@ let fold f init m =
 
 let to_list m = List.rev (fold (fun acc i -> i :: acc) [] m)
 
-let union = ( lor )
-let inter = ( land )
-let disjoint a b = a land b = 0
-let subset a ~of_ = a land of_ = a
+let union a b =
+  if a = 0 then b
+  else if b = 0 then a
+  else begin
+    let a0 = base a and a1 = base a + len a in
+    let b0 = base b and b1 = base b + len b in
+    if b0 > a1 || a0 > b1 then
+      invalid_arg "Mask.union: result not contiguous";
+    make ~base:(min a0 b0) ~len:(max a1 b1 - min a0 b0)
+  end
 
-let pp ppf m = Format.fprintf ppf "0x%08x" m
+let inter a b =
+  let lo = max (base a) (base b) in
+  let hi = min (base a + len a) (base b + len b) in
+  if a = 0 || b = 0 || hi <= lo then 0 else make ~base:lo ~len:(hi - lo)
+
+let disjoint a b = inter a b = 0
+
+let subset a ~of_ =
+  a = 0 || (base a >= base of_ && base a + len a <= base of_ + len of_)
+
+let pp ppf m =
+  if m = 0 then Format.fprintf ppf "[]"
+  else Format.fprintf ppf "[%d,%d)" (base m) (base m + len m)

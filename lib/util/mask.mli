@@ -1,30 +1,38 @@
-(** 32-bit lane masks, mirroring CUDA's [__activemask]/[__syncwarp(mask)]
-    conventions.  Bit [i] set means lane [i] of the warp participates.
+(** Contiguous lane masks, mirroring CUDA's [__activemask]/[__syncwarp(mask)]
+    conventions for the subsets the runtime actually forms.
 
     SIMD groups in the runtime are identified by such masks: the mask of a
-    group is a contiguous run of bits covering the group's lanes (cf. the
-    paper's [simdmask] runtime function). *)
+    group is a contiguous run of lanes covering the group (cf. the paper's
+    [simdmask] runtime function).  Because every mask the runtime builds is
+    a contiguous aligned range (a group, a single lane, or a whole warp),
+    masks are packed as a (base, length) pair in one immediate [int] — which
+    is what lets warp widths beyond 32 (and up to {!max_lanes}) fit without
+    boxing, where a raw bitmask would overflow OCaml's 63-bit ints at
+    width 64. *)
 
 type t = int
-(** Always within [0, 2^32). *)
+(** Packed range: bits 0..7 = base lane, bits 8..15 = lane count.  The
+    empty mask is the canonical [0], so stores that used "mask 0" for
+    "no warp mask" keep working. *)
 
-val warp_size : int
-(** 32; lane ids are in \[0, 32). *)
-
-val full : t
-(** All 32 lanes. *)
+val max_lanes : int
+(** 64; lane ids are in \[0, 64). *)
 
 val empty : t
+
+val full : warp_size:int -> t
+(** All lanes of a warp of the given width.
+    @raise Invalid_argument when [warp_size] is outside \[1, max_lanes\]. *)
 
 val lane : int -> t
 (** Mask with only the given lane.  @raise Invalid_argument if out of
     range. *)
 
-val group : group_size:int -> group_index:int -> t
-(** [group ~group_size ~group_index] is the contiguous mask for the
-    [group_index]-th group of [group_size] lanes within a warp: lanes
-    \[group_index*group_size, (group_index+1)*group_size).  [group_size]
-    must divide into the warp (1,2,4,8,16 or 32).
+val group : warp_size:int -> group_size:int -> group_index:int -> t
+(** [group ~warp_size ~group_size ~group_index] is the contiguous mask for
+    the [group_index]-th group of [group_size] lanes within a warp of
+    [warp_size] lanes: lanes \[group_index*group_size,
+    (group_index+1)*group_size).  [group_size] must divide the warp.
     @raise Invalid_argument otherwise. *)
 
 val mem : t -> int -> bool
@@ -43,9 +51,13 @@ val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
 val to_list : t -> int list
 
 val union : t -> t -> t
+(** Union of two ranges.  Defined only when the result is itself
+    contiguous (the ranges overlap, nest, or touch).
+    @raise Invalid_argument otherwise. *)
+
 val inter : t -> t -> t
 val disjoint : t -> t -> bool
 val subset : t -> of_:t -> bool
 
 val pp : Format.formatter -> t -> unit
-(** Hex rendering, e.g. [0x0000ff00]. *)
+(** Range rendering, e.g. [[8,16)]; [[]] for the empty mask. *)

@@ -8,7 +8,11 @@
       content memo on.  Asserts the no-lost-request invariant (every
       id exactly one terminal report, outcomes tally back to n),
       bounded queue depths on every shard, and byte-identical metrics
-      / shard / tenant / fleet JSON on a same-seed replay;
+      / shard / tenant / fleet JSON on a same-seed replay — then the
+      same invariants on a heterogeneous 4-shard fleet (two device
+      configs, affinity placement on), plus device-shuffle identity:
+      permuting the device multiset over shard ids moves no result
+      byte;
    2. tenant fairness under pressure: a contended trace where the hot
       tenant must absorb the fair-admission evictions, and raising its
       configured weight must measurably shield it;
@@ -53,7 +57,7 @@ let base ?(queue_bound = 16) ?(servers = 2) ?(cache = 32) ?(retries = 2)
 
 let fconf ?queue_bound ?servers ?cache ?retries ?backoff ?breaker
     ?(shards = 4) ?(batch = 8) ?(steal = true) ?(memo = true) ?(tenants = [])
-    () =
+    ?(devices = []) ?(affinity = true) () =
   {
     Fleet.base = base ?queue_bound ?servers ?cache ?retries ?backoff ?breaker ();
     shards;
@@ -61,6 +65,8 @@ let fconf ?queue_bound ?servers ?cache ?retries ?backoff ?breaker
     steal;
     memo;
     tenants;
+    devices;
+    affinity;
   }
 
 let count_outcome (res : Fleet.result) o =
@@ -139,6 +145,78 @@ let soak_stage () =
          (Fleet.results_json res.Fleet.reports)
          (Fleet.results_json res2.Fleet.reports))
   then fail "soak: same-seed replay produced different per-request results"
+
+(* --- 1b. the heterogeneous soak ---------------------------------------- *)
+
+let hetero_stage () =
+  (* a 4-shard fleet carrying two architectures twice each — duplicate
+     names keep in-group stealing live — with affinity placement on.
+     The invariants are the soak's (nothing lost, same-seed replay
+     byte-identical) plus the heterogeneity contract: shuffling the
+     device multiset over shard ids must not change any per-request
+     result. *)
+  let n = 20_000 in
+  let specs = Traffic.(generate (preset "mixed" ~n ~seed:1337)) in
+  let devices = Fleet.parse_devices "w32-hw,w32-sw,w32-hw,w32-sw" in
+  let conf = fconf ~shards:4 ~batch:8 ~devices () in
+  let t0 = Unix.gettimeofday () in
+  let res = Fleet.run conf specs in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let m = res.Fleet.metrics in
+  Printf.printf
+    "fleet-soak (hetero): %d requests, %d launches (%d memoized), %d steals, %d affinity moves, %.1fs host\n%!"
+    n m.Metrics.launches res.Fleet.fleet.Fleet.memo_hits
+    res.Fleet.fleet.Fleet.steals res.Fleet.fleet.Fleet.affinity_moves elapsed;
+  if List.length res.Fleet.reports <> n then
+    fail "hetero: %d reports for %d requests" (List.length res.Fleet.reports) n;
+  List.iteri
+    (fun i (r : Fleet.rq_report) ->
+      if r.Fleet.spec.Request.id <> i then
+        fail "hetero: report %d carries id %d (duplicate or lost request)" i
+          r.Fleet.spec.Request.id)
+    res.Fleet.reports;
+  let tally =
+    m.Metrics.completed + m.Metrics.rejected + m.Metrics.shed
+    + m.Metrics.timed_out + m.Metrics.failed + m.Metrics.degraded
+  in
+  if tally <> n then fail "hetero: outcomes tally to %d, not %d" tally n;
+  if m.Metrics.completed = 0 then fail "hetero: nothing completed";
+  List.iter
+    (fun (s : Metrics.shard_stats) ->
+      if s.Metrics.s_queue_max > conf.Fleet.base.Scheduler.queue_bound then
+        fail "hetero: shard %d queue peaked at %d (bound %d)" s.Metrics.shard
+          s.Metrics.s_queue_max conf.Fleet.base.Scheduler.queue_bound;
+      if s.Metrics.s_placed = 0 then
+        fail "hetero: shard %d was never placed to (dead device group)"
+          s.Metrics.shard)
+    res.Fleet.shard_stats;
+  if res.Fleet.fleet.Fleet.steals = 0 then
+    fail "hetero: in-group stealing never engaged";
+  if res.Fleet.fleet.Fleet.affinity_moves = 0 then
+    fail "hetero: affinity placement never moved anything off the ring";
+  (* same seed, same device order: byte-identical *)
+  let res2 = Fleet.run conf specs in
+  if not (String.equal (summary_json res) (summary_json res2)) then
+    fail "hetero: same-seed replay produced a different summary";
+  if
+    not
+      (String.equal
+         (Fleet.results_json res.Fleet.reports)
+         (Fleet.results_json res2.Fleet.reports))
+  then fail "hetero: same-seed replay produced different per-request results";
+  (* the device multiset shuffled over shard ids: per-request results
+     must not move a byte (placement keys on device names, not sids) *)
+  let shuffled =
+    Fleet.run
+      { conf with Fleet.devices = Fleet.parse_devices "w32-sw,w32-hw,w32-sw,w32-hw" }
+      specs
+  in
+  if
+    not
+      (String.equal
+         (Fleet.results_json res.Fleet.reports)
+         (Fleet.results_json shuffled.Fleet.reports))
+  then fail "hetero: shuffling devices over shard ids changed the results"
 
 (* --- 2. tenant fairness under pressure --------------------------------- *)
 
@@ -307,6 +385,7 @@ let throughput_stage () =
 
 let () =
   soak_stage ();
+  hetero_stage ();
   fairness_stage ();
   breaker_stage ();
   throughput_stage ();

@@ -222,6 +222,38 @@ let test_schedule_ablation () =
   check_bool "dynamic pays on uniform work" true
     (rel "uniform" "dynamic,1" < 1.05)
 
+(* zoo sweep smoke: one swept device at tiny scale must produce a
+   verdict per claim, each with per-kernel detail, and inversions must
+   agree with the holds flags.  w32-hw is the paper's own shape, so all
+   three claims are expected to hold there. *)
+let test_zoo_sweep_smoke () =
+  let entries =
+    List.filter
+      (fun (e : Gpusim.Zoo.entry) -> e.Gpusim.Zoo.name = "w32-hw")
+      Gpusim.Zoo.sweep
+  in
+  check_int "w32-hw exists" 1 (List.length entries);
+  let t = Experiments.Zoo_sweep.run ~scale:0.1 ~entries () in
+  check_int "one row" 1 (List.length t.Experiments.Zoo_sweep.rows);
+  let row = List.hd t.Experiments.Zoo_sweep.rows in
+  Alcotest.(check (list string))
+    "verdict labels follow the claim list" Experiments.Zoo_sweep.claims
+    (List.map
+       (fun (v : Experiments.Zoo_sweep.verdict) -> v.Experiments.Zoo_sweep.claim)
+       row.Experiments.Zoo_sweep.verdicts);
+  List.iter
+    (fun (v : Experiments.Zoo_sweep.verdict) ->
+      check_bool
+        (v.Experiments.Zoo_sweep.claim ^ " has detail")
+        true
+        (String.length v.Experiments.Zoo_sweep.detail > 0);
+      check_bool
+        (v.Experiments.Zoo_sweep.claim ^ " holds on the paper shape")
+        true v.Experiments.Zoo_sweep.holds)
+    row.Experiments.Zoo_sweep.verdicts;
+  check_int "no inversions on w32-hw" 0
+    (List.length (Experiments.Zoo_sweep.inversions t))
+
 let suite =
   [
     ( "experiments.fig9",
@@ -247,4 +279,6 @@ let suite =
         Alcotest.test_case "spmdization (E8)" `Slow test_spmdization_ablation;
         Alcotest.test_case "schedule (E9)" `Slow test_schedule_ablation;
       ] );
+    ( "experiments.zoo",
+      [ Alcotest.test_case "sweep smoke" `Quick test_zoo_sweep_smoke ] );
   ]

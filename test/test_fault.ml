@@ -67,6 +67,7 @@ let spec ?(at = 0.0) ?(kernel = "saxpy") ?(size = 64) ?(teams = 4)
     priority;
     seed;
     tenant = "-";
+    device = None;
   }
 
 (* One device-level launch of a serve catalog template: the same

@@ -35,9 +35,163 @@ let test_config_validation_catches () =
   check_bool "non-warp-multiple" true (Result.is_error (Config.validate bad2))
 
 let test_config_amd_flag () =
-  check_bool "a100 has warp barrier" true Config.a100.Config.has_warp_barrier;
-  check_bool "amd lacks warp barrier" false
-    Config.amd_like.Config.has_warp_barrier
+  check_bool "a100 has warp barrier" true
+    (Config.a100.Config.barrier_impl = Config.Hw_barrier);
+  check_bool "amd lacks warp barrier" true
+    (Config.amd_like.Config.barrier_impl = Config.No_barrier)
+
+(* --- Zoo -------------------------------------------------------------- *)
+
+let zoo_cfg name =
+  match Gpusim.Zoo.find name with
+  | Some e -> e.Gpusim.Zoo.config
+  | None -> Alcotest.failf "zoo entry %s missing" name
+
+let test_zoo_registry () =
+  List.iter
+    (fun (e : Gpusim.Zoo.entry) ->
+      (match Config.validate e.Gpusim.Zoo.config with
+      | Ok () -> ()
+      | Error msg ->
+          Alcotest.failf "zoo %s invalid: %s" e.Gpusim.Zoo.name msg);
+      check_bool
+        (e.Gpusim.Zoo.name ^ " findable")
+        true
+        (Gpusim.Zoo.find e.Gpusim.Zoo.name <> None))
+    Gpusim.Zoo.all;
+  check_int "names distinct"
+    (List.length Gpusim.Zoo.names)
+    (List.length (List.sort_uniq compare Gpusim.Zoo.names));
+  (* the swept axes are all represented *)
+  let sweep_cfgs =
+    List.map (fun e -> e.Gpusim.Zoo.config) Gpusim.Zoo.sweep
+  in
+  List.iter
+    (fun w ->
+      check_bool
+        (Printf.sprintf "warp %d swept" w)
+        true
+        (List.exists (fun c -> c.Config.warp_size = w) sweep_cfgs))
+    [ 8; 16; 32; 64 ];
+  List.iter
+    (fun (label, impl) ->
+      check_bool (label ^ " swept") true
+        (List.exists (fun c -> c.Config.barrier_impl = impl) sweep_cfgs))
+    [
+      ("hw", Config.Hw_barrier);
+      ("sw", Config.Sw_barrier);
+      ("none", Config.No_barrier);
+    ]
+
+let test_zoo_resolve () =
+  (match Gpusim.Zoo.resolve "w64-sw" with
+  | Ok c ->
+      check_int "warp width" 64 c.Config.warp_size;
+      check_bool "sw barrier" true (c.Config.barrier_impl = Config.Sw_barrier)
+  | Error e -> Alcotest.failf "w64-sw: %s" e);
+  (match Gpusim.Zoo.resolve "w64-sw,num_sms=4" with
+  | Ok c ->
+      check_int "override applied" 4 c.Config.num_sms;
+      check_int "name keeps warp" 64 c.Config.warp_size
+  | Error e -> Alcotest.failf "w64-sw,num_sms=4: %s" e);
+  (match Gpusim.Zoo.resolve "no-such-device" with
+  | Ok _ -> Alcotest.fail "unknown device resolved"
+  | Error e ->
+      check_bool "error names the device" true
+        (Astring_like.contains e "no-such-device"))
+
+let test_config_spec_roundtrip () =
+  List.iter
+    (fun (e : Gpusim.Zoo.entry) ->
+      let c = e.Gpusim.Zoo.config in
+      match Config.of_spec ~base:c (Config.to_spec c) with
+      | Ok c' -> check_bool (e.Gpusim.Zoo.name ^ " roundtrip") true (c' = c)
+      | Error msg -> Alcotest.failf "%s roundtrip: %s" e.Gpusim.Zoo.name msg)
+    Gpusim.Zoo.all
+
+let test_config_of_spec_errors () =
+  let bad spec needle =
+    match Config.of_spec ~base:Config.small spec with
+    | Ok _ -> Alcotest.failf "accepted %S" spec
+    | Error msg ->
+        check_bool
+          (Printf.sprintf "%S error mentions %S" spec needle)
+          true
+          (Astring_like.contains msg needle)
+  in
+  bad "warp_sz=16" "warp_sz";
+  bad "warp_size=banana" "warp_size";
+  bad "warp_size=0" "warp";
+  bad "barrier=quantum" "barrier"
+
+(* Same kernel, same data, different warp widths and barrier
+   implementations: the device-memory results must be bit-identical.
+   Warp width moves cycle counts, never values — and that has to hold
+   under both evaluation engines and a pooled run, or a heterogeneous
+   fleet could not batch/steal across devices safely. *)
+let zoo_width_differential =
+  QCheck.Test.make ~count:4 ~name:"zoo width differential"
+    QCheck.(
+      triple
+        (oneofl Serve.Request.catalog_names)
+        (int_range 16 48) (int_range 1 1000))
+    (fun (kernel, size, seed) ->
+      let spec =
+        {
+          Serve.Request.default_spec with
+          Serve.Request.kernel;
+          size;
+          seed;
+          teams = 2;
+          threads = 64;
+          (* a multiple of every swept warp width *)
+          simdlen = 8;
+        }
+      in
+      let knobs = Openmp.Offload.default_knobs in
+      let run_on ?pool cfg =
+        let k, bindings, out = Serve.Request.instantiate spec in
+        match Openmp.Offload.compile_with ~knobs k with
+        | Error _ -> Alcotest.failf "%s does not compile" kernel
+        | Ok compiled ->
+            let clauses =
+              Openmp.Clause.(
+                none
+                |> num_teams spec.Serve.Request.teams
+                |> num_threads spec.Serve.Request.threads
+                |> simdlen spec.Serve.Request.simdlen)
+            in
+            ignore
+              (Openmp.Offload.run ~cfg ?pool ~clauses ~bindings compiled
+                : Device.report);
+            Array.init (Memory.flength out) (Memory.host_get out)
+      in
+      let with_env pairs f =
+        List.iter (fun (k, v) -> Unix.putenv k v) pairs;
+        Fun.protect f ~finally:(fun () ->
+            List.iter (fun (k, _) -> Unix.putenv k "") pairs)
+      in
+      let reference =
+        with_env [ ("OMPSIMD_EVAL", "") ] (fun () -> run_on (zoo_cfg "w32-hw"))
+      in
+      let pool = Pool.create ~domains:2 () in
+      let ok =
+        List.for_all
+          (fun name ->
+            let cfg = zoo_cfg name in
+            let seq =
+              with_env [ ("OMPSIMD_EVAL", "") ] (fun () -> run_on cfg)
+            in
+            let pooled =
+              with_env
+                [ ("OMPSIMD_EVAL", "walk") ]
+                (fun () -> run_on ~pool cfg)
+            in
+            seq = reference && pooled = reference)
+          [ "w8-hw"; "w16-hw"; "w64-hw"; "w16-sw"; "w64-sw"; "w32-none" ]
+      in
+      Pool.shutdown pool;
+      ok)
 
 (* --- Linebuf ---------------------------------------------------------- *)
 
@@ -743,6 +897,14 @@ let suite =
         Alcotest.test_case "presets valid" `Quick test_config_presets_valid;
         Alcotest.test_case "validation" `Quick test_config_validation_catches;
         Alcotest.test_case "amd flag" `Quick test_config_amd_flag;
+      ] );
+    ( "gpusim.zoo",
+      [
+        Alcotest.test_case "registry" `Quick test_zoo_registry;
+        Alcotest.test_case "resolve" `Quick test_zoo_resolve;
+        Alcotest.test_case "spec roundtrip" `Quick test_config_spec_roundtrip;
+        Alcotest.test_case "spec errors" `Quick test_config_of_spec_errors;
+        QCheck_alcotest.to_alcotest zoo_width_differential;
       ] );
     ( "gpusim.linebuf",
       [

@@ -792,7 +792,7 @@ let qcheck_cases =
           if Simd_group.get_simd_group_id g ~tid = 0 then
             acc := Ompsimd_util.Mask.union !acc (Simd_group.simdmask g ~tid)
         done;
-        !acc = Ompsimd_util.Mask.full);
+        !acc = Ompsimd_util.Mask.full ~warp_size:32);
     Test.make ~name:"scale kernel correct for random shapes/modes" ~count:25
       (quad (int_range 1 20) (int_range 0 40) (int_range 0 1) (int_range 0 5))
       (fun (rows, len, mode_idx, gs_idx) ->

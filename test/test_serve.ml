@@ -16,7 +16,7 @@ let cfg = Gpusim.Config.small
 
 let spec ?(at = 0.0) ?(kernel = "saxpy") ?(size = 16) ?(teams = 1)
     ?(threads = 32) ?(simdlen = 8) ?(guardize = false) ?deadline
-    ?(priority = 0) ?(seed = 1) ?(tenant = "-") id =
+    ?(priority = 0) ?(seed = 1) ?(tenant = "-") ?device id =
   {
     Request.id;
     at;
@@ -30,6 +30,7 @@ let spec ?(at = 0.0) ?(kernel = "saxpy") ?(size = 16) ?(teams = 1)
     priority;
     seed;
     tenant;
+    device;
   }
 
 let conf ?(queue_bound = 4) ?(servers = 1) ?(cache = 8) ?(retries = 0)
@@ -289,8 +290,9 @@ let test_deterministic_replay () =
 (* --- the fleet --------------------------------------------------------- *)
 
 let fconf ?(shards = 2) ?(batch = 4) ?(steal = true) ?(memo = true)
-    ?(tenants = []) ?(queue_bound = 4) ?(servers = 1) ?(cache = 8)
-    ?(retries = 0) ?(backoff = 500.0) ?(breaker = 4) () =
+    ?(tenants = []) ?(devices = []) ?(affinity = true) ?(queue_bound = 4)
+    ?(servers = 1) ?(cache = 8) ?(retries = 0) ?(backoff = 500.0)
+    ?(breaker = 4) () =
   {
     Fleet.base = conf ~queue_bound ~servers ~cache ~retries ~backoff ~breaker ();
     shards;
@@ -298,6 +300,8 @@ let fconf ?(shards = 2) ?(batch = 4) ?(steal = true) ?(memo = true)
     steal;
     memo;
     tenants;
+    devices;
+    affinity;
   }
 
 let with_env2 bindings f =
@@ -571,6 +575,121 @@ let fleet_batching_equivalence =
                  && Gpusim.Counters.equal a.Fleet.counters b.Fleet.counters)
                batched solo))
 
+(* --- heterogeneous fleets ------------------------------------------- *)
+
+let test_parse_devices () =
+  (match Fleet.parse_devices "w32-hw, w64-sw" with
+  | [ a; b ] ->
+      Alcotest.(check string) "first" "w32-hw" a.Gpusim.Config.name;
+      Alcotest.(check string) "second" "w64-sw" b.Gpusim.Config.name
+  | _ -> Alcotest.fail "expected two devices");
+  match Fleet.parse_devices "w32-hw,nope" with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "names the device" true
+        (Astring_like.contains msg "nope")
+  | _ -> Alcotest.fail "unknown device accepted"
+
+(* A [device=] pin routes to the pinned device's shard when some shard
+   carries it AND the request geometry fits it; otherwise the pin is
+   ignored and the request replays as if unpinned. *)
+let test_device_pin () =
+  let devices = Fleet.parse_devices "w32-hw,w64-sw" in
+  let mk ?device ?(threads = 32) id =
+    spec
+      ~at:(float_of_int id *. 100_000.0)
+      ~kernel:"saxpy" ~size:64 ~teams:1 ~threads ?device id
+  in
+  let specs =
+    [
+      mk ~device:"w64-sw" ~threads:64 0 (* honored *);
+      mk ~device:"w64-sw" ~threads:32 1 (* 32 does not fit a 64-warp *);
+      mk ~device:"a100q" 2 (* no shard carries it *);
+    ]
+  in
+  let res =
+    Fleet.run
+      (fconf ~shards:2 ~batch:1 ~steal:false ~memo:false ~devices
+         ~queue_bound:100 ~servers:1 ())
+      specs
+  in
+  let r id =
+    List.find
+      (fun (r : Fleet.rq_report) -> r.Fleet.spec.Request.id = id)
+      res.Fleet.reports
+  in
+  List.iter
+    (fun id ->
+      Alcotest.check outcome
+        (Printf.sprintf "request %d completes" id)
+        Scheduler.Completed (r id).Fleet.outcome)
+    [ 0; 1; 2 ];
+  Alcotest.(check int) "pin lands on the w64 shard" 1 (r 0).Fleet.shard;
+  Alcotest.(check int) "unfittable pin stays on w32" 0 (r 1).Fleet.shard;
+  Alcotest.(check int) "uncarried pin stays on w32" 0 (r 2).Fleet.shard
+
+(* Directed affinity migration: repeated same-content traffic on a
+   two-device fleet first explores (an unmeasured device costs 0, so
+   both get a launch), then every later arrival concentrates on the
+   device with the lowest observed member cycles.  The trace is spaced
+   so each request finishes before the next places. *)
+let test_affinity_migration () =
+  let devices = Fleet.parse_devices "w32-hw,w32-sw" in
+  let specs =
+    List.init 10 (fun i ->
+        spec
+          ~at:(float_of_int i *. 100_000.0)
+          ~kernel:"rowsum" ~size:256 ~teams:2 ~seed:(i + 1) i)
+  in
+  let res =
+    Fleet.run
+      (fconf ~shards:2 ~batch:1 ~steal:false ~memo:false ~devices
+         ~queue_bound:100 ~servers:1 ())
+      specs
+  in
+  let reports = res.Fleet.reports in
+  Alcotest.(check int)
+    "all completed" 10
+    (List.length
+       (List.filter
+          (fun (r : Fleet.rq_report) -> r.Fleet.outcome = Scheduler.Completed)
+          reports));
+  let late = List.filteri (fun i _ -> i >= 2) reports in
+  let late_shards =
+    List.sort_uniq compare
+      (List.map (fun (r : Fleet.rq_report) -> r.Fleet.shard) late)
+  in
+  Alcotest.(check int) "hot content concentrates on one device" 1
+    (List.length late_shards);
+  Alcotest.(check bool) "affinity moved someone off the plain ring" true
+    (res.Fleet.fleet.Fleet.affinity_moves > 0)
+
+(* qcheck: shuffling the device multiset over shard ids changes which
+   sid hosts which architecture, but not what any request experiences —
+   placement, stealing and affinity all key on device names, so
+   [results_json] is byte-identical and no request is lost. *)
+let fleet_device_shuffle =
+  QCheck.Test.make ~count:4 ~name:"fleet device shuffle invariance"
+    QCheck.(pair small_nat (int_range 1 3))
+    (fun (seed, rot) ->
+      let specs = Traffic.(generate (preset "flash" ~n:20 ~seed)) in
+      let devices = Fleet.parse_devices "w32-hw,w64-hw,w16-sw,w32-l2tiny" in
+      let n = List.length devices in
+      let rotated = List.init n (fun i -> List.nth devices ((i + rot) mod n)) in
+      let run devices =
+        Fleet.run
+          (fconf ~shards:4 ~batch:4 ~devices ~queue_bound:10_000 ~retries:2
+             ~breaker:0 ~servers:2 ())
+          specs
+      in
+      let a = run devices and b = run rotated in
+      let m = a.Fleet.metrics in
+      String.equal
+        (Fleet.results_json a.Fleet.reports)
+        (Fleet.results_json b.Fleet.reports)
+      && m.Metrics.completed + m.Metrics.rejected + m.Metrics.shed
+         + m.Metrics.timed_out + m.Metrics.failed + m.Metrics.degraded
+         = 20)
+
 let test_priority_order () =
   (* three queued requests drain highest-priority-first *)
   let reports, _ =
@@ -630,5 +749,11 @@ let suite =
         QCheck_alcotest.to_alcotest fleet_no_lost_request;
         QCheck_alcotest.to_alcotest fleet_replay_invariance;
         QCheck_alcotest.to_alcotest fleet_batching_equivalence;
+        Alcotest.test_case "fleet: parse_devices" `Quick test_parse_devices;
+        Alcotest.test_case "fleet: device pin routes to its group" `Quick
+          test_device_pin;
+        Alcotest.test_case "fleet: affinity concentrates hot content" `Quick
+          test_affinity_migration;
+        QCheck_alcotest.to_alcotest fleet_device_shuffle;
       ] );
   ]

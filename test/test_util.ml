@@ -148,42 +148,64 @@ let test_stats_speedup () =
 
 let test_mask_group_partition () =
   List.iter
-    (fun gs ->
-      let groups = 32 / gs in
-      let union = ref Mask.empty in
-      for g = 0 to groups - 1 do
-        let m = Mask.group ~group_size:gs ~group_index:g in
-        check Alcotest.int "group size" gs (Mask.popcount m);
-        Alcotest.(check bool) "disjoint" true (Mask.disjoint !union m);
-        union := Mask.union !union m
-      done;
-      check Alcotest.int "covers warp" Mask.full !union)
-    [ 1; 2; 4; 8; 16; 32 ]
+    (fun ws ->
+      List.iter
+        (fun gs ->
+          if ws mod gs = 0 then begin
+            let groups = ws / gs in
+            let union = ref Mask.empty in
+            for g = 0 to groups - 1 do
+              let m = Mask.group ~warp_size:ws ~group_size:gs ~group_index:g in
+              check Alcotest.int "group size" gs (Mask.popcount m);
+              Alcotest.(check bool) "disjoint" true (Mask.disjoint !union m);
+              union := Mask.union !union m
+            done;
+            check Alcotest.int "covers warp" (Mask.full ~warp_size:ws) !union
+          end)
+        [ 1; 2; 4; 8; 16; 32; 64 ])
+    [ 8; 16; 32; 64 ]
 
 let test_mask_lowest () =
   check Alcotest.int "lowest of group 1 size 8" 8
-    (Mask.lowest (Mask.group ~group_size:8 ~group_index:1));
+    (Mask.lowest (Mask.group ~warp_size:32 ~group_size:8 ~group_index:1));
   Alcotest.check_raises "empty" (Invalid_argument "Mask.lowest: empty mask")
     (fun () -> ignore (Mask.lowest Mask.empty))
 
 let test_mask_iter_vs_list () =
-  let m = Mask.union (Mask.lane 3) (Mask.union (Mask.lane 17) (Mask.lane 31)) in
-  check Alcotest.(list int) "to_list" [ 3; 17; 31 ] (Mask.to_list m);
-  check Alcotest.int "popcount" 3 (Mask.popcount m)
+  let m = Mask.group ~warp_size:64 ~group_size:16 ~group_index:3 in
+  check
+    Alcotest.(list int)
+    "to_list"
+    [ 48; 49; 50; 51; 52; 53; 54; 55; 56; 57; 58; 59; 60; 61; 62; 63 ]
+    (Mask.to_list m);
+  check Alcotest.int "popcount" 16 (Mask.popcount m);
+  Alcotest.(check bool) "mem hi lane" true (Mask.mem m 63);
+  Alcotest.(check bool) "not mem" false (Mask.mem m 47)
 
 let test_mask_subset () =
-  let small = Mask.group ~group_size:4 ~group_index:0 in
-  let big = Mask.group ~group_size:16 ~group_index:0 in
+  let small = Mask.group ~warp_size:32 ~group_size:4 ~group_index:0 in
+  let big = Mask.group ~warp_size:32 ~group_size:16 ~group_index:0 in
   Alcotest.(check bool) "subset" true (Mask.subset small ~of_:big);
   Alcotest.(check bool) "not subset" false (Mask.subset big ~of_:small)
+
+let test_mask_union_contiguity () =
+  let g i = Mask.group ~warp_size:32 ~group_size:8 ~group_index:i in
+  check Alcotest.int "adjacent groups fuse" 16 (Mask.popcount (Mask.union (g 0) (g 1)));
+  check Alcotest.int "overlap folds" 8 (Mask.popcount (Mask.union (g 2) (g 2)));
+  Alcotest.check_raises "gap rejected"
+    (Invalid_argument "Mask.union: result not contiguous") (fun () ->
+      ignore (Mask.union (g 0) (g 2)))
 
 let test_mask_invalid () =
   Alcotest.check_raises "bad size"
     (Invalid_argument "Mask.group: group_size must divide the warp") (fun () ->
-      ignore (Mask.group ~group_size:3 ~group_index:0));
+      ignore (Mask.group ~warp_size:32 ~group_size:3 ~group_index:0));
   Alcotest.check_raises "bad index"
     (Invalid_argument "Mask.group: group_index out of range") (fun () ->
-      ignore (Mask.group ~group_size:8 ~group_index:4))
+      ignore (Mask.group ~warp_size:32 ~group_size:8 ~group_index:4));
+  Alcotest.check_raises "bad warp"
+    (Invalid_argument "Mask.full: warp size out of range") (fun () ->
+      ignore (Mask.full ~warp_size:65))
 
 (* --- Table ------------------------------------------------------------ *)
 
@@ -219,14 +241,18 @@ let qcheck_cases =
         let v = Prng.int g bound in
         v >= 0 && v < bound);
     Test.make ~name:"mask.group masks partition the warp" ~count:200
-      (int_range 0 5)
-      (fun k ->
-        let gs = 1 lsl k in
+      (pair (int_range 0 6) (int_range 3 6))
+      (fun (k, w) ->
+        let ws = 1 lsl w in
+        let gs = 1 lsl min k w in
         let acc = ref 0 in
-        for g = 0 to (32 / gs) - 1 do
-          acc := !acc + Mask.popcount (Mask.group ~group_size:gs ~group_index:g)
+        for g = 0 to (ws / gs) - 1 do
+          acc :=
+            !acc
+            + Mask.popcount
+                (Mask.group ~warp_size:ws ~group_size:gs ~group_index:g)
         done;
-        !acc = 32);
+        !acc = ws);
     Test.make ~name:"stats.percentile is monotone" ~count:200
       (pair (list_of_size Gen.(int_range 1 50) (float_range (-100.) 100.))
          (pair (float_range 0.0 100.0) (float_range 0.0 100.0)))
@@ -276,6 +302,7 @@ let suite =
         Alcotest.test_case "lowest" `Quick test_mask_lowest;
         Alcotest.test_case "iter/to_list" `Quick test_mask_iter_vs_list;
         Alcotest.test_case "subset" `Quick test_mask_subset;
+        Alcotest.test_case "union contiguity" `Quick test_mask_union_contiguity;
         Alcotest.test_case "invalid" `Quick test_mask_invalid;
       ] );
     ( "util.table",

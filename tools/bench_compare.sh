@@ -46,6 +46,13 @@ run_bench() {
   # The fleet knobs are pinned blank the same way: the fleet row builds
   # its explicit config internally, and an inherited shard/batch/steal
   # override must not reshape it against the baseline.
+  # The device knobs are pinned blank too: every row benchmarks the
+  # seed device, and the hetero fleet row names its own zoo slice
+  # internally — an inherited OMPSIMD_DEVICE or fleet device list would
+  # shift every simulation row against the baseline.
+  OMPSIMD_DEVICE= \
+  OMPSIMD_FLEET_DEVICES= \
+  OMPSIMD_FLEET_AFFINITY= \
   OMPSIMD_SERVE_SHARDS= \
   OMPSIMD_SERVE_BATCH= \
   OMPSIMD_SERVE_STEAL= \
@@ -115,6 +122,10 @@ if fresh["ms_per_run"].get("reduction ablation (E6)") is None:
 # fleet-layer slowdown ship ungated.
 if fresh["ms_per_run"].get("serve fleet warm (4 shards)") is None:
     sys.exit("FAIL: fresh run has no estimate for 'serve fleet warm (4 shards)'")
+# And the heterogeneous row: the only row exercising device-affinity
+# placement, per-device memo partitioning and sub-ring routing.
+if fresh["ms_per_run"].get("serve fleet warm (hetero 4 shards)") is None:
+    sys.exit("FAIL: fresh run has no estimate for 'serve fleet warm (hetero 4 shards)'")
 print(f"{'row':<30} {'committed':>10} {'fresh':>10}  ratio")
 for name, old in base["ms_per_run"].items():
     new = fresh["ms_per_run"].get(name)

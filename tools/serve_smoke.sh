@@ -19,9 +19,12 @@ trap 'rm -rf "$out"' EXIT
 # Pin the fleet knobs to their unset defaults so the classic
 # single-device sections below replay byte-identically even if the
 # caller's shell exports them (a set OMPSIMD_SERVE_SHARDS would route
-# `serve` through the fleet scheduler).
+# `serve` through the fleet scheduler).  The device knobs are pinned
+# the same way: every section below replays on the seed device, and
+# the heterogeneous section sets its own device list explicitly.
 export OMPSIMD_SERVE_SHARDS= OMPSIMD_SERVE_BATCH= OMPSIMD_SERVE_STEAL=
 export OMPSIMD_SERVE_MEMO= OMPSIMD_SERVE_TENANTS=
+export OMPSIMD_DEVICE= OMPSIMD_FLEET_DEVICES= OMPSIMD_FLEET_AFFINITY=
 
 dune build bin/ompsimd_run.exe
 run=./_build/default/bin/ompsimd_run.exe
@@ -95,6 +98,51 @@ diff -q "$out/results_1_1.json" "$out/results_4_8.json" \
   || { echo "FAIL: results changed with the shard/batch shape"; exit 1; }
 diff -q "$out/results_1_1.json" "$out/results_6_2.json" \
   || { echo "FAIL: results changed with the shard/batch shape"; exit 1; }
+
+# --- the heterogeneous fleet -------------------------------------------
+# Four shards carrying four zoo devices with affinity placement on.
+# Two contracts: the full snapshot is byte-identical across engine x
+# pool like everything else, and shuffling the device multiset over
+# shard ids moves no byte of the per-request results (placement,
+# stealing and affinity key on device names, never shard ids).
+zoo="w32-hw,w64-hw,w16-sw,w32-l2tiny"
+href=""
+for engine in compile walk; do
+  for domains in 0 3; do
+    json="$out/hetero_${engine}_${domains}.json"
+    echo "== hetero OMPSIMD_EVAL=$engine OMPSIMD_DOMAINS=$domains =="
+    OMPSIMD_EVAL="$engine" OMPSIMD_DOMAINS="$domains" \
+      OMPSIMD_FLEET_DEVICES="$zoo" \
+      "$run" serve --traffic 200 --profile mixed --seed 7 \
+      --shards 4 --batch 8 --json "$json" > "$out/hetero_${engine}_${domains}.log"
+    if [ -z "$href" ]; then
+      href="$json"
+    else
+      diff -q "$href" "$json" \
+        || { echo "FAIL: hetero snapshot differs from $href"; exit 1; }
+    fi
+  done
+done
+
+# device-shuffle identity, on an admission-lossless config
+for perm in "$zoo" "w32-l2tiny,w32-hw,w64-hw,w16-sw" "w16-sw,w32-l2tiny,w32-hw,w64-hw"; do
+  OMPSIMD_SERVE_QUEUE=100000 OMPSIMD_FLEET_DEVICES="$perm" \
+    "$run" serve --traffic 200 --profile flash --seed 11 \
+    --shards 4 --batch 8 --results "$out/hetero_perm.json" > /dev/null
+  if [ ! -f "$out/hetero_perm_ref.json" ]; then
+    mv "$out/hetero_perm.json" "$out/hetero_perm_ref.json"
+  else
+    diff -q "$out/hetero_perm_ref.json" "$out/hetero_perm.json" \
+      || { echo "FAIL: results moved under device shuffle ($perm)"; exit 1; }
+  fi
+done
+
+# the hetero replay must actually have routed off the plain ring
+hstats="$(grep -o '"fleet": {[^}]*}' "$href")"
+case "$hstats" in
+  *'"affinity_moves": 0'*)
+    echo "FAIL: hetero replay never exercised affinity placement"; exit 1 ;;
+esac
 
 # the fleet replay must have exercised its machinery
 fstats="$(grep -o '"fleet": {[^}]*}' "$fref.traffic")"
