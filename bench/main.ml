@@ -111,6 +111,8 @@ let serve_conf ~cache =
     max_retries = 2;
     backoff = 500.0;
     breaker = 4;
+    slo = None;
+    window = 20_000.0;
     knobs = Openmp.Offload.default_knobs;
   }
 
@@ -168,6 +170,10 @@ let bench_cases ~pool () =
             tenants = [];
             devices = [];
             affinity = true;
+            telemetry = false;
+            shed = true;
+            autoscale = Serve.Autoscale.disabled;
+            decay = 0;
           }
         in
         ignore (Serve.Fleet.run fconf ~pool serve_trace) );
@@ -188,6 +194,42 @@ let bench_cases ~pool () =
             tenants = [];
             devices = Serve.Fleet.parse_devices "w32-hw,w64-hw,w16-sw,w32-l2tiny";
             affinity = true;
+            telemetry = false;
+            shed = true;
+            autoscale = Serve.Autoscale.disabled;
+            decay = 0;
+          }
+        in
+        ignore (Serve.Fleet.run fconf ~pool serve_trace) );
+    (* the warm fleet trace under an SLO: telemetry windows close on
+       every boundary, the autoscaler evaluates each one, and SLO
+       admission watches the windowed p99 — the delta against "serve
+       fleet warm (4 shards)" is the operability plane's host cost *)
+    ( "serve fleet SLO (4 shards)",
+      fun () ->
+        let base = { (serve_conf ~cache:32) with Serve.Scheduler.slo = Some 30_000.0 } in
+        let fconf =
+          {
+            Serve.Fleet.base;
+            shards = 4;
+            batch = 8;
+            steal = true;
+            memo = true;
+            tenants = [];
+            devices = [];
+            affinity = true;
+            telemetry = true;
+            shed = true;
+            autoscale =
+              {
+                Serve.Autoscale.enabled = true;
+                slo = 30_000.0;
+                budget = 8;
+                max_extra = 6;
+                down = 0.5;
+                cooldown = 2;
+              };
+            decay = 2;
           }
         in
         ignore (Serve.Fleet.run fconf ~pool serve_trace) );

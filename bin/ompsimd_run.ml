@@ -438,6 +438,25 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "results" ] ~docv:"FILE" ~doc)
   in
+  let telemetry_term =
+    let doc =
+      "Fleet only: stream windowed telemetry (per-shard latency \
+       percentiles, queue depths, breaker states, autoscaler and SLO \
+       admission decisions) as JSONL to this file.  Deterministic: \
+       byte-identical across engines, pool widths and device shuffles.  \
+       Implies the fleet scheduler; OMPSIMD_SERVE_TELEMETRY=<file> does \
+       the same from the environment."
+    in
+    Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE" ~doc)
+  in
+  let slo_term =
+    let doc =
+      "Latency SLO in milliseconds of virtual time (1 ms = 1000 ticks; \
+       overrides OMPSIMD_SERVE_SLO_MS).  Arms SLO-aware admission and, \
+       in the fleet, the autoscaler."
+    in
+    Arg.(value & opt (some float) None & info [ "slo" ] ~docv:"MS" ~doc)
+  in
   let write path contents what =
     let oc = open_out path in
     Fun.protect
@@ -446,7 +465,7 @@ let serve_cmd =
     Printf.printf "%s written to %s\n" what path
   in
   let run device requests synthetic seed gap traffic profile shards batch
-      json_path results_path =
+      json_path results_path telemetry_path slo_ms =
     with_device device (fun cfg pool ->
         let specs =
           match (requests, synthetic, traffic) with
@@ -475,8 +494,14 @@ let serve_cmd =
            replay snapshots are untouched; any fleet knob — a flag here
            or OMPSIMD_SERVE_SHARDS in the environment — opts into the
            fleet. *)
+        (match slo_ms with
+        | Some ms when ms <= 0.0 ->
+            prerr_endline "serve: --slo must be a positive millisecond value";
+            exit 2
+        | _ -> ());
         let fleet_mode =
           shards <> None || batch <> None || traffic <> None
+          || telemetry_path <> None
           || Ompsimd_util.Env.var "OMPSIMD_SERVE_SHARDS" <> None
         in
         if fleet_mode then begin
@@ -492,7 +517,30 @@ let serve_cmd =
               Serve.Fleet.shards =
                 Option.value ~default:fconf.Serve.Fleet.shards shards;
               batch = Option.value ~default:fconf.Serve.Fleet.batch batch;
+              telemetry = fconf.Serve.Fleet.telemetry || telemetry_path <> None;
             }
+          in
+          (* a --slo override re-derives the autoscaler knobs: they are
+             a function of the SLO (and the final shard count) *)
+          let fconf =
+            match slo_ms with
+            | None -> fconf
+            | Some ms ->
+                let base =
+                  {
+                    fconf.Serve.Fleet.base with
+                    Serve.Scheduler.slo = Some (ms *. 1000.0);
+                  }
+                in
+                {
+                  fconf with
+                  Serve.Fleet.base = base;
+                  autoscale =
+                    Serve.Autoscale.config_of_env
+                      ~slo:base.Serve.Scheduler.slo
+                      ~shards:fconf.Serve.Fleet.shards
+                      ~servers:base.Serve.Scheduler.servers ();
+                }
           in
           let res =
             try Serve.Fleet.run fconf ~pool specs
@@ -514,10 +562,22 @@ let serve_cmd =
               write path
                 (Serve.Fleet.results_json res.Serve.Fleet.reports)
                 "results")
-            results_path
+            results_path;
+          (* --telemetry wins; otherwise the env knob's value is the path *)
+          Option.iter
+            (fun path -> write path res.Serve.Fleet.telemetry "telemetry")
+            (match telemetry_path with
+            | Some p -> Some p
+            | None -> Ompsimd_util.Env.var "OMPSIMD_SERVE_TELEMETRY")
         end
         else begin
           let conf = Serve.Scheduler.config_of_env ~cfg () in
+          let conf =
+            match slo_ms with
+            | None -> conf
+            | Some ms ->
+                { conf with Serve.Scheduler.slo = Some (ms *. 1000.0) }
+          in
           let reports, metrics = Serve.Scheduler.run conf ~pool specs in
           List.iter
             (fun r -> print_endline (Serve.Scheduler.report_line r))
@@ -543,7 +603,7 @@ let serve_cmd =
     Term.(
       const run $ device_term $ requests_term $ synthetic_term $ seed_term
       $ gap_term $ traffic_term $ profile_term $ shards_term $ batch_term
-      $ json_term $ results_term)
+      $ json_term $ results_term $ telemetry_term $ slo_term)
 
 let () =
   let info =

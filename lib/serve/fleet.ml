@@ -78,6 +78,13 @@ type config = {
       (* per-shard device configs, cycled across shard ids; [] means
          every shard runs the base device (the pre-zoo fleet) *)
   affinity : bool;  (* content->config affinity placement (hetero only) *)
+  telemetry : bool;  (* collect the windowed JSONL telemetry stream *)
+  shed : bool;  (* SLO-aware admission shedding (armed when base.slo is set) *)
+  autoscale : Autoscale.config;  (* window-boundary concurrency control *)
+  decay : int;
+      (* affinity cost-table horizon in windows: observed minima older
+         than this age back toward "unmeasured" so a nonstationary
+         trace re-explores; 0 = remember forever (the pre-decay table) *)
 }
 
 let parse_tenants spec =
@@ -115,9 +122,11 @@ let parse_devices spec =
                invalid_arg (Printf.sprintf "OMPSIMD_FLEET_DEVICES: %s" msg))
 
 let config_of_env ~cfg () =
+  let base = Scheduler.config_of_env ~cfg () in
+  let shards = Env.int "OMPSIMD_SERVE_SHARDS" ~default:4 in
   {
-    base = Scheduler.config_of_env ~cfg ();
-    shards = Env.int "OMPSIMD_SERVE_SHARDS" ~default:4;
+    base;
+    shards;
     batch = Env.int "OMPSIMD_SERVE_BATCH" ~default:8;
     steal = Env.flag "OMPSIMD_SERVE_STEAL" ~default:true;
     memo = Env.flag "OMPSIMD_SERVE_MEMO" ~default:true;
@@ -130,6 +139,14 @@ let config_of_env ~cfg () =
       | None -> []
       | Some spec -> parse_devices spec);
     affinity = Env.flag "OMPSIMD_FLEET_AFFINITY" ~default:true;
+    (* the env knob carries the stream's destination path (the CLI
+       writes it); its presence is what turns collection on *)
+    telemetry = Env.var "OMPSIMD_SERVE_TELEMETRY" <> None;
+    shed = Env.flag "OMPSIMD_SERVE_SHED" ~default:true;
+    autoscale =
+      Autoscale.config_of_env ~slo:base.Scheduler.slo ~shards
+        ~servers:base.Scheduler.servers ();
+    decay = Env.int "OMPSIMD_FLEET_DECAY" ~default:0;
   }
 
 let weight_of conf tenant =
@@ -235,7 +252,8 @@ type breaker = { mutable consecutive : int; mutable br : breaker_state }
 type shard_state = {
   sid : int;
   mutable queue : pending list;
-  mutable free : int;
+  mutable conc : int;  (* concurrency target: servers + autoscaled extra *)
+  mutable busy : int;  (* executors occupied; dispatch while busy < conc *)
   breakers : (string, breaker) Hashtbl.t;
   mutable s_placed : int;
   mutable s_queue_max : int;
@@ -244,6 +262,8 @@ type shard_state = {
   mutable s_batched_requests : int;
   mutable s_steals : int;
   mutable s_breaker_opens : int;
+  mutable s_retries : int;
+  mutable s_relaunches : int;
 }
 
 type rq_report = {
@@ -281,6 +301,7 @@ type result = {
   shard_stats : Metrics.shard_stats list;
   tenant_stats : Metrics.tenant_stats list;
   fleet : fleet_stats;
+  telemetry : string;  (* the windowed JSONL stream; "" unless collected *)
 }
 
 (* Virtual cost of folding one more member into a merged grid: the
@@ -307,6 +328,9 @@ let run conf ?pool specs =
     invalid_arg "Fleet.run: negative queue bound";
   if base.Scheduler.breaker < 0 then
     invalid_arg "Fleet.run: negative breaker threshold";
+  if base.Scheduler.window <= 0.0 then
+    invalid_arg "Fleet.run: window must be > 0";
+  if conf.decay < 0 then invalid_arg "Fleet.run: negative affinity decay";
   Gpusim.Fault.refresh_from_env ();
   Gpusim.Fault.reset ();
   (* heterogeneity: each shard carries a device config, the [devices]
@@ -392,19 +416,98 @@ let run conf ?pool specs =
         Hashtbl.add union_rings key r;
         r
   in
+  (* Member labels: a shard is named by its device and its index within
+     that device's group (in shard-id order) — "smX/j", the same j that
+     labels the group sub-ring's vnodes.  Telemetry emits and the
+     autoscaler contends for pool tokens in label order, never shard-id
+     order, so both replay byte-identically under device shuffles. *)
+  let labels =
+    let seen : (string, int) Hashtbl.t = Hashtbl.create 8 in
+    Array.map
+      (fun (d : Gpusim.Config.t) ->
+        let dn = d.Gpusim.Config.name in
+        let j = Option.value ~default:0 (Hashtbl.find_opt seen dn) in
+        Hashtbl.replace seen dn (j + 1);
+        Printf.sprintf "%s/%d" dn j)
+      devs
+  in
+  let label_order =
+    let o = Array.init conf.shards Fun.id in
+    Array.sort (fun a b -> String.compare labels.(a) labels.(b)) o;
+    o
+  in
+  let slo = base.Scheduler.slo in
+  (* 512 retained latency samples per shard per window: enough for a
+     stable windowed p99 at serve rates, bounded so a flash crowd can't
+     grow the collector *)
+  let tele =
+    Telemetry.create
+      {
+        Telemetry.window = base.Scheduler.window;
+        ring = 512;
+        emit = conf.telemetry;
+      }
+      ~labels ~base_conc:base.Scheduler.servers
+  in
+  let asc = Autoscale.create conf.autoscale ~shards:conf.shards in
+  (* Effective p99 per shard / fleet-wide, carried across sample-less
+     windows: a saturated shard that completed nothing keeps its last
+     measured percentile (it did not get healthier by stalling); only a
+     genuinely idle one (empty queue, no busy executor) resets to 0. *)
+  let carry = Array.make conf.shards 0.0 in
+  let carry_fleet = ref 0.0 in
+  let shedding = ref false in
   (* per-(content, device-name) observed member cycles; the affinity
      estimator is the *minimum* observed exec, not a moving average:
      min is commutative and idempotent, so the table's state at any
      virtual instant is a pure function of the set of finishes before
      it — simultaneous finishes can process in any order without
-     perturbing a single placement decision *)
-  let aff : (string, float) Hashtbl.t = Hashtbl.create 64 in
+     perturbing a single placement decision.  With [decay] > 0 the
+     minima are kept per telemetry window and entries older than the
+     horizon expire lazily: a device unmeasured for [decay] windows
+     costs 0.0 again and gets re-explored, so a nonstationary trace
+     can walk away from a stale optimum.  The window index is a pure
+     function of virtual time, so expiry preserves every determinism
+     and shuffle-invariance property of the all-time table. *)
+  let aff : (string, (int * float) list ref) Hashtbl.t = Hashtbl.create 64 in
   let aff_key ckey dn = ckey ^ "\x00" ^ dn in
-  let observe_exec ckey dn exec =
+  let wix now =
+    if conf.decay = 0 then 0
+    else int_of_float (now /. base.Scheduler.window)
+  in
+  let prune_entries now l =
+    if conf.decay = 0 then l
+    else
+      let cur = wix now in
+      List.filter (fun (w, _) -> w > cur - conf.decay) l
+  in
+  let observe_exec now ckey dn exec =
     let k = aff_key ckey dn in
-    match Hashtbl.find_opt aff k with
-    | Some c when c <= exec -> ()
-    | _ -> Hashtbl.replace aff k exec
+    let w = wix now in
+    let r =
+      match Hashtbl.find_opt aff k with
+      | Some r -> r
+      | None ->
+          let r = ref [] in
+          Hashtbl.add aff k r;
+          r
+    in
+    let live = prune_entries now !r in
+    r :=
+      (match List.assoc_opt w live with
+      | Some c when c <= exec -> live
+      | Some _ -> (w, exec) :: List.remove_assoc w live
+      | None -> (w, exec) :: live)
+  in
+  let aff_cost now ckey dn =
+    match Hashtbl.find_opt aff (aff_key ckey dn) with
+    | None -> 0.0
+    | Some r -> (
+        match prune_entries now !r with
+        | [] -> 0.0
+        | live ->
+            r := live;
+            List.fold_left (fun acc (_, c) -> Float.min acc c) infinity live)
   in
   let cache = Cache.create ~capacity:base.Scheduler.cache_capacity in
   let heap = Eheap.create () in
@@ -413,7 +516,8 @@ let run conf ?pool specs =
         {
           sid;
           queue = [];
-          free = base.Scheduler.servers;
+          conc = base.Scheduler.servers;
+          busy = 0;
           breakers = Hashtbl.create 16;
           s_placed = 0;
           s_queue_max = 0;
@@ -422,6 +526,8 @@ let run conf ?pool specs =
           s_batched_requests = 0;
           s_steals = 0;
           s_breaker_opens = 0;
+          s_retries = 0;
+          s_relaunches = 0;
         })
   in
   let reports = ref [] in
@@ -437,6 +543,9 @@ let run conf ?pool specs =
   let relaunches = ref 0 in
   let recovered = ref 0 in
   let breaker_opens = ref 0 in
+  let autoscale_grows = ref 0 in
+  let autoscale_shrinks = ref 0 in
+  let breaker_reopens = ref 0 in
   let fault_stats = ref Gpusim.Fault.zero_stats in
   let last_time = ref 0.0 in
   let memo_hits = ref 0 in
@@ -478,7 +587,13 @@ let run conf ?pool specs =
         Hashtbl.add okey_memo k key;
         key
   in
-  let record r = reports := r :: !reports in
+  (* every record call is a terminal outcome: the report list and the
+     telemetry stream see exactly the same events *)
+  let record r =
+    reports := r :: !reports;
+    Telemetry.observe_terminal tele ~shard:r.shard r.outcome ~latency:r.latency
+      ~slo
+  in
   let zero_counters = Counters.create () in
   let never_ran ~shard (p : pending) outcome now =
     {
@@ -571,7 +686,9 @@ let run conf ?pool specs =
   let pop_queue s = pop_queue_where (fun _ -> true) s in
   let enqueue (s : shard_state) p =
     s.queue <- p :: s.queue;
-    s.s_queue_max <- max s.s_queue_max (List.length s.queue)
+    let depth = List.length s.queue in
+    s.s_queue_max <- max s.s_queue_max depth;
+    Telemetry.observe_queue_depth tele ~shard:s.sid depth
   in
   let expired (p : pending) now =
     match p.spec.Request.deadline with Some d when now >= d -> true | _ -> false
@@ -581,6 +698,7 @@ let run conf ?pool specs =
   let retry_or_drop ~shard now (p : pending) =
     if p.attempts <= base.Scheduler.max_retries then begin
       incr retries;
+      shards.(shard).s_retries <- shards.(shard).s_retries + 1;
       let wait =
         base.Scheduler.backoff *. (2.0 ** float_of_int (p.attempts - 1))
       in
@@ -642,7 +760,7 @@ let run conf ?pool specs =
      shard id — so the request->device assignment, and with it every
      launch result, is invariant under shuffling the device multiset
      across shard ids. *)
-  let place_for (p : pending) =
+  let place_for now (p : pending) =
     if not hetero then place ring p.ckey
     else begin
       let cands = List.filter (fun dn -> fits_name dn p.spec) devnames in
@@ -660,12 +778,7 @@ let run conf ?pool specs =
           if not conf.affinity then place (ring_for cands) p.ckey
           else begin
             let costs =
-              List.map
-                (fun dn ->
-                  ( dn,
-                    Option.value ~default:0.0
-                      (Hashtbl.find_opt aff (aff_key p.ckey dn)) ))
-                cands
+              List.map (fun dn -> (dn, aff_cost now p.ckey dn)) cands
             in
             let best =
               List.fold_left (fun acc (_, c) -> Float.min acc c) infinity costs
@@ -739,6 +852,7 @@ let run conf ?pool specs =
   let account (s : shard_state) (m : member) =
     incr launches;
     s.s_launches <- s.s_launches + 1;
+    Telemetry.observe_launch tele ~shard:s.sid ~failed:m.m_failed;
     blocks := !blocks + m.m_grid;
     sim_cycles := !sim_cycles +. m.m_exec;
     global_loads := !global_loads + m.m_counters.Counters.global_loads;
@@ -782,6 +896,8 @@ let run conf ?pool specs =
                   (Scheduler.C_join, done_at -. now)
               | _ -> (Scheduler.C_hit, 0.0))
         in
+        Telemetry.observe_cache tele ~shard:s.sid
+          ~hit:(b_cache <> Scheduler.C_miss);
         let members = List.map (launch_member s compiled) members_p in
         List.iter (account s) members;
         let k = List.length members in
@@ -793,12 +909,8 @@ let run conf ?pool specs =
           List.fold_left (fun acc m -> max acc m.m_exec) 0.0 members
           +. (merge_overhead *. float_of_int (k - 1))
         in
-        s.free <- s.free - 1;
-        let busy =
-          Array.fold_left
-            (fun acc sh -> acc + (base.Scheduler.servers - sh.free))
-            0 shards
-        in
+        s.busy <- s.busy + 1;
+        let busy = Array.fold_left (fun acc sh -> acc + sh.busy) 0 shards in
         inflight_max := max !inflight_max busy;
         Eheap.push heap
           (now +. b_compile +. b_exec)
@@ -869,11 +981,12 @@ let run conf ?pool specs =
           | None -> None
           | Some p ->
               s.s_steals <- s.s_steals + 1;
+              Telemetry.observe_steal tele ~shard:s.sid;
               Some { p with stolen = true })
     end
   in
   let rec dispatch now (s : shard_state) =
-    if s.free > 0 then begin
+    if s.busy < s.conc then begin
       let candidate =
         match pop_queue s with Some p -> Some p | None -> steal_from s
       in
@@ -897,20 +1010,52 @@ let run conf ?pool specs =
           dispatch now s
     end
   in
+  (* Is the newcomer's tenant already over its weighted share of its
+     home queue?  occ / depth > weight / total-weight, cross-multiplied
+     exact, over the tenants actually queued. *)
+  let over_share (s : shard_state) (p : pending) =
+    let depth = List.length s.queue in
+    depth > 0
+    &&
+    let t = p.spec.Request.tenant in
+    let occ =
+      List.length
+        (List.filter (fun (q : pending) -> q.spec.Request.tenant = t) s.queue)
+    in
+    occ > 0
+    &&
+    let names =
+      List.sort_uniq String.compare
+        (List.map (fun (q : pending) -> q.spec.Request.tenant) s.queue)
+    in
+    let total_w = List.fold_left (fun a n -> a + weight_of conf n) 0 names in
+    occ * total_w > weight_of conf t * depth
+  in
   let arrive now (p : pending) =
     (* placement happens at arrival-processing time, not trace-seed
        time: a retry re-places, so a content key whose cheap device was
        discovered between attempts migrates on its next arrival *)
-    let home = place_for p in
+    let home = place_for now p in
     if p.attempts = 1 && not p.relaunched then begin
       shards.(home).s_placed <- shards.(home).s_placed + 1;
       if home <> place ring p.ckey then incr affinity_moves
     end;
     let p = { p with home } in
     let s = shards.(p.home) in
-    (* free server + empty queue: admit past the bound — the sweep
-       below dispatches it immediately, so it never really queues *)
-    if s.free > 0 && s.queue = [] then enqueue s p
+    (* SLO-aware admission: while the fleet's windowed p99 is over the
+       target, the lowest-priority class — and any tenant already over
+       its fair share of its home queue — is turned away with the
+       explicit Shed_slo outcome.  Relaunches are exempt: recovery
+       never loses an accepted request. *)
+    if
+      !shedding
+      && (not p.relaunched)
+      && (p.spec.Request.priority <= 0 || over_share s p)
+    then record (never_ran ~shard:s.sid p Scheduler.Shed_slo now)
+      (* executor headroom + empty queue: admit past the bound — the
+         sweep below dispatches it immediately, so it never really
+         queues *)
+    else if s.busy < s.conc && s.queue = [] then enqueue s p
     else if List.length s.queue < base.Scheduler.queue_bound then enqueue s p
     else begin
       (* full queue: the weighted-fair decision *)
@@ -953,14 +1098,14 @@ let run conf ?pool specs =
   in
   let finish now (b : batch_run) =
     let s = shards.(b.b_shard) in
-    s.free <- s.free + 1;
+    s.busy <- s.busy - 1;
     (* feed the affinity table: each healthy member's own cycles on
        this shard's device (memo replays feed the same value back —
        min is idempotent) *)
     let dn = devs.(b.b_shard).Gpusim.Config.name in
     List.iter
       (fun (m : member) ->
-        if not m.m_failed then observe_exec m.m_pending.ckey dn m.m_exec)
+        if not m.m_failed then observe_exec now m.m_pending.ckey dn m.m_exec)
       b.b_members;
     let k = List.length b.b_members in
     List.iteri
@@ -1006,6 +1151,8 @@ let run conf ?pool specs =
           if past_deadline then finished Scheduler.Timed_out
           else if p.launches <= base.Scheduler.max_retries then begin
             incr relaunches;
+            s.s_relaunches <- s.s_relaunches + 1;
+            Telemetry.observe_relaunch tele ~shard:s.sid;
             let wait =
               base.Scheduler.backoff *. (2.0 ** float_of_int (p.launches - 1))
             in
@@ -1041,11 +1188,127 @@ let run conf ?pool specs =
              relaunched = false;
            }))
     specs;
+  (* Live shard state at a window boundary.  [advance] runs before the
+     boundary-crossing event is processed, and every event strictly
+     before the boundary already ran — so this is exactly the fleet's
+     state at the boundary instant. *)
+  let sample sid =
+    let s = shards.(sid) in
+    {
+      Telemetry.sq_depth = List.length s.queue;
+      sq_conc = s.conc;
+      sq_busy = s.busy;
+      sq_breakers_open =
+        Hashtbl.fold
+          (fun _ (b : breaker) n ->
+            match b.br with Br_closed -> n | Br_open _ | Br_probing -> n + 1)
+          s.breakers 0;
+    }
+  in
+  (* The control plane, evaluated once per closed telemetry window:
+     effective-p99 carry, the SLO shedding flag, the autoscaler step,
+     and the post-burst breaker fast-forward — then the window's
+     fleet/control line, after the decisions it records. *)
+  let on_close (w : Telemetry.window) =
+    Array.iteri
+      (fun sid (sw : Telemetry.shard_window) ->
+        if sw.Telemetry.w_samples > 0 then carry.(sid) <- sw.Telemetry.w_p99
+        else if
+          sw.Telemetry.w_sample.Telemetry.sq_depth = 0
+          && sw.Telemetry.w_sample.Telemetry.sq_busy = 0
+        then carry.(sid) <- 0.0)
+      w.Telemetry.per_shard;
+    (match slo with
+    | None -> ()
+    | Some slo_v ->
+        (if w.Telemetry.f_samples > 0 then carry_fleet := w.Telemetry.f_p99
+         else if
+           Array.for_all
+             (fun (sw : Telemetry.shard_window) ->
+               sw.Telemetry.w_sample.Telemetry.sq_depth = 0
+               && sw.Telemetry.w_sample.Telemetry.sq_busy = 0)
+             w.Telemetry.per_shard
+         then carry_fleet := 0.0);
+        shedding := conf.shed && !carry_fleet > slo_v);
+    let grows = ref 0 and shrinks = ref 0 in
+    let stats =
+      Array.init conf.shards (fun sid ->
+          {
+            Autoscale.p99 = carry.(sid);
+            queued = w.Telemetry.per_shard.(sid).Telemetry.w_sample.Telemetry.sq_depth;
+            conc = shards.(sid).conc;
+          })
+    in
+    List.iter
+      (fun (a : Autoscale.action) ->
+        let s = shards.(a.Autoscale.a_shard) in
+        match a.Autoscale.a_verdict with
+        | Autoscale.Grow ->
+            s.conc <- s.conc + 1;
+            incr grows;
+            incr autoscale_grows
+        | Autoscale.Shrink ->
+            s.conc <- s.conc - 1;
+            incr shrinks;
+            incr autoscale_shrinks
+        | Autoscale.Hold -> ())
+      (Autoscale.step asc ~window:w.Telemetry.index ~order:label_order ~stats);
+    (* A breaker-isolated fault burst that has passed leaves open
+       breakers waiting out their full cooldown on a now-healthy shard.
+       A window with zero device failures is the all-clear: fast-forward
+       the shard's open breakers so their next dispatch is the half-open
+       probe — success reopens the path immediately, failure re-opens
+       the breaker as usual.  (Per-entry mutation + a count: iteration
+       order over the table cannot matter.) *)
+    let reopens = ref 0 in
+    if base.Scheduler.breaker > 0 then
+      Array.iteri
+        (fun sid (sw : Telemetry.shard_window) ->
+          if sw.Telemetry.w_dev_failures = 0 then
+            Hashtbl.iter
+              (fun _ (b : breaker) ->
+                match b.br with
+                | Br_open opened_at
+                  when opened_at +. breaker_cooldown > w.Telemetry.t1 ->
+                    b.br <-
+                      Br_open (w.Telemetry.t1 -. breaker_cooldown -. 1.0);
+                    incr reopens;
+                    incr breaker_reopens
+                | Br_open _ | Br_closed | Br_probing -> ())
+              shards.(sid).breakers)
+        w.Telemetry.per_shard;
+    let conc_total = Array.fold_left (fun a s -> a + s.conc) 0 shards in
+    let queued_total =
+      Array.fold_left (fun a s -> a + List.length s.queue) 0 shards
+    in
+    let tenants_occ =
+      let occ : (string, int) Hashtbl.t = Hashtbl.create 8 in
+      Array.iter
+        (fun s ->
+          List.iter
+            (fun (p : pending) ->
+              let t = p.spec.Request.tenant in
+              Hashtbl.replace occ t
+                (1 + Option.value ~default:0 (Hashtbl.find_opt occ t)))
+            s.queue)
+        shards;
+      List.sort
+        (fun (a, _) (b, _) -> String.compare a b)
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) occ [])
+    in
+    Telemetry.emit_control tele w ~shedding:!shedding ~grows:!grows
+      ~shrinks:!shrinks ~reopens:!reopens ~conc:conc_total
+      ~pool_left:(Autoscale.pool_left asc) ~queued:queued_total
+      ~tenants:tenants_occ
+  in
   let rec loop () =
     match Eheap.pop heap with
     | None -> ()
     | Some (now, ev) ->
         last_time := max !last_time now;
+        (* close every window the clock has crossed before the event
+           runs: control decisions land exactly on the boundary *)
+        Telemetry.advance tele now ~sample ~on_close;
         (match ev with
         | Arrive p -> arrive now p
         | Relaunch (sid, p) -> relaunch now sid p
@@ -1059,6 +1322,7 @@ let run conf ?pool specs =
         loop ()
   in
   loop ();
+  Telemetry.finish tele ~sample ~on_close;
   let reports =
     List.sort
       (fun (a : rq_report) (b : rq_report) ->
@@ -1084,6 +1348,7 @@ let run conf ?pool specs =
       completed = count Scheduler.Completed;
       rejected = count Scheduler.Rejected;
       shed = count Scheduler.Shed;
+      shed_slo = count Scheduler.Shed_slo;
       timed_out = count Scheduler.Timed_out;
       failed = count Scheduler.Failed;
       retries = !retries;
@@ -1109,6 +1374,17 @@ let run conf ?pool specs =
       recovered = !recovered;
       degraded = count Scheduler.Degraded;
       breaker_opens = !breaker_opens;
+      slo_violations =
+        (match slo with
+        | None -> 0
+        | Some s ->
+            List.length
+              (List.filter
+                 (fun r -> r.outcome = Scheduler.Completed && r.latency > s)
+                 reports));
+      autoscale_grows = !autoscale_grows;
+      autoscale_shrinks = !autoscale_shrinks;
+      breaker_reopens = !breaker_reopens;
       faults_corrected = !fault_stats.Gpusim.Fault.corrected;
       faults_fatal = !fault_stats.Gpusim.Fault.fatal;
       faults_stalls = !fault_stats.Gpusim.Fault.stalls;
@@ -1130,6 +1406,7 @@ let run conf ?pool specs =
              s_placed = s.s_placed;
              s_completed = on_shard Scheduler.Completed;
              s_shed = on_shard Scheduler.Rejected + on_shard Scheduler.Shed;
+             s_shed_slo = on_shard Scheduler.Shed_slo;
              s_timed_out = on_shard Scheduler.Timed_out;
              s_degraded = on_shard Scheduler.Degraded;
              s_launches = s.s_launches;
@@ -1138,6 +1415,16 @@ let run conf ?pool specs =
              s_steals = s.s_steals;
              s_queue_max = s.s_queue_max;
              s_breaker_opens = s.s_breaker_opens;
+             s_breakers_open =
+               Hashtbl.fold
+                 (fun _ (b : breaker) n ->
+                   match b.br with
+                   | Br_closed -> n
+                   | Br_open _ | Br_probing -> n + 1)
+                 s.breakers 0;
+             s_retries = s.s_retries;
+             s_relaunches = s.s_relaunches;
+             s_conc = s.conc;
            })
          shards)
   in
@@ -1167,6 +1454,7 @@ let run conf ?pool specs =
           t_requests = List.length mine;
           t_completed = n Scheduler.Completed;
           t_shed = n Scheduler.Rejected + n Scheduler.Shed;
+          t_shed_slo = n Scheduler.Shed_slo;
           t_timed_out = n Scheduler.Timed_out;
           t_degraded = n Scheduler.Degraded;
           t_evicted =
@@ -1186,7 +1474,14 @@ let run conf ?pool specs =
       affinity_moves = !affinity_moves;
     }
   in
-  { reports; metrics; shard_stats; tenant_stats; fleet }
+  {
+    reports;
+    metrics;
+    shard_stats;
+    tenant_stats;
+    fleet;
+    telemetry = Telemetry.jsonl tele;
+  }
 
 (* --- rendering ---------------------------------------------------------- *)
 
@@ -1252,16 +1547,21 @@ let snapshot_json conf (res : result) =
   let base = conf.base in
   Printf.ksprintf (Buffer.add_string b)
     "{\n\
-     \"config\": {\"device\": \"%s\", \"devices\": \"%s\", \"affinity\": %b, \"shards\": %d, \"batch\": %d, \"steal\": %b, \"memo\": %b, \"tenants\": \"%s\", \"queue_bound\": %d, \"servers\": %d, \"cache_capacity\": %d, \"max_retries\": %d, \"backoff\": %.3f, \"breaker\": %d},\n"
+     \"config\": {\"device\": \"%s\", \"devices\": \"%s\", \"affinity\": %b, \"decay\": %d, \"shards\": %d, \"batch\": %d, \"steal\": %b, \"memo\": %b, \"tenants\": \"%s\", \"queue_bound\": %d, \"servers\": %d, \"cache_capacity\": %d, \"max_retries\": %d, \"backoff\": %.3f, \"breaker\": %d, \"slo\": %s, \"window\": %.3f, \"shed\": %b, \"autoscale\": %b, \"budget\": %d, \"cooldown\": %d},\n"
     base.Scheduler.cfg.Gpusim.Config.name
     (String.concat ","
        (List.map (fun (d : Gpusim.Config.t) -> d.Gpusim.Config.name) conf.devices))
-    conf.affinity conf.shards conf.batch conf.steal conf.memo
+    conf.affinity conf.decay conf.shards conf.batch conf.steal conf.memo
     (String.concat ","
        (List.map (fun (t, w) -> Printf.sprintf "%s=%d" t w) conf.tenants))
     base.Scheduler.queue_bound base.Scheduler.servers
     base.Scheduler.cache_capacity base.Scheduler.max_retries
-    base.Scheduler.backoff base.Scheduler.breaker;
+    base.Scheduler.backoff base.Scheduler.breaker
+    (match base.Scheduler.slo with
+    | None -> "null"
+    | Some s -> Printf.sprintf "%.3f" s)
+    base.Scheduler.window conf.shed conf.autoscale.Autoscale.enabled
+    conf.autoscale.Autoscale.budget conf.autoscale.Autoscale.cooldown;
   Buffer.add_string b "\"requests\": [\n";
   List.iteri
     (fun i r ->

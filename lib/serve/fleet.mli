@@ -66,6 +66,23 @@ type config = {
           cost 0, so all get explored), then to a shard of that device
           by the device group's sub-ring.  No effect when every shard
           carries the same device. *)
+  telemetry : bool;
+      (** collect the windowed JSONL telemetry stream into
+          [result.telemetry].  Observation (and the control loops it
+          drives) is always on; this only controls emission. *)
+  shed : bool;
+      (** SLO-aware admission: while the fleet's windowed p99 is over
+          [base.slo], shed lowest-priority arrivals (and over-share
+          tenants) as {!Scheduler.Shed_slo}.  Inert without an SLO. *)
+  autoscale : Autoscale.config;
+      (** the window-boundary concurrency control loop; see
+          {!Autoscale}.  [Autoscale.disabled] pins every shard at
+          [base.servers]. *)
+  decay : int;
+      (** affinity cost-table horizon in telemetry windows: per-window
+          observed minima older than this expire, aging unvisited
+          devices back toward "unmeasured" (cost 0) so nonstationary
+          traffic re-explores; 0 keeps the all-time minima *)
 }
 
 val parse_tenants : string -> (string * int) list
@@ -81,8 +98,12 @@ val config_of_env : cfg:Gpusim.Config.t -> unit -> config
 (** {!Scheduler.config_of_env} plus [OMPSIMD_SERVE_SHARDS] (default 4),
     [OMPSIMD_SERVE_BATCH] (8), [OMPSIMD_SERVE_STEAL] (1),
     [OMPSIMD_SERVE_MEMO] (1), [OMPSIMD_SERVE_TENANTS] (empty),
-    [OMPSIMD_FLEET_DEVICES] (empty = homogeneous) and
-    [OMPSIMD_FLEET_AFFINITY] (1). *)
+    [OMPSIMD_FLEET_DEVICES] (empty = homogeneous),
+    [OMPSIMD_FLEET_AFFINITY] (1), [OMPSIMD_FLEET_DECAY] (0),
+    [OMPSIMD_SERVE_TELEMETRY] (unset; its presence — the CLI treats the
+    value as the stream's destination path — turns collection on),
+    [OMPSIMD_SERVE_SHED] (1) and the {!Autoscale.config_of_env} knobs
+    derived from the base config's [OMPSIMD_SERVE_SLO_MS]. *)
 
 val weight_of : config -> string -> int
 (** The tenant's fair-admission weight (>= 1; unknown tenants weigh 1). *)
@@ -137,6 +158,11 @@ type result = {
   shard_stats : Metrics.shard_stats list;
   tenant_stats : Metrics.tenant_stats list;
   fleet : fleet_stats;
+  telemetry : string;
+      (** the windowed JSONL stream (see {!Telemetry}); [""] unless
+          [config.telemetry] was set.  Byte-identical across
+          [OMPSIMD_EVAL], [OMPSIMD_DOMAINS] and shuffles of the device
+          multiset over shard ids. *)
 }
 
 val merge_overhead : float

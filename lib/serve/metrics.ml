@@ -10,6 +10,7 @@ type t = {
   completed : int;
   rejected : int;  (* admission failure, no retry policy *)
   shed : int;  (* dropped after exhausting retries *)
+  shed_slo : int;  (* shed by SLO admission while the windowed p99 was over *)
   timed_out : int;
   failed : int;  (* compile errors *)
   retries : int;  (* re-arrivals scheduled by the backoff policy *)
@@ -35,6 +36,10 @@ type t = {
   recovered : int;  (* requests completed after >= 1 device failure *)
   degraded : int;  (* outcome Degraded: retries exhausted or breaker open *)
   breaker_opens : int;  (* closed/half-open -> open transitions *)
+  slo_violations : int;  (* completions whose latency exceeded the SLO *)
+  autoscale_grows : int;  (* pool tokens granted to shards *)
+  autoscale_shrinks : int;  (* pool tokens returned by shards *)
+  breaker_reopens : int;  (* open breakers fast-forwarded after a clean window *)
   faults_corrected : int;  (* ECC-corrected flips across launches *)
   faults_fatal : int;  (* injected aborts + uncorrectable flips *)
   faults_stalls : int;  (* barrier-stall failures *)
@@ -64,8 +69,8 @@ let to_text m =
   let b = Buffer.create 512 in
   let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   p "service metrics (virtual time)\n";
-  p "  requests    %6d  (completed %d, rejected %d, shed %d, timed-out %d, failed %d)\n"
-    m.requests m.completed m.rejected m.shed m.timed_out m.failed;
+  p "  requests    %6d  (completed %d, rejected %d, shed %d, shed-slo %d, timed-out %d, failed %d)\n"
+    m.requests m.completed m.rejected m.shed m.shed_slo m.timed_out m.failed;
   p "  retries     %6d   queue max %d   in-flight max %d\n" m.retries
     m.queue_max m.inflight_max;
   p "  cache       hits %d  joins %d  misses %d  evictions %d  (hit rate %.1f%%)\n"
@@ -79,6 +84,9 @@ let to_text m =
     m.launches m.blocks m.sim_cycles m.global_loads m.global_stores m.atomics;
   p "  recovery    device-failures %d  relaunches %d  recovered %d  degraded %d  breaker-opens %d\n"
     m.device_failures m.relaunches m.recovered m.degraded m.breaker_opens;
+  p "  slo         violations %d  shed-slo %d   autoscale grows %d  shrinks %d  breaker-reopens %d\n"
+    m.slo_violations m.shed_slo m.autoscale_grows m.autoscale_shrinks
+    m.breaker_reopens;
   p "  faults      corrected %d  fatal %d  stalls %d  exhausts %d  watchdogs %d\n"
     m.faults_corrected m.faults_fatal m.faults_stalls m.faults_exhausts
     m.faults_watchdogs;
@@ -96,6 +104,7 @@ let to_json m =
   p "\"completed\": %d, " m.completed;
   p "\"rejected\": %d, " m.rejected;
   p "\"shed\": %d, " m.shed;
+  p "\"shed_slo\": %d, " m.shed_slo;
   p "\"timed_out\": %d, " m.timed_out;
   p "\"failed\": %d, " m.failed;
   p "\"retries\": %d, " m.retries;
@@ -113,6 +122,9 @@ let to_json m =
     m.atomics;
   p "\"recovery\": {\"device_failures\": %d, \"relaunches\": %d, \"recovered\": %d, \"degraded\": %d, \"breaker_opens\": %d}, "
     m.device_failures m.relaunches m.recovered m.degraded m.breaker_opens;
+  p "\"slo\": {\"violations\": %d, \"shed\": %d}, " m.slo_violations m.shed_slo;
+  p "\"autoscale\": {\"grows\": %d, \"shrinks\": %d, \"breaker_reopens\": %d}, "
+    m.autoscale_grows m.autoscale_shrinks m.breaker_reopens;
   p "\"faults\": {\"corrected\": %d, \"fatal\": %d, \"stalls\": %d, \"exhausts\": %d, \"watchdogs\": %d}"
     m.faults_corrected m.faults_fatal m.faults_stalls m.faults_exhausts
     m.faults_watchdogs;
@@ -131,6 +143,7 @@ type shard_stats = {
   s_placed : int;  (* requests the ring routed here (first arrival) *)
   s_completed : int;
   s_shed : int;  (* rejected + shed + fair-admission evictions resolved here *)
+  s_shed_slo : int;  (* SLO admission sheds attributed to this home shard *)
   s_timed_out : int;
   s_degraded : int;
   s_launches : int;  (* member launches executed on this shard *)
@@ -139,6 +152,10 @@ type shard_stats = {
   s_steals : int;  (* requests this shard pulled from a neighbour's queue *)
   s_queue_max : int;
   s_breaker_opens : int;
+  s_breakers_open : int;  (* breakers not closed (open/probing) at end of run *)
+  s_retries : int;  (* backoff re-arrivals scheduled off this shard's queue *)
+  s_relaunches : int;  (* recovery relaunches scheduled on this shard *)
+  s_conc : int;  (* final concurrency target (servers + autoscaled extra) *)
 }
 
 type tenant_stats = {
@@ -147,6 +164,7 @@ type tenant_stats = {
   t_requests : int;
   t_completed : int;
   t_shed : int;  (* rejected + shed: admission losses *)
+  t_shed_slo : int;  (* shed by SLO admission *)
   t_timed_out : int;
   t_degraded : int;
   t_evicted : int;  (* queue slots reclaimed from this tenant by fair admission *)
@@ -155,28 +173,28 @@ type tenant_stats = {
 
 let shard_stats_to_json s =
   Printf.sprintf
-    "{\"shard\": %d, \"device\": \"%s\", \"placed\": %d, \"completed\": %d, \"shed\": %d, \"timed_out\": %d, \"degraded\": %d, \"launches\": %d, \"batches\": %d, \"batched_requests\": %d, \"steals\": %d, \"queue_max\": %d, \"breaker_opens\": %d}"
-    s.shard s.s_device s.s_placed s.s_completed s.s_shed s.s_timed_out
-    s.s_degraded
+    "{\"shard\": %d, \"device\": \"%s\", \"placed\": %d, \"completed\": %d, \"shed\": %d, \"shed_slo\": %d, \"timed_out\": %d, \"degraded\": %d, \"launches\": %d, \"batches\": %d, \"batched_requests\": %d, \"steals\": %d, \"queue_max\": %d, \"breaker_opens\": %d, \"breakers_open\": %d, \"retries\": %d, \"relaunches\": %d, \"conc\": %d}"
+    s.shard s.s_device s.s_placed s.s_completed s.s_shed s.s_shed_slo
+    s.s_timed_out s.s_degraded
     s.s_launches s.s_batches s.s_batched_requests s.s_steals s.s_queue_max
-    s.s_breaker_opens
+    s.s_breaker_opens s.s_breakers_open s.s_retries s.s_relaunches s.s_conc
 
 let tenant_stats_to_json t =
   Printf.sprintf
-    "{\"tenant\": \"%s\", \"weight\": %d, \"requests\": %d, \"completed\": %d, \"shed\": %d, \"timed_out\": %d, \"degraded\": %d, \"evicted\": %d, \"latency_mean\": %s}"
-    t.tenant t.weight t.t_requests t.t_completed t.t_shed t.t_timed_out
-    t.t_degraded t.t_evicted (jf t.t_latency_mean)
+    "{\"tenant\": \"%s\", \"weight\": %d, \"requests\": %d, \"completed\": %d, \"shed\": %d, \"shed_slo\": %d, \"timed_out\": %d, \"degraded\": %d, \"evicted\": %d, \"latency_mean\": %s}"
+    t.tenant t.weight t.t_requests t.t_completed t.t_shed t.t_shed_slo
+    t.t_timed_out t.t_degraded t.t_evicted (jf t.t_latency_mean)
 
 let shard_stats_line s =
   Printf.sprintf
-    "shard %2d [%s] placed=%d completed=%d shed=%d timed-out=%d degraded=%d launches=%d batches=%d batched=%d steals=%d queue-max=%d breaker-opens=%d"
-    s.shard s.s_device s.s_placed s.s_completed s.s_shed s.s_timed_out
-    s.s_degraded
+    "shard %2d [%s] placed=%d completed=%d shed=%d shed-slo=%d timed-out=%d degraded=%d launches=%d batches=%d batched=%d steals=%d queue-max=%d breaker-opens=%d breakers-open=%d retries=%d relaunches=%d conc=%d"
+    s.shard s.s_device s.s_placed s.s_completed s.s_shed s.s_shed_slo
+    s.s_timed_out s.s_degraded
     s.s_launches s.s_batches s.s_batched_requests s.s_steals s.s_queue_max
-    s.s_breaker_opens
+    s.s_breaker_opens s.s_breakers_open s.s_retries s.s_relaunches s.s_conc
 
 let tenant_stats_line t =
   Printf.sprintf
-    "tenant %-8s weight=%d requests=%d completed=%d shed=%d timed-out=%d degraded=%d evicted=%d latency-mean=%.1f"
-    t.tenant t.weight t.t_requests t.t_completed t.t_shed t.t_timed_out
-    t.t_degraded t.t_evicted t.t_latency_mean
+    "tenant %-8s weight=%d requests=%d completed=%d shed=%d shed-slo=%d timed-out=%d degraded=%d evicted=%d latency-mean=%.1f"
+    t.tenant t.weight t.t_requests t.t_completed t.t_shed t.t_shed_slo
+    t.t_timed_out t.t_degraded t.t_evicted t.t_latency_mean

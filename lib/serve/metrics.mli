@@ -11,6 +11,9 @@ type t = {
   completed : int;
   rejected : int;
   shed : int;
+  shed_slo : int;
+      (** shed by SLO-aware admission while the windowed p99 was over
+          the target — an explicit terminal outcome, never silent *)
   timed_out : int;
   failed : int;
   retries : int;
@@ -37,6 +40,12 @@ type t = {
   recovered : int;  (** requests completed after >= 1 device failure *)
   degraded : int;  (** retries exhausted on device failures, or breaker shed *)
   breaker_opens : int;  (** circuit-breaker closed/half-open -> open *)
+  slo_violations : int;  (** completions whose latency exceeded the SLO *)
+  autoscale_grows : int;  (** pool tokens granted to shards *)
+  autoscale_shrinks : int;  (** pool tokens returned by shards *)
+  breaker_reopens : int;
+      (** open breakers fast-forwarded to their half-open probe after a
+          failure-free telemetry window *)
   faults_corrected : int;
   faults_fatal : int;
   faults_stalls : int;
@@ -74,6 +83,7 @@ type shard_stats = {
   s_shed : int;
       (** rejected + shed + fair-admission evictions resolved on this
           shard's queue *)
+  s_shed_slo : int;  (** SLO admission sheds attributed to this home shard *)
   s_timed_out : int;
   s_degraded : int;
   s_launches : int;  (** member launches executed on this shard *)
@@ -82,6 +92,11 @@ type shard_stats = {
   s_steals : int;  (** requests this shard pulled from a neighbour *)
   s_queue_max : int;
   s_breaker_opens : int;
+  s_breakers_open : int;
+      (** breakers not closed (open or probing) when the replay drained *)
+  s_retries : int;  (** backoff re-arrivals scheduled off this shard's queue *)
+  s_relaunches : int;  (** recovery relaunches scheduled on this shard *)
+  s_conc : int;  (** final concurrency target (servers + autoscaled extra) *)
 }
 
 type tenant_stats = {
@@ -90,6 +105,7 @@ type tenant_stats = {
   t_requests : int;
   t_completed : int;
   t_shed : int;  (** rejected + shed: admission losses *)
+  t_shed_slo : int;  (** shed by SLO admission *)
   t_timed_out : int;
   t_degraded : int;
   t_evicted : int;

@@ -29,12 +29,20 @@
 module Offload = Openmp.Offload
 module Clause = Openmp.Clause
 
-type outcome = Completed | Rejected | Shed | Timed_out | Failed | Degraded
+type outcome =
+  | Completed
+  | Rejected
+  | Shed
+  | Shed_slo
+  | Timed_out
+  | Failed
+  | Degraded
 
 let outcome_to_string = function
   | Completed -> "completed"
   | Rejected -> "rejected"
   | Shed -> "shed"
+  | Shed_slo -> "shed-slo"
   | Timed_out -> "timed-out"
   | Failed -> "failed"
   | Degraded -> "degraded"
@@ -69,10 +77,27 @@ type config = {
   max_retries : int;
   backoff : float;  (* base ticks; attempt k waits backoff * 2^(k-1) *)
   breaker : int;  (* consecutive device failures that open it; 0 = off *)
+  slo : float option;
+      (* latency SLO in virtual ticks; arms SLO-aware admission (and,
+         in the fleet, the autoscaler); None = no SLO *)
+  window : float;  (* telemetry/SLO evaluation window, virtual ticks *)
   knobs : Offload.knobs;  (* guardize is overridden per request *)
 }
 
 module Env = Ompsimd_util.Env
+
+(* OMPSIMD_SERVE_SLO_MS speaks milliseconds of virtual time (1 ms =
+   1000 ticks) — SLOs are operator-facing, ticks are not. *)
+let slo_of_env () =
+  match Env.var "OMPSIMD_SERVE_SLO_MS" with
+  | None -> None
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some ms when ms > 0.0 -> Some (ms *. 1000.0)
+      | _ ->
+          invalid_arg
+            (Printf.sprintf
+               "OMPSIMD_SERVE_SLO_MS must be a positive number, got %S" s))
 
 let config_of_env ~cfg () =
   {
@@ -83,6 +108,8 @@ let config_of_env ~cfg () =
     max_retries = Env.int "OMPSIMD_SERVE_RETRIES" ~default:2;
     backoff = Env.float "OMPSIMD_SERVE_BACKOFF" ~default:500.0;
     breaker = Env.int "OMPSIMD_SERVE_BREAKER" ~default:4;
+    slo = slo_of_env ();
+    window = Env.float "OMPSIMD_SERVE_WINDOW" ~default:20_000.0;
     knobs = Offload.default_knobs;
   }
 
@@ -135,6 +162,7 @@ let run conf ?pool specs =
   if conf.servers < 1 then invalid_arg "Scheduler.run: servers must be >= 1";
   if conf.queue_bound < 0 then invalid_arg "Scheduler.run: negative queue bound";
   if conf.breaker < 0 then invalid_arg "Scheduler.run: negative breaker threshold";
+  if conf.window <= 0.0 then invalid_arg "Scheduler.run: window must be > 0";
   (* Arm (or disarm) fault injection for the whole replay and rewind the
      launch nonce: a replay of the same trace under the same fault seed
      must inject the same faults into the same launches. *)
@@ -160,6 +188,42 @@ let run conf ?pool specs =
   let breaker_opens = ref 0 in
   let fault_stats = ref Gpusim.Fault.zero_stats in
   let last_time = ref 0.0 in
+  (* --- SLO-aware admission (when conf.slo is set) ----------------------
+     Completion latencies accumulate per window; at each boundary the
+     windowed p99 decides whether admission is in shedding mode for the
+     next window.  A window with no completions carries the previous
+     p99 forward unless the service is fully idle — a saturated
+     scheduler that completes nothing must not be mistaken for a
+     healthy one.  In shedding mode, lowest-priority arrivals take the
+     explicit Shed_slo outcome instead of a queue slot. *)
+  let slo_violations = ref 0 in
+  let shedding = ref false in
+  let wlat = ref [] in
+  let wstart = ref 0.0 in
+  let carry_p99 = ref 0.0 in
+  let advance_window now =
+    match conf.slo with
+    | None -> ()
+    | Some slo ->
+        while now >= !wstart +. conf.window do
+          (match !wlat with
+          | [] ->
+              if !queue = [] && !free = conf.servers then carry_p99 := 0.0
+          | l ->
+              carry_p99 :=
+                Ompsimd_util.Stats.percentile (Array.of_list l) 99.0);
+          shedding := !carry_p99 > slo;
+          wlat := [];
+          wstart := !wstart +. conf.window
+        done
+  in
+  let observe_completion latency =
+    match conf.slo with
+    | None -> ()
+    | Some slo ->
+        wlat := latency :: !wlat;
+        if latency > slo then incr slo_violations
+  in
   (* virtual single-flight bookkeeping: key -> tick at which the
      in-flight compile completes *)
   let compiling : (string, float) Hashtbl.t = Hashtbl.create 16 in
@@ -348,7 +412,12 @@ let run conf ?pool specs =
           dispatch now
   in
   let arrive now (p : pending) =
-    if !free > 0 && !queue = [] then
+    if !shedding && p.spec.Request.priority <= 0 then
+      (* SLO admission: the windowed p99 is over target, so the lowest
+         priority class is turned away explicitly — counted, terminal,
+         never a silent drop *)
+      record (never_ran p.spec p.attempts p.launches Shed_slo now)
+    else if !free > 0 && !queue = [] then
       (* a compile failure or breaker shed records its outcome and
          leaves the server free *)
       ignore (start now p : bool)
@@ -391,6 +460,7 @@ let run conf ?pool specs =
     | None -> ()
     | Some (now, ev) ->
         last_time := max !last_time now;
+        advance_window now;
         (match ev with
         | Arrive p -> arrive now p
         | Relaunch p -> relaunch now p
@@ -422,6 +492,7 @@ let run conf ?pool specs =
               breaker_ok r.r_key;
               if r.pending.launches > 1 && not past_deadline then
                 incr recovered;
+              if not past_deadline then observe_completion (now -. spec.Request.at);
               finished (if past_deadline then Timed_out else Completed)
             end
             else begin
@@ -472,6 +543,7 @@ let run conf ?pool specs =
       completed = count Completed;
       rejected = count Rejected;
       shed = count Shed;
+      shed_slo = count Shed_slo;
       timed_out = count Timed_out;
       failed = count Failed;
       retries = !retries;
@@ -497,6 +569,10 @@ let run conf ?pool specs =
       recovered = !recovered;
       degraded = count Degraded;
       breaker_opens = !breaker_opens;
+      slo_violations = !slo_violations;
+      autoscale_grows = 0;
+      autoscale_shrinks = 0;
+      breaker_reopens = 0;
       faults_corrected = !fault_stats.Gpusim.Fault.corrected;
       faults_fatal = !fault_stats.Gpusim.Fault.fatal;
       faults_stalls = !fault_stats.Gpusim.Fault.stalls;
@@ -540,9 +616,13 @@ let report_json (r : rq_report) =
 let snapshot_json conf reports metrics =
   let b = Buffer.create 4096 in
   Printf.ksprintf (Buffer.add_string b)
-    "{\n\"config\": {\"device\": \"%s\", \"queue_bound\": %d, \"servers\": %d, \"cache_capacity\": %d, \"max_retries\": %d, \"backoff\": %.3f, \"breaker\": %d},\n"
+    "{\n\"config\": {\"device\": \"%s\", \"queue_bound\": %d, \"servers\": %d, \"cache_capacity\": %d, \"max_retries\": %d, \"backoff\": %.3f, \"breaker\": %d, \"slo\": %s, \"window\": %.3f},\n"
     conf.cfg.Gpusim.Config.name conf.queue_bound conf.servers
-    conf.cache_capacity conf.max_retries conf.backoff conf.breaker;
+    conf.cache_capacity conf.max_retries conf.backoff conf.breaker
+    (match conf.slo with
+    | None -> "null"
+    | Some s -> Printf.sprintf "%.3f" s)
+    conf.window;
   Buffer.add_string b "\"requests\": [\n";
   List.iteri
     (fun i r ->

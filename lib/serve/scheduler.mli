@@ -20,6 +20,10 @@ type outcome =
   | Completed
   | Rejected  (** admission failed and the config allows no retries *)
   | Shed  (** dropped after exhausting its retry budget *)
+  | Shed_slo
+      (** turned away by SLO-aware admission: the windowed p99 was over
+          the latency target, so the lowest-priority class is shed
+          explicitly — counted, terminal, never a silent drop *)
   | Timed_out  (** deadline expired (while queued, or finished late) *)
   | Failed  (** the kernel did not compile *)
   | Degraded
@@ -65,15 +69,25 @@ type config = {
           kernel's dispatches as {!Degraded}; after a cooldown of
           [8 * backoff] ticks one half-open probe goes through —
           success closes the breaker, failure reopens it. *)
+  slo : float option;
+      (** latency SLO in virtual ticks; arms SLO-aware admission (and,
+          in the fleet, the autoscaler and telemetry SLO tracking);
+          [None] disables all of it *)
+  window : float;
+      (** telemetry/SLO evaluation window in virtual ticks: completion
+          latencies are aggregated per window and the windowed p99
+          drives the shedding decision for the next window *)
   knobs : Openmp.Offload.knobs;  (** guardize is overridden per request *)
 }
 
 val config_of_env : cfg:Gpusim.Config.t -> unit -> config
 (** Defaults overridable by the [OMPSIMD_SERVE_QUEUE] (16),
     [OMPSIMD_SERVE_CONC] (2), [OMPSIMD_SERVE_CACHE] (32),
-    [OMPSIMD_SERVE_RETRIES] (2), [OMPSIMD_SERVE_BACKOFF] (500) and
-    [OMPSIMD_SERVE_BREAKER] (4) environment knobs — blank values mean
-    default, as everywhere. *)
+    [OMPSIMD_SERVE_RETRIES] (2), [OMPSIMD_SERVE_BACKOFF] (500),
+    [OMPSIMD_SERVE_BREAKER] (4), [OMPSIMD_SERVE_SLO_MS] (unset; a
+    positive millisecond value, 1 ms = 1000 ticks) and
+    [OMPSIMD_SERVE_WINDOW] (20000 ticks) environment knobs — blank
+    values mean default, as everywhere. *)
 
 val compile_cost : Ompir.Ir.kernel -> float
 (** The virtual compile charge: 200 + 25 ticks per IR node. *)
@@ -97,8 +111,12 @@ val run :
     the identical fault sequence — bit-identical reports and metrics
     across engines and pool widths.
 
-    @raise Invalid_argument on [servers < 1], a negative queue bound or
-    a negative breaker threshold. *)
+    With [slo] set, completions feed a windowed p99 and arrivals of the
+    lowest priority class are shed as {!Shed_slo} while the previous
+    window's p99 was over the target.
+
+    @raise Invalid_argument on [servers < 1], a negative queue bound,
+    a negative breaker threshold or a non-positive window. *)
 
 val report_line : rq_report -> string
 (** One fixed-format text line per request (checksum as IEEE bits so

@@ -43,7 +43,7 @@ let fail fmt =
     fmt
 
 let base ?(queue_bound = 16) ?(servers = 2) ?(cache = 32) ?(retries = 2)
-    ?(backoff = 500.0) ?(breaker = 4) () =
+    ?(backoff = 500.0) ?(breaker = 4) ?slo ?(window = 20_000.0) () =
   {
     Scheduler.cfg;
     queue_bound;
@@ -52,14 +52,19 @@ let base ?(queue_bound = 16) ?(servers = 2) ?(cache = 32) ?(retries = 2)
     max_retries = retries;
     backoff;
     breaker;
+    slo;
+    window;
     knobs = Openmp.Offload.default_knobs;
   }
 
-let fconf ?queue_bound ?servers ?cache ?retries ?backoff ?breaker
+let fconf ?queue_bound ?servers ?cache ?retries ?backoff ?breaker ?slo ?window
     ?(shards = 4) ?(batch = 8) ?(steal = true) ?(memo = true) ?(tenants = [])
-    ?(devices = []) ?(affinity = true) () =
+    ?(devices = []) ?(affinity = true) ?(telemetry = false) ?(shed = true)
+    ?(autoscale = Serve.Autoscale.disabled) ?(decay = 0) () =
   {
-    Fleet.base = base ?queue_bound ?servers ?cache ?retries ?backoff ?breaker ();
+    Fleet.base =
+      base ?queue_bound ?servers ?cache ?retries ?backoff ?breaker ?slo ?window
+        ();
     shards;
     batch;
     steal;
@@ -67,6 +72,10 @@ let fconf ?queue_bound ?servers ?cache ?retries ?backoff ?breaker
     tenants;
     devices;
     affinity;
+    telemetry;
+    shed;
+    autoscale;
+    decay;
   }
 
 let count_outcome (res : Fleet.result) o =
@@ -90,7 +99,12 @@ let summary_json (res : Fleet.result) =
 (* --- 1. the 100k soak -------------------------------------------------- *)
 
 let soak_stage () =
-  let n = 100_000 in
+  (* 100k by default; OMPSIMD_SOAK_FULL=1 runs the full million-request
+     soak (minutes of host time — for scheduled long runs, not CI) *)
+  let n =
+    if Ompsimd_util.Env.flag "OMPSIMD_SOAK_FULL" ~default:false then 1_000_000
+    else 100_000
+  in
   let specs = Traffic.(generate (preset "mixed" ~n ~seed:42)) in
   let conf = fconf ~shards:6 ~batch:8 () in
   let t0 = Unix.gettimeofday () in
@@ -112,7 +126,8 @@ let soak_stage () =
     res.Fleet.reports;
   let tally =
     m.Metrics.completed + m.Metrics.rejected + m.Metrics.shed
-    + m.Metrics.timed_out + m.Metrics.failed + m.Metrics.degraded
+    + m.Metrics.shed_slo + m.Metrics.timed_out + m.Metrics.failed
+    + m.Metrics.degraded
   in
   if tally <> n then fail "soak: outcomes tally to %d, not %d" tally n;
   if m.Metrics.completed = 0 then fail "soak: nothing completed";
@@ -177,7 +192,8 @@ let hetero_stage () =
     res.Fleet.reports;
   let tally =
     m.Metrics.completed + m.Metrics.rejected + m.Metrics.shed
-    + m.Metrics.timed_out + m.Metrics.failed + m.Metrics.degraded
+    + m.Metrics.shed_slo + m.Metrics.timed_out + m.Metrics.failed
+    + m.Metrics.degraded
   in
   if tally <> n then fail "hetero: outcomes tally to %d, not %d" tally n;
   if m.Metrics.completed = 0 then fail "hetero: nothing completed";
@@ -349,6 +365,98 @@ let breaker_stage () =
       if res.Fleet.metrics.Metrics.faults_watchdogs = 0 then
         fail "breaker: the watchdog never fired")
 
+(* --- 3b. armed chaos under autoscaling: the operability soak ----------- *)
+
+let operability_stage () =
+  (* Everything at once: a heterogeneous 4-shard fleet, an armed fault
+     plan, a flash crowd, SLO-aware admission shedding and the
+     autoscaler growing against the SLO.  The no-lost-request tally
+     must hold exactly with [Shed_slo] in the books, the telemetry
+     stream must replay byte-identically, and scaling must demonstrably
+     cut late completions versus the same fleet pinned at its base
+     concurrency. *)
+  Unix.putenv "OMPSIMD_FAULTS" "abort=0.4,flip=0.3:0.5,stall=0.2";
+  Unix.putenv "OMPSIMD_FAULT_SEED" "23";
+  Gpusim.Fault.refresh_from_env ();
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "OMPSIMD_FAULTS" "";
+      Unix.putenv "OMPSIMD_FAULT_SEED" "";
+      Gpusim.Fault.refresh_from_env ())
+    (fun () ->
+      let n = 4_000 in
+      let specs = Traffic.(generate (preset "flash" ~n ~seed:23)) in
+      let devices = Fleet.parse_devices "w32-hw,w32-sw,w32-hw,w32-sw" in
+      let slo = 8_000.0 in
+      let autoscale =
+        {
+          Serve.Autoscale.enabled = true;
+          slo;
+          budget = 8;
+          max_extra = 6;
+          down = 0.5;
+          cooldown = 2;
+        }
+      in
+      let conf =
+        fconf ~shards:4 ~batch:8 ~devices ~slo ~telemetry:true ~shed:true
+          ~autoscale ()
+      in
+      let res = Fleet.run conf specs in
+      let m = res.Fleet.metrics in
+      Printf.printf
+        "fleet-soak (operability): %d requests, %d shed-slo, %d violations, %d grows, %d shrinks, %d reopens\n%!"
+        n m.Metrics.shed_slo m.Metrics.slo_violations
+        m.Metrics.autoscale_grows m.Metrics.autoscale_shrinks
+        m.Metrics.breaker_reopens;
+      if List.length res.Fleet.reports <> n then
+        fail "operability: %d reports for %d requests"
+          (List.length res.Fleet.reports) n;
+      List.iteri
+        (fun i (r : Fleet.rq_report) ->
+          if r.Fleet.spec.Request.id <> i then
+            fail "operability: report %d carries id %d" i
+              r.Fleet.spec.Request.id)
+        res.Fleet.reports;
+      let tally =
+        m.Metrics.completed + m.Metrics.rejected + m.Metrics.shed
+        + m.Metrics.shed_slo + m.Metrics.timed_out + m.Metrics.failed
+        + m.Metrics.degraded
+      in
+      if tally <> n then fail "operability: outcomes tally to %d, not %d" tally n;
+      if m.Metrics.faults_fatal + m.Metrics.faults_corrected = 0 then
+        fail "operability: the armed plan injected nothing";
+      if String.length res.Fleet.telemetry = 0 then
+        fail "operability: telemetry stream is empty";
+      (* same seed, same fleet: the telemetry JSONL replays to the byte *)
+      let res2 = Fleet.run conf specs in
+      if not (String.equal res.Fleet.telemetry res2.Fleet.telemetry) then
+        fail "operability: telemetry did not replay byte-identically";
+      if not (String.equal (summary_json res) (summary_json res2)) then
+        fail "operability: same-seed replay produced a different summary";
+      (* the recorded comparison: shedding off in both arms, autoscaler
+         on vs off — scaling must grow under the crowd and strictly cut
+         SLO violations *)
+      let arm auto =
+        (Fleet.run
+           { conf with Fleet.telemetry = false; shed = false; autoscale = auto }
+           specs)
+          .Fleet.metrics
+      in
+      let scaled = arm autoscale and fixed = arm Serve.Autoscale.disabled in
+      if scaled.Metrics.autoscale_grows = 0 then
+        fail "operability: the autoscaler never grew under the flash crowd";
+      if fixed.Metrics.autoscale_grows <> 0 then
+        fail "operability: the disabled arm scaled";
+      if scaled.Metrics.slo_violations >= fixed.Metrics.slo_violations then
+        fail
+          "operability: autoscaling did not reduce SLO violations (%d vs %d \
+           fixed)"
+          scaled.Metrics.slo_violations fixed.Metrics.slo_violations;
+      Printf.printf
+        "fleet-soak (operability): autoscale on/off violations %d/%d\n%!"
+        scaled.Metrics.slo_violations fixed.Metrics.slo_violations)
+
 (* --- 4. throughput: the batched fleet vs the single device ------------- *)
 
 let throughput_stage () =
@@ -388,6 +496,7 @@ let () =
   hetero_stage ();
   fairness_stage ();
   breaker_stage ();
+  operability_stage ();
   throughput_stage ();
   if !failures > 0 then begin
     Printf.eprintf "fleet-soak: %d failure(s)\n%!" !failures;

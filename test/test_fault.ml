@@ -361,6 +361,8 @@ let conf ?(queue_bound = 16) ?(servers = 2) ?(cache = 8) ?(retries = 2)
     max_retries = retries;
     backoff;
     breaker;
+    slo = None;
+    window = 20_000.0;
     knobs = Offload.default_knobs;
   }
 

@@ -34,7 +34,7 @@ let spec ?(at = 0.0) ?(kernel = "saxpy") ?(size = 16) ?(teams = 1)
   }
 
 let conf ?(queue_bound = 4) ?(servers = 1) ?(cache = 8) ?(retries = 0)
-    ?(backoff = 500.0) ?(breaker = 4) () =
+    ?(backoff = 500.0) ?(breaker = 4) ?slo ?(window = 20_000.0) () =
   {
     Scheduler.cfg;
     queue_bound;
@@ -43,6 +43,8 @@ let conf ?(queue_bound = 4) ?(servers = 1) ?(cache = 8) ?(retries = 0)
     max_retries = retries;
     backoff;
     breaker;
+    slo;
+    window;
     knobs = Openmp.Offload.default_knobs;
   }
 
@@ -292,9 +294,12 @@ let test_deterministic_replay () =
 let fconf ?(shards = 2) ?(batch = 4) ?(steal = true) ?(memo = true)
     ?(tenants = []) ?(devices = []) ?(affinity = true) ?(queue_bound = 4)
     ?(servers = 1) ?(cache = 8) ?(retries = 0) ?(backoff = 500.0)
-    ?(breaker = 4) () =
+    ?(breaker = 4) ?slo ?window ?(telemetry = false) ?(shed = true)
+    ?(autoscale = Serve.Autoscale.disabled) ?(decay = 0) () =
   {
-    Fleet.base = conf ~queue_bound ~servers ~cache ~retries ~backoff ~breaker ();
+    Fleet.base =
+      conf ~queue_bound ~servers ~cache ~retries ~backoff ~breaker ?slo ?window
+        ();
     shards;
     batch;
     steal;
@@ -302,6 +307,10 @@ let fconf ?(shards = 2) ?(batch = 4) ?(steal = true) ?(memo = true)
     tenants;
     devices;
     affinity;
+    telemetry;
+    shed;
+    autoscale;
+    decay;
   }
 
 let with_env2 bindings f =
@@ -678,7 +687,7 @@ let fleet_device_shuffle =
       let run devices =
         Fleet.run
           (fconf ~shards:4 ~batch:4 ~devices ~queue_bound:10_000 ~retries:2
-             ~breaker:0 ~servers:2 ())
+             ~breaker:0 ~servers:2 ~decay:(seed mod 3) ())
           specs
       in
       let a = run devices and b = run rotated in
@@ -689,6 +698,192 @@ let fleet_device_shuffle =
       && m.Metrics.completed + m.Metrics.rejected + m.Metrics.shed
          + m.Metrics.timed_out + m.Metrics.failed + m.Metrics.degraded
          = 20)
+
+(* Affinity decay for nonstationary traffic: an all-time cost table
+   remembers forever — its second request explores the still-unmeasured
+   device (an absent entry costs 0, undercutting any measurement), and
+   later arrivals concentrate on whichever measured cheapest.  Arrivals
+   10 windows apart under a one-window horizon expire every measurement
+   before the next request places, so every placement repeats the
+   fresh-table decision; a horizon covering the whole trace replays the
+   all-time schedule byte-for-byte. *)
+let test_affinity_decay () =
+  let devices = Fleet.parse_devices "w32-hw,w32-sw" in
+  let specs =
+    List.init 10 (fun i ->
+        spec
+          ~at:(float_of_int i *. 100_000.0)
+          ~kernel:"rowsum" ~size:256 ~teams:2 ~seed:(i + 1) i)
+  in
+  let run decay =
+    Fleet.run
+      (fconf ~shards:2 ~batch:1 ~steal:false ~memo:false ~devices
+         ~queue_bound:100 ~servers:1 ~window:10_000.0 ~decay ())
+      specs
+  in
+  let shard_of (res : Fleet.result) id =
+    (List.nth res.Fleet.reports id).Fleet.shard
+  in
+  let sticky = run 0 in
+  let first = shard_of sticky 0 in
+  Alcotest.(check bool) "all-time table explores the unmeasured device" true
+    (shard_of sticky 1 <> first);
+  let expired = run 1 in
+  List.iteri
+    (fun i _ ->
+      Alcotest.(check int)
+        (Printf.sprintf "expired table repeats the fresh decision for %d" i)
+        first (shard_of expired i))
+    specs;
+  let covered = run 100 in
+  Alcotest.(check string) "a covering horizon replays the all-time placement"
+    (Fleet.results_json sticky.Fleet.reports)
+    (Fleet.results_json covered.Fleet.reports)
+
+(* --- long-run operability: telemetry, SLO admission, autoscaling ----- *)
+
+let operability_autoscale =
+  {
+    Serve.Autoscale.enabled = true;
+    slo = 8_000.0;
+    budget = 8;
+    max_extra = 6;
+    down = 0.5;
+    cooldown = 2;
+  }
+
+(* The snapshot carries the operability surface: per-shard breaker /
+   retry / relaunch / concurrency state and the SLO + autoscale
+   sections — and stays byte-identical across engines and pool widths
+   with all of it armed. *)
+let test_operability_snapshot () =
+  let specs = Traffic.(generate (preset "flash" ~n:30 ~seed:11)) in
+  let c =
+    fconf ~shards:2 ~batch:4 ~queue_bound:16 ~servers:2 ~retries:1
+      ~slo:8_000.0 ~telemetry:true ~autoscale:operability_autoscale ()
+  in
+  let snap ?pool () = Fleet.snapshot_json c (Fleet.run c ?pool specs) in
+  let reference = snap () in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (key ^ " in snapshot") true
+        (Astring_like.contains reference key))
+    [
+      "\"breakers_open\"";
+      "\"retries\"";
+      "\"relaunches\"";
+      "\"conc\"";
+      "\"shed_slo\"";
+      "\"slo\"";
+      "\"autoscale\"";
+      "\"budget\"";
+      "\"window\"";
+      "\"shed\"";
+    ];
+  let pool = Gpusim.Pool.create ~domains:3 () in
+  Alcotest.(check string) "pooled replay identical" reference (snap ~pool ());
+  let walk = with_env "OMPSIMD_EVAL" "walk" (fun () -> snap ()) in
+  Alcotest.(check string) "walk engine identical" reference walk
+
+(* qcheck: the telemetry JSONL is part of the determinism contract —
+   byte-identical across evaluation engines, pool widths and device
+   shuffles (windows key on member labels, never shard ids). *)
+let fleet_telemetry_replay =
+  QCheck.Test.make ~count:4 ~name:"fleet telemetry byte replay"
+    QCheck.(pair small_nat (int_range 1 3))
+    (fun (seed, rot) ->
+      let specs = Traffic.(generate (preset "flash" ~n:25 ~seed)) in
+      let devices = Fleet.parse_devices "w32-hw,w64-hw,w16-sw,w32-l2tiny" in
+      let n = List.length devices in
+      let rotated = List.init n (fun i -> List.nth devices ((i + rot) mod n)) in
+      let c devices =
+        fconf ~shards:4 ~batch:4 ~devices ~queue_bound:16 ~retries:2
+          ~servers:2 ~slo:8_000.0 ~telemetry:true
+          ~autoscale:operability_autoscale ()
+      in
+      let tele ?pool conf = (Fleet.run conf ?pool specs).Fleet.telemetry in
+      let reference = tele (c devices) in
+      let pool = Gpusim.Pool.create ~domains:3 () in
+      String.length reference > 0
+      && String.equal reference (tele ~pool (c devices))
+      && with_env "OMPSIMD_EVAL" "walk" (fun () ->
+             String.equal reference (tele (c devices)))
+      && String.equal reference (tele (c rotated)))
+
+(* The autoscaler control law, exercised directly: the dead band keeps
+   a square-wave load from oscillating the target, sustained overload
+   grows on the cooldown grid up to the per-shard cap and the pooled
+   budget, and recovery returns every token. *)
+let test_autoscale_hysteresis () =
+  let aconf =
+    {
+      Serve.Autoscale.enabled = true;
+      slo = 1_000.0;
+      budget = 4;
+      max_extra = 2;
+      down = 0.5;
+      cooldown = 2;
+    }
+  in
+  let order = [| 0; 1 |] in
+  let stat p99 conc = { Serve.Autoscale.p99; queued = 0; conc } in
+  let t = Serve.Autoscale.create aconf ~shards:2 in
+  let acts = ref 0 in
+  for w = 0 to 19 do
+    let p99 = if w mod 2 = 0 then 990.0 else 510.0 in
+    acts :=
+      !acts
+      + List.length
+          (Serve.Autoscale.step t ~window:w ~order
+             ~stats:[| stat p99 2; stat p99 2 |])
+  done;
+  Alcotest.(check int) "dead band holds a square wave still" 0 !acts;
+  let t = Serve.Autoscale.create aconf ~shards:2 in
+  let grown = ref [] in
+  for w = 0 to 9 do
+    List.iter
+      (fun (a : Serve.Autoscale.action) ->
+        if a.Serve.Autoscale.a_verdict = Serve.Autoscale.Grow
+           && a.Serve.Autoscale.a_shard = 0
+        then grown := w :: !grown)
+      (Serve.Autoscale.step t ~window:w ~order
+         ~stats:[| stat 2_000.0 2; stat 2_000.0 2 |])
+  done;
+  (match List.rev !grown with
+  | [] -> Alcotest.fail "never grew under sustained overload"
+  | w0 :: rest ->
+      Alcotest.(check bool) "cooldown spaces the grows" true
+        (fst
+           (List.fold_left
+              (fun (ok, prev) w ->
+                (ok && w - prev >= aconf.Serve.Autoscale.cooldown, w))
+              (true, w0) rest)));
+  Alcotest.(check int) "per-shard growth capped at max_extra"
+    aconf.Serve.Autoscale.max_extra (List.length !grown);
+  Alcotest.(check int) "the pool is exhausted, never overdrawn" 0
+    (Serve.Autoscale.pool_left t);
+  Alcotest.(check int) "the other contender got its share" 2
+    (Serve.Autoscale.extra t 1);
+  let shrunk = ref 0 in
+  for w = 10 to 25 do
+    shrunk :=
+      !shrunk
+      + List.length
+          (Serve.Autoscale.step t ~window:w ~order
+             ~stats:[| stat 100.0 4; stat 100.0 4 |])
+  done;
+  Alcotest.(check int) "recovery returns every token"
+    aconf.Serve.Autoscale.budget !shrunk;
+  Alcotest.(check int) "pool refilled" aconf.Serve.Autoscale.budget
+    (Serve.Autoscale.pool_left t);
+  let d = Serve.Autoscale.create Serve.Autoscale.disabled ~shards:2 in
+  Alcotest.(check int) "disabled never acts" 0
+    (List.length
+       (Serve.Autoscale.step d ~window:0 ~order
+          ~stats:[| stat 5_000.0 1; stat 5_000.0 1 |]));
+  Alcotest.(check bool) "no SLO means no autoscaler" false
+    (Serve.Autoscale.config_of_env ~slo:None ~shards:4 ~servers:2 ())
+      .Serve.Autoscale.enabled
 
 let test_priority_order () =
   (* three queued requests drain highest-priority-first *)
@@ -755,5 +950,12 @@ let suite =
         Alcotest.test_case "fleet: affinity concentrates hot content" `Quick
           test_affinity_migration;
         QCheck_alcotest.to_alcotest fleet_device_shuffle;
+        Alcotest.test_case "fleet: affinity decay forgets stale costs" `Quick
+          test_affinity_decay;
+        Alcotest.test_case "fleet: operability snapshot shape and replay"
+          `Quick test_operability_snapshot;
+        QCheck_alcotest.to_alcotest fleet_telemetry_replay;
+        Alcotest.test_case "autoscale: hysteresis, cooldown and budget" `Quick
+          test_autoscale_hysteresis;
       ] );
   ]

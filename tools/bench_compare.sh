@@ -50,14 +50,26 @@ run_bench() {
   # seed device, and the hetero fleet row names its own zoo slice
   # internally — an inherited OMPSIMD_DEVICE or fleet device list would
   # shift every simulation row against the baseline.
+  # The operability knobs (SLO, telemetry, autoscaler, affinity decay)
+  # are pinned blank the same way: the SLO fleet row arms its own
+  # config internally, and an inherited OMPSIMD_SERVE_SLO_MS would arm
+  # shedding and scaling inside every other serve row.
   OMPSIMD_DEVICE= \
   OMPSIMD_FLEET_DEVICES= \
   OMPSIMD_FLEET_AFFINITY= \
+  OMPSIMD_FLEET_DECAY= \
   OMPSIMD_SERVE_SHARDS= \
   OMPSIMD_SERVE_BATCH= \
   OMPSIMD_SERVE_STEAL= \
   OMPSIMD_SERVE_MEMO= \
   OMPSIMD_SERVE_TENANTS= \
+  OMPSIMD_SERVE_SLO_MS= \
+  OMPSIMD_SERVE_WINDOW= \
+  OMPSIMD_SERVE_TELEMETRY= \
+  OMPSIMD_SERVE_SHED= \
+  OMPSIMD_SERVE_AUTOSCALE= \
+  OMPSIMD_SERVE_BUDGET= \
+  OMPSIMD_SERVE_COOLDOWN= \
   OMPSIMD_PASSES= \
   OMPSIMD_LOCKSTEP= \
   OMPSIMD_SANITIZE=0 \
@@ -126,6 +138,11 @@ if fresh["ms_per_run"].get("serve fleet warm (4 shards)") is None:
 # placement, per-device memo partitioning and sub-ring routing.
 if fresh["ms_per_run"].get("serve fleet warm (hetero 4 shards)") is None:
     sys.exit("FAIL: fresh run has no estimate for 'serve fleet warm (hetero 4 shards)'")
+# And the SLO row: the only row carrying the operability control plane
+# (telemetry windows, SLO admission, the autoscaler step) on the hot
+# path, so a control-plane slowdown must not ship ungated.
+if fresh["ms_per_run"].get("serve fleet SLO (4 shards)") is None:
+    sys.exit("FAIL: fresh run has no estimate for 'serve fleet SLO (4 shards)'")
 print(f"{'row':<30} {'committed':>10} {'fresh':>10}  ratio")
 for name, old in base["ms_per_run"].items():
     new = fresh["ms_per_run"].get(name)

@@ -12,23 +12,36 @@
 # byte-identical to a disarmed run (arming alone perturbs nothing),
 # and at least one seed must actually exercise the recovery path.
 #
+# The final section is a long-run operability soak: a multi-phase
+# diurnal chaos schedule over a heterogeneous fleet with the SLO
+# admission gate and the autoscaler armed, holding the no-lost-request
+# tally exactly, bounding the SLO-violation rate, and replaying the
+# telemetry stream byte-for-byte.  CHAOS_SLICE=1 (the runtest wiring)
+# shrinks the virtual day; every invariant is unchanged.
+#
 # Usage: tools/chaos_smoke.sh   (from the repo root)
 set -eu
 
-cd "$(dirname "$0")/.."
-trace=examples/serve.requests
+if [ -n "${OMPSIMD_RUN:-}" ]; then
+  run="$OMPSIMD_RUN"
+else
+  cd "$(dirname "$0")/.."
+  dune build bin/ompsimd_run.exe
+  run=./_build/default/bin/ompsimd_run.exe
+fi
+trace="$(dirname "$0")/../examples/serve.requests"
 plan='abort=0.4,flip=0.3:0.5,stall=0.2'
 out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
 
 # Pin the fleet knobs to their unset defaults so the classic
 # single-device sections replay byte-identically even if the caller's
-# shell exports them; the fleet section below opts in via flags.
+# shell exports them; the fleet sections below opt in via flags.
 export OMPSIMD_SERVE_SHARDS= OMPSIMD_SERVE_BATCH= OMPSIMD_SERVE_STEAL=
-export OMPSIMD_SERVE_MEMO= OMPSIMD_SERVE_TENANTS=
-
-dune build bin/ompsimd_run.exe
-run=./_build/default/bin/ompsimd_run.exe
+export OMPSIMD_SERVE_MEMO= OMPSIMD_SERVE_TENANTS= OMPSIMD_FLEET_DEVICES=
+export OMPSIMD_SERVE_SLO_MS= OMPSIMD_SERVE_WINDOW= OMPSIMD_SERVE_TELEMETRY=
+export OMPSIMD_SERVE_SHED= OMPSIMD_SERVE_AUTOSCALE= OMPSIMD_SERVE_BUDGET=
+export OMPSIMD_SERVE_COOLDOWN= OMPSIMD_FLEET_DECAY=
 
 failures_seen=0
 for seed in 1 7 42; do
@@ -102,4 +115,74 @@ diff -q "$out/chaos_results_1_1.json" "$out/chaos_results_4_8.json" \
   || { echo "FAIL: armed results changed with the shard/batch shape"; exit 1; }
 
 grep -o '"recovery": {[^}]*}' "$out/chaos_7_compile_0.json"
-echo "chaos smoke OK: fault snapshots bit-identical across engines and pools"
+
+# --- long-run operability: a diurnal chaos day -------------------------
+# Three phases of a virtual day — overnight steady trickle, the daytime
+# diurnal wave, a lunchtime flash crowd — each over a heterogeneous
+# 4-shard fleet with the fault plan, SLO-aware admission and the
+# autoscaler all armed.  Per phase: the no-lost-request tally must be
+# exact (admitted = completed + rejected + shed + shed-slo + timed-out
+# + failed + degraded), the SLO-violation rate (late completions plus
+# SLO sheds) must stay bounded, and the telemetry JSONL must replay
+# byte-identically on the other engine and pool width.
+if [ "${CHAOS_SLICE:-0}" = 1 ]; then day=400; else day=4000; fi
+hetero=a100,a100q,amd,small
+phase_no=0
+for phase in "steady 11 4" "diurnal 23 1" "flash 5 2"; do
+  set -- $phase
+  profile=$1; pseed=$2; n=$((day / $3))
+  json="$out/day_${profile}.json"
+  tele="$out/day_${profile}.jsonl"
+  echo "== diurnal phase $phase_no: $profile n=$n seed=$pseed =="
+  OMPSIMD_FAULTS="$plan" OMPSIMD_FAULT_SEED="$pseed" \
+  OMPSIMD_FLEET_DEVICES="$hetero" \
+    "$run" serve --traffic "$n" --profile "$profile" --seed "$pseed" \
+    --shards 4 --slo 25 --telemetry "$tele" --json "$json" > /dev/null
+  python3 - "$json" "$profile" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))["metrics"]
+lost = m["requests"] - (m["completed"] + m["rejected"] + m["shed"]
+        + m["shed_slo"] + m["timed_out"] + m["failed"]
+        + m["recovery"]["degraded"])
+assert lost == 0, f"{sys.argv[2]}: lost {lost} of {m['requests']} requests"
+rate = (m["slo"]["violations"] + m["shed_slo"]) / max(m["requests"], 1)
+assert rate <= 0.35, f"{sys.argv[2]}: SLO-violation rate {rate:.3f} > 0.35"
+print(f"   {sys.argv[2]}: {m['requests']} requests, 0 lost, "
+      f"violation rate {rate:.3f}")
+EOF
+  OMPSIMD_FAULTS="$plan" OMPSIMD_FAULT_SEED="$pseed" \
+  OMPSIMD_FLEET_DEVICES="$hetero" \
+  OMPSIMD_EVAL=walk OMPSIMD_DOMAINS=3 \
+    "$run" serve --traffic "$n" --profile "$profile" --seed "$pseed" \
+    --shards 4 --slo 25 --telemetry "$tele.replay" > /dev/null
+  diff -q "$tele" "$tele.replay" \
+    || { echo "FAIL: $profile telemetry did not replay byte-identically"; exit 1; }
+  phase_no=$((phase_no + 1))
+done
+
+# The autoscaler must earn its keep: under the flash crowd with
+# admission shedding off, scaling against the SLO has to beat the fixed
+# fleet on late completions, not just match it.
+for auto in 1 0; do
+  OMPSIMD_FAULTS="$plan" OMPSIMD_FAULT_SEED=23 \
+  OMPSIMD_FLEET_DEVICES="$hetero" \
+  OMPSIMD_SERVE_SHED=0 OMPSIMD_SERVE_AUTOSCALE="$auto" \
+    "$run" serve --traffic "$day" --profile flash --seed 23 \
+    --shards 4 --slo 8 --json "$out/asc_$auto.json" > /dev/null
+done
+python3 - "$out/asc_1.json" "$out/asc_0.json" <<'EOF'
+import json, sys
+on = json.load(open(sys.argv[1]))["metrics"]
+off = json.load(open(sys.argv[2]))["metrics"]
+assert on["autoscale"]["grows"] > 0, "autoscaler never grew under overload"
+assert off["autoscale"]["grows"] == 0, "fixed arm scaled"
+assert on["slo"]["violations"] < off["slo"]["violations"], (
+    f"autoscaling did not reduce SLO violations: "
+    f"{on['slo']['violations']} vs {off['slo']['violations']}")
+print(f"   autoscale on/off violations: "
+      f"{on['slo']['violations']}/{off['slo']['violations']} "
+      f"(grows {on['autoscale']['grows']}, shrinks {on['autoscale']['shrinks']})")
+EOF
+
+echo "chaos smoke OK: fault snapshots bit-identical across engines and pools,"
+echo "  diurnal chaos day lost nothing and telemetry replayed byte-for-byte"

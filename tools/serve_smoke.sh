@@ -25,6 +25,11 @@ trap 'rm -rf "$out"' EXIT
 export OMPSIMD_SERVE_SHARDS= OMPSIMD_SERVE_BATCH= OMPSIMD_SERVE_STEAL=
 export OMPSIMD_SERVE_MEMO= OMPSIMD_SERVE_TENANTS=
 export OMPSIMD_DEVICE= OMPSIMD_FLEET_DEVICES= OMPSIMD_FLEET_AFFINITY=
+# The operability knobs are pinned the same way: an inherited SLO would
+# arm admission shedding and the autoscaler and reshape every snapshot.
+export OMPSIMD_SERVE_SLO_MS= OMPSIMD_SERVE_WINDOW= OMPSIMD_SERVE_TELEMETRY=
+export OMPSIMD_SERVE_SHED= OMPSIMD_SERVE_AUTOSCALE= OMPSIMD_SERVE_BUDGET=
+export OMPSIMD_SERVE_COOLDOWN= OMPSIMD_FLEET_DECAY=
 
 dune build bin/ompsimd_run.exe
 run=./_build/default/bin/ompsimd_run.exe
